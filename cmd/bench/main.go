@@ -1,0 +1,61 @@
+// Command bench regenerates the full evaluation suite of EXPERIMENTS.md:
+// every table (T1–T7) and figure series (F1–F3), printed as aligned text or
+// CSV.
+//
+//	bench                # run everything, full sweeps
+//	bench -quick         # smaller sweeps (the test-suite configuration)
+//	bench -only T1,F2    # a subset
+//	bench -csv           # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	csv := flag.Bool("csv", false, "CSV output")
+	flag.Parse()
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(*quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", e.ID, tab.CSV())
+		} else {
+			fmt.Println(tab.Render())
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

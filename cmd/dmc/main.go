@@ -1,0 +1,125 @@
+// Command dmc runs the distributed model checker on a graph instance:
+//
+//	gengraph -family bounded-td -n 64 -d 3 | dmc -problem acyclic -d 3
+//	dmc -graph net.g -problem max-independent-set -d 3
+//	dmc -graph net.g -formula "~ exists x:V,y:V,z:V . adj(x,y) & adj(y,z) & adj(z,x)" -d 3
+//	dmc -list
+//
+// It prints the verdict/optimum/count, the CONGEST round count, message
+// totals, and the maximum message width.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/regular"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	graphPath := flag.String("graph", "-", "graph file in edge-list format ('-' = stdin)")
+	problem := flag.String("problem", "", "registered problem name (see -list)")
+	formula := flag.String("formula", "", "closed MSO formula (generic engine)")
+	d := flag.Int("d", 3, "treedepth parameter")
+	seed := flag.Int64("seed", 0, "adversarial ID permutation seed (0 = identity)")
+	list := flag.Bool("list", false, "list registered problems and exit")
+	sequential := flag.Bool("seq", false, "run the sequential Algorithm 1 instead of the CONGEST protocol")
+	flag.Parse()
+
+	if *list {
+		for _, p := range core.Problems() {
+			fmt.Printf("%-26s %s\n", p.Name, p.Description)
+		}
+		return nil
+	}
+
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+
+	var prob core.Problem
+	switch {
+	case *problem != "" && *formula != "":
+		return fmt.Errorf("use either -problem or -formula, not both")
+	case *problem != "":
+		prob, err = core.Lookup(*problem)
+		if err != nil {
+			return err
+		}
+	case *formula != "":
+		pred, err := core.CompileClosedFormula(*formula)
+		if err != nil {
+			return err
+		}
+		prob = core.Problem{
+			Name: "formula", Kind: core.KindDecision,
+			Build:       func() (regular.Predicate, error) { return pred, nil },
+			Description: *formula,
+		}
+	default:
+		return fmt.Errorf("need -problem or -formula (or -list)")
+	}
+
+	fmt.Printf("graph: n=%d m=%d diam=%d\n", g.NumVertices(), g.NumEdges(), g.Diameter())
+	fmt.Printf("problem: %s (d=%d)\n", prob.Name, *d)
+
+	if *sequential {
+		sol, err := core.SolveSequential(g, prob)
+		if err != nil {
+			return err
+		}
+		printSolution(prob, sol)
+		return nil
+	}
+	sol, err := core.SolveDistributed(g, prob, *d, congest.Options{IDSeed: *seed})
+	if err != nil {
+		return err
+	}
+	if sol.TdExceeded {
+		fmt.Printf("result: LARGE TREEDEPTH (td(G) > %d); rerun with a larger -d\n", *d)
+		return nil
+	}
+	printSolution(prob, sol)
+	fmt.Printf("congest: rounds=%d messages=%d bits=%d maxMsgBits=%d bandwidth=%d\n",
+		sol.Stats.Rounds, sol.Stats.Messages, sol.Stats.Bits, sol.Stats.MaxMsgBits, sol.Stats.Bandwidth)
+	return nil
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	if path == "-" {
+		return graph.ReadEdgeList(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}
+
+func printSolution(prob core.Problem, sol *core.Solution) {
+	switch prob.Kind {
+	case core.KindDecision:
+		fmt.Printf("result: accepted=%v\n", sol.Accepted)
+	case core.KindOptimization:
+		if !sol.Found {
+			fmt.Println("result: infeasible")
+			return
+		}
+		fmt.Printf("result: optimum weight=%d selected=%v\n", sol.Weight, sol.Selected)
+	case core.KindCounting:
+		fmt.Printf("result: count=%d\n", sol.Count)
+	}
+}

@@ -1,0 +1,71 @@
+// Command gengraph generates graph instances in the library's edge-list
+// format, for use with cmd/dmc:
+//
+//	gengraph -family bounded-td -n 64 -d 3 -seed 7 -weights 100 > net.g
+//	gengraph -family outerplanar -n 128 > planar.g
+//
+// Families: path, cycle, star, complete, grid, tree, caterpillar,
+// bounded-td, degenerate, outerplanar, gnp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family := flag.String("family", "bounded-td", "graph family")
+	n := flag.Int("n", 32, "number of vertices")
+	d := flag.Int("d", 3, "treedepth bound (bounded-td) / degeneracy (degenerate)")
+	rows := flag.Int("rows", 4, "grid rows")
+	cols := flag.Int("cols", 8, "grid cols")
+	spine := flag.Int("spine", 8, "caterpillar spine length")
+	legs := flag.Int("legs", 2, "caterpillar legs per spine vertex")
+	prob := flag.Float64("p", 0.3, "edge probability (gnp, bounded-td extra edges)")
+	seed := flag.Int64("seed", 1, "random seed")
+	weights := flag.Int64("weights", 0, "assign random weights in [1, w] (0 = none)")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *family {
+	case "path":
+		g = gen.Path(*n)
+	case "cycle":
+		g = gen.Cycle(*n)
+	case "star":
+		g = gen.Star(*n)
+	case "complete":
+		g = gen.Complete(*n)
+	case "grid":
+		g = gen.Grid(*rows, *cols)
+	case "tree":
+		g = gen.RandomTree(*n, *seed)
+	case "caterpillar":
+		g = gen.Caterpillar(*spine, *legs)
+	case "bounded-td":
+		g, _ = gen.BoundedTreedepth(*n, *d, *prob, *seed)
+	case "degenerate":
+		g = gen.RandomDegenerate(*n, *d, *seed)
+	case "outerplanar":
+		g = gen.MaximalOuterplanar(*n, *seed)
+	case "gnp":
+		g = gen.RandomGNP(*n, *prob, *seed)
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if *weights > 0 {
+		gen.AssignRandomWeights(g, *weights, *seed+1)
+	}
+	return graph.WriteEdgeList(os.Stdout, g)
+}

@@ -1,0 +1,47 @@
+// Hfreeness: Corollary 7.3 on a bounded-expansion family. Maximal
+// outerplanar networks (planar, 2-degenerate) of growing size are checked
+// for C4 subgraphs in O(log n) CONGEST rounds: a distributed peeling builds
+// the low-treedepth decomposition, and one Theorem 6.1 run per part-subset
+// finds or refutes the pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	dmc "repro"
+	"repro/internal/graph/gen"
+)
+
+func main() {
+	pattern := gen.Cycle(4)
+	fmt.Println("pattern: C4 (cycle on 4 vertices)")
+	fmt.Printf("%6s  %8s  %12s  %12s  %8s  %s\n",
+		"n", "C4-free", "total rounds", "peel rounds", "colors", "rounds/log2(n)")
+	for _, n := range []int{32, 64, 128, 256} {
+		g := gen.MaximalOuterplanar(n, int64(n)*31)
+		res, err := dmc.HFree(g, pattern, 8, dmc.Options{D: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %8v  %12d  %12d  %8d  %.1f\n",
+			n, res.HFree, res.TotalRounds, res.PeelRounds, res.NumColors,
+			float64(res.TotalRounds)/math.Log2(float64(n)))
+	}
+	fmt.Println()
+	fmt.Println("the peel phase is the Θ(log n) term; the subset phase is a large but")
+	fmt.Println("n-independent constant (part counts and per-union treedepths are bounded")
+	fmt.Println("by the graph class and |V(H)| alone), so the totals plateau.")
+	fmt.Println()
+	fmt.Println("grids are C4-heavy but triangle-free:")
+	grid := gen.Grid(6, 8)
+	for _, h := range []*dmc.Graph{gen.Complete(3), gen.Cycle(4)} {
+		res, err := dmc.HFree(grid, h, 8, dmc.Options{D: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  pattern with %d vertices, %d edges: free=%v (rounds %d)\n",
+			h.NumVertices(), h.NumEdges(), res.HFree, res.TotalRounds)
+	}
+}

@@ -1,0 +1,68 @@
+// Netmonitor: the paper's labeled-graph setting. Servers are labeled "red"
+// (must be monitored) or "blue" (may host a monitor); the goal is a
+// minimum-cost set of blue hosts adjacent to every red server — the paper's
+// red/blue domination example. The optmarked protocol then audits an
+// already-deployed monitor set: is it a valid AND optimal deployment?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dmc "repro"
+	"repro/internal/graph/gen"
+)
+
+func main() {
+	// A rack-level topology of treedepth <= 3 with alternating roles.
+	g, _ := gen.BoundedTreedepth(14, 3, 0.5, 77)
+	for v := 0; v < g.NumVertices(); v++ {
+		g.SetVertexWeight(v, int64(1+v%4)) // monitor deployment cost
+		if v%3 == 0 {
+			g.SetVertexLabel("red", v)
+		} else {
+			g.SetVertexLabel("blue", v)
+		}
+	}
+	fmt.Printf("network: %d hosts (%d links)\n", g.NumVertices(), g.NumEdges())
+
+	// Solve the labeled optimization problem.
+	res, err := dmc.Optimize(g, dmc.RedBlueDominatingSet(), dmc.Options{D: 3, Maximize: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.TdExceeded {
+		log.Fatal("treedepth budget too small")
+	}
+	if !res.Found {
+		fmt.Println("no feasible monitor placement (some red host has no blue neighbor)")
+		return
+	}
+	fmt.Printf("optimal monitor set (cost %d, %d rounds): %v\n", res.Weight, res.Stats.Rounds, res.Selected)
+
+	// Audit the deployment with optmarked: mark exactly the computed set.
+	audit := g.Clone()
+	res.Selected.ForEach(func(v int) { audit.SetVertexLabel(dmc.MarkLabel, v) })
+	check, err := dmc.CheckMarked(audit, dmc.RedBlueDominatingSet(), dmc.Options{D: 3, Maximize: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audit of the optimal deployment: accepted=%v\n", check.Accepted)
+
+	// Now audit a padded deployment: add one more blue monitor. Still valid,
+	// no longer minimal, so the network rejects it.
+	padded := g.Clone()
+	res.Selected.ForEach(func(v int) { padded.SetVertexLabel(dmc.MarkLabel, v) })
+	for v := 0; v < padded.NumVertices(); v++ {
+		if padded.HasVertexLabel("blue", v) && !res.Selected.Contains(v) {
+			padded.SetVertexLabel(dmc.MarkLabel, v)
+			fmt.Printf("padding deployment with host %d...\n", v)
+			break
+		}
+	}
+	check, err = dmc.CheckMarked(padded, dmc.RedBlueDominatingSet(), dmc.Options{D: 3, Maximize: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audit of the padded deployment: accepted=%v (valid but not minimal)\n", check.Accepted)
+}

@@ -1,0 +1,231 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) = true after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	s := New(10)
+	s.Add(-1)
+	s.Add(10)
+	s.Add(1000)
+	if !s.Empty() {
+		t.Fatal("out-of-range Add should be a no-op")
+	}
+	if s.Contains(-5) || s.Contains(10) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+	s.Remove(99) // must not panic
+}
+
+func TestZeroUniverse(t *testing.T) {
+	s := New(0)
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("empty-universe set should be empty")
+	}
+	s.Fill()
+	if s.Count() != 0 {
+		t.Fatal("Fill on empty universe should keep set empty")
+	}
+	neg := New(-5)
+	if neg.Len() != 0 {
+		t.Fatalf("negative n should clamp to 0, got %d", neg.Len())
+	}
+}
+
+func TestFillTrims(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if got := s.Count(); got != n {
+			t.Fatalf("n=%d: Fill Count = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(10, 1, 2, 3, 4)
+	b := FromIndices(10, 3, 4, 5, 6)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if want := FromIndices(10, 1, 2, 3, 4, 5, 6); !u.Equal(want) {
+		t.Fatalf("union = %v, want %v", u, want)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if want := FromIndices(10, 3, 4); !i.Equal(want) {
+		t.Fatalf("intersect = %v, want %v", i, want)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if want := FromIndices(10, 1, 2); !d.Equal(want) {
+		t.Fatalf("difference = %v, want %v", d, want)
+	}
+}
+
+func TestSubsetIntersects(t *testing.T) {
+	a := FromIndices(10, 1, 2)
+	b := FromIndices(10, 1, 2, 3)
+	if !a.SubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a should intersect b")
+	}
+	c := FromIndices(10, 7, 8)
+	if a.Intersects(c) {
+		t.Fatal("a should not intersect c")
+	}
+	if !New(10).SubsetOf(a) {
+		t.Fatal("empty set is subset of anything")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromIndices(10, 1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestIndicesForEachOrder(t *testing.T) {
+	s := FromIndices(200, 199, 0, 64, 100)
+	got := s.Indices()
+	want := []int{0, 64, 100, 199}
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMin(t *testing.T) {
+	s := New(100)
+	if _, ok := s.Min(); ok {
+		t.Fatal("Min of empty set should report false")
+	}
+	s.Add(70)
+	s.Add(5)
+	if m, ok := s.Min(); !ok || m != 5 {
+		t.Fatalf("Min = %d,%v, want 5,true", m, ok)
+	}
+}
+
+func TestStringAndKey(t *testing.T) {
+	s := FromIndices(10, 1, 3)
+	if got := s.String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	a := FromIndices(100, 5, 99)
+	b := FromIndices(100, 5, 99)
+	c := FromIndices(100, 5, 98)
+	if a.Key() != b.Key() {
+		t.Fatal("equal sets must have equal keys")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("different sets must have different keys")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on universe mismatch")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+// Property: union count >= max of the two counts; intersection <= min.
+func TestQuickAlgebraBounds(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		const n = 150
+		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if ra.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rb.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		in := a.Clone()
+		in.IntersectWith(b)
+		// Inclusion-exclusion.
+		if u.Count()+in.Count() != a.Count()+b.Count() {
+			return false
+		}
+		return a.SubsetOf(u) && b.SubsetOf(u) && in.SubsetOf(a) && in.SubsetOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective on random sets (round-trip via Indices).
+func TestQuickKeyConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 99
+		r := rand.New(rand.NewSource(seed))
+		a := New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				a.Add(i)
+			}
+		}
+		b := FromIndices(n, a.Indices()...)
+		return a.Equal(b) && a.Key() == b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package certify implements distributed certification (proof-labeling
+// schemes) of MSO predicates on graphs of bounded treedepth — the setting of
+// Bousquet, Feuilloley and Pierron [PODC 2022] that the paper's meta-theorem
+// enhances from certification to decision.
+//
+// The prover, knowing the whole graph, assigns each vertex a certificate:
+// its elimination-tree parent and depth, its bag (itself plus its
+// ancestors), and the homomorphism class of its subtree graph. The verifier
+// is the canonical one-round protocol: every vertex exchanges certificates
+// with its neighbors once and checks purely local conditions — bag chains,
+// the ancestor/descendant property of every incident edge, and that its
+// class is the fold of its children's classes with its own base graph. If
+// the predicate holds, the honest prover's certificates are accepted
+// everywhere (completeness); if it does not, every possible certificate
+// assignment is rejected by at least one vertex (soundness).
+//
+// For a fixed predicate and treedepth bound, certificates have
+// O(2^d log n + |class|) bits, matching the O(log n)-bits-for-fixed-d regime
+// of the certification literature.
+package certify
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/regular"
+	"repro/internal/treedepth"
+	"repro/internal/wterm"
+)
+
+// ErrCertify is wrapped by prover-side failures.
+var ErrCertify = errors.New("certify: error")
+
+// Certificate is one vertex's label. Identifiers are vertex+1 (0 = none).
+type Certificate struct {
+	// ParentID is the elimination-tree parent's identifier (0 for the root).
+	ParentID int
+	// Depth is the vertex's depth in the elimination tree (root = 1).
+	Depth int
+	// Bag is the sorted list of identifiers of the vertex and its ancestors.
+	Bag []int
+	// ClassKey is the canonical encoding of h(G_v), the homomorphism class
+	// of the subtree graph with the bag as terminals.
+	ClassKey []byte
+	// Accepting is the prover's claim that the root class is accepting; only
+	// meaningful at the root (everyone else carries false).
+	Accepting bool
+}
+
+// Bits returns the certificate's size in bits on the wire.
+func (c Certificate) Bits() int {
+	return 64 + 64 + 64*len(c.Bag) + 8*len(c.ClassKey) + 1
+}
+
+// Prove builds certificates for predicate pred on g using an elimination
+// tree of depth at most 2^d (a DFS tree; Lemma 2.5). It fails when
+// td(G) > d would force a deeper tree. Only closed predicates (a single
+// class per subgraph) can be certified by this scheme.
+func Prove(g *graph.Graph, d int, pred regular.Predicate) ([]Certificate, error) {
+	if pred.SetKind() != regular.SetNone {
+		return nil, fmt.Errorf("%w: certification needs a closed predicate, %s has a free set variable",
+			ErrCertify, pred.Name())
+	}
+	if !g.IsConnected() || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("%w: graph must be connected and nonempty", ErrCertify)
+	}
+	forest := treedepth.DFSForest(g)
+	if forest.Depth() > 1<<uint(d) {
+		return nil, fmt.Errorf("%w: elimination tree depth %d exceeds 2^%d (treedepth too large)",
+			ErrCertify, forest.Depth(), d)
+	}
+	deriv, err := wterm.NewDerivation(g, forest)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	children := forest.Children()
+	classes := make([]regular.Class, n)
+	for _, u := range deriv.Order {
+		base, err := deriv.Base(u)
+		if err != nil {
+			return nil, err
+		}
+		set, err := regular.BaseClassSet(pred, base)
+		if err != nil {
+			return nil, err
+		}
+		if len(set) != 1 {
+			return nil, fmt.Errorf("%w: closed predicate produced %d base classes", ErrCertify, len(set))
+		}
+		var acc regular.Class
+		for _, c := range set {
+			acc = c
+		}
+		for _, child := range children[u] {
+			glue, err := deriv.FoldGluing(u, child)
+			if err != nil {
+				return nil, err
+			}
+			next, ok, err := pred.Compose(glue, acc, classes[child])
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w: incompatible closed-class fold", ErrCertify)
+			}
+			acc = next
+		}
+		classes[u] = acc
+	}
+	certs := make([]Certificate, n)
+	for v := 0; v < n; v++ {
+		bag := make([]int, len(deriv.Bags[v]))
+		for i, u := range deriv.Bags[v] {
+			bag[i] = u + 1
+		}
+		parentID := 0
+		if p := forest.Parent[v]; p >= 0 {
+			parentID = p + 1
+		}
+		certs[v] = Certificate{
+			ParentID: parentID,
+			Depth:    forest.DepthOf(v),
+			Bag:      bag,
+			ClassKey: []byte(classes[v].Key()),
+		}
+	}
+	root := forest.Roots()[0]
+	accepting, err := pred.Accepting(classes[root])
+	if err != nil {
+		return nil, err
+	}
+	certs[root].Accepting = accepting
+	return certs, nil
+}
+
+// Verify runs the one-round verifier at every vertex: each vertex sees its
+// own certificate, its neighbors' certificates, and its local edges. It
+// returns the global verdict (all vertices accept) and the list of
+// rejecting vertices.
+func Verify(g *graph.Graph, d int, pred regular.Predicate, certs []Certificate) (bool, []int) {
+	n := g.NumVertices()
+	var rejectors []int
+	if len(certs) != n {
+		for v := 0; v < n; v++ {
+			rejectors = append(rejectors, v)
+		}
+		return false, rejectors
+	}
+	for v := 0; v < n; v++ {
+		if !verifyAt(g, d, pred, certs, v) {
+			rejectors = append(rejectors, v)
+		}
+	}
+	return len(rejectors) == 0, rejectors
+}
+
+// neighborCert pairs a neighbor's identifier with its certificate, the
+// verifier's one-round view.
+type neighborCert struct {
+	ID   int
+	Cert Certificate
+}
+
+// verifyAt is the local check of a single vertex. It may only inspect v's
+// own certificate, its neighbors' certificates, and v's incident edges.
+func verifyAt(g *graph.Graph, d int, pred regular.Predicate, certs []Certificate, v int) bool {
+	neighbors := make([]neighborCert, 0, g.Degree(v))
+	for _, w := range g.Neighbors(v) {
+		neighbors = append(neighbors, neighborCert{ID: w + 1, Cert: certs[w]})
+	}
+	base, err := localBase(g, certs[v].Bag, v)
+	if err != nil {
+		return false
+	}
+	return localCheck(d, pred, v+1, certs[v], neighbors, base)
+}
+
+// localCheck is the verifier's node program: it sees only the node's own
+// certificate, its neighbors' certificates, and its own base graph.
+// Certificates are adversarial input: any malformation — including ones that
+// would make a predicate implementation panic — is a rejection.
+func localCheck(d int, pred regular.Predicate, id int, self Certificate, neighbors []neighborCert, base *wterm.TerminalGraph) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+
+	// Structural sanity: sorted bag containing self, depth = |bag| <= 2^d.
+	if len(self.Bag) != self.Depth || self.Depth < 1 || self.Depth > 1<<uint(d) {
+		return false
+	}
+	if !sort.IntsAreSorted(self.Bag) || !containsSorted(self.Bag, id) {
+		return false
+	}
+	// Non-root claims below the root line must not claim acceptance.
+	if self.ParentID == 0 {
+		if self.Depth != 1 || len(self.Bag) != 1 {
+			return false
+		}
+	} else if self.Accepting {
+		return false
+	}
+
+	parentSeen := false
+	for _, nc := range neighbors {
+		peer := nc.Cert
+		wid := nc.ID
+		// Elimination property: every incident edge joins ancestor and
+		// descendant — one endpoint's bag contains the other.
+		if !containsSorted(self.Bag, wid) && !containsSorted(peer.Bag, id) {
+			return false
+		}
+		if wid == self.ParentID {
+			parentSeen = true
+			// Bag chain: our bag is the parent's bag plus ourselves.
+			if peer.Depth != self.Depth-1 {
+				return false
+			}
+			want := insertSorted(peer.Bag, id)
+			if !equalInts(self.Bag, want) {
+				return false
+			}
+		}
+		// Children consistency (checked during the fold below).
+		if peer.ParentID == id {
+			if peer.Depth != self.Depth+1 {
+				return false
+			}
+			want := insertSorted(self.Bag, wid)
+			if !equalInts(peer.Bag, want) {
+				return false
+			}
+		}
+	}
+	if self.ParentID != 0 && !parentSeen {
+		return false // the claimed parent is not even a neighbor
+	}
+
+	// Class check: our class must equal the fold of our base class with our
+	// children's classes.
+	set, err := regular.BaseClassSet(pred, base)
+	if err != nil || len(set) != 1 {
+		return false
+	}
+	var acc regular.Class
+	for _, c := range set {
+		acc = c
+	}
+	// Children in increasing ID order, exactly as the honest prover folds.
+	children := map[int]Certificate{}
+	var childIDs []int
+	for _, nc := range neighbors {
+		if nc.Cert.ParentID == id {
+			childIDs = append(childIDs, nc.ID)
+			children[nc.ID] = nc.Cert
+		}
+	}
+	sort.Ints(childIDs)
+	for _, cid := range childIDs {
+		child := children[cid]
+		childClass, err := pred.DecodeClass(child.ClassKey)
+		if err != nil {
+			return false
+		}
+		glue, err := wterm.GluingFromBags(self.Bag, child.Bag, self.Bag)
+		if err != nil {
+			return false
+		}
+		next, ok, err := pred.Compose(glue, acc, childClass)
+		if err != nil || !ok {
+			return false
+		}
+		acc = next
+	}
+	if !bytes.Equal([]byte(acc.Key()), self.ClassKey) {
+		return false
+	}
+	// The root checks the verdict itself.
+	if self.ParentID == 0 {
+		accepting, err := pred.Accepting(acc)
+		if err != nil || !accepting || !self.Accepting {
+			return false
+		}
+	}
+	return true
+}
+
+// localBase rebuilds the vertex's edge-owned base graph from its bag and
+// incident edges — information the verifier legitimately has.
+func localBase(g *graph.Graph, bagIDs []int, v int) (*wterm.TerminalGraph, error) {
+	bag := make([]int, len(bagIDs))
+	for i, id := range bagIDs {
+		u := id - 1
+		if u < 0 || u >= g.NumVertices() {
+			return nil, fmt.Errorf("%w: bag ID %d out of range", ErrCertify, id)
+		}
+		bag[i] = u
+	}
+	return wterm.BaseFromBag(g, bag, v)
+}
+
+func containsSorted(xs []int, v int) bool {
+	i := sort.SearchInts(xs, v)
+	return i < len(xs) && xs[i] == v
+}
+
+func insertSorted(xs []int, v int) []int {
+	out := make([]int, 0, len(xs)+1)
+	pos := sort.SearchInts(xs, v)
+	out = append(out, xs[:pos]...)
+	out = append(out, v)
+	out = append(out, xs[pos:]...)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxCertificateBits returns the largest certificate size of an assignment.
+func MaxCertificateBits(certs []Certificate) int {
+	max := 0
+	for _, c := range certs {
+		if b := c.Bits(); b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,251 @@
+package certify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/mso"
+	"repro/internal/mso/msolib"
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+)
+
+func proveAndVerify(t *testing.T, g *graph.Graph, d int, pred regular.Predicate) (bool, []Certificate) {
+	t.Helper()
+	certs, err := Prove(g, d, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := Verify(g, d, pred, certs)
+	return ok, certs
+}
+
+func TestCompletenessAcyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(1101))
+	for trial := 0; trial < 15; trial++ {
+		g := gen.RandomTree(4+r.Intn(12), r.Int63())
+		ok, certs := proveAndVerify(t, g, 4, predicates.Acyclicity{})
+		if !ok {
+			t.Fatalf("trial %d: honest proof of a true instance rejected", trial)
+		}
+		if MaxCertificateBits(certs) == 0 {
+			t.Fatal("certificates should have positive size")
+		}
+	}
+}
+
+func TestSoundnessRejectsFalseInstances(t *testing.T) {
+	// On a cyclic graph, no acyclicity certificate is accepted — in
+	// particular not the honest prover's, and not random mutations of it.
+	r := rand.New(rand.NewSource(1102))
+	g := gen.Cycle(7)
+	certs, err := Prove(g, 4, predicates.Acyclicity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, rejectors := Verify(g, 4, predicates.Acyclicity{}, certs); ok {
+		t.Fatal("false instance accepted")
+	} else if len(rejectors) == 0 {
+		t.Fatal("no rejector reported")
+	}
+	// Adversarial prover: mutate certificates trying to sneak the proof
+	// through; every attempt must still be rejected somewhere.
+	for attempt := 0; attempt < 300; attempt++ {
+		mutated := cloneCerts(certs)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			v := r.Intn(len(mutated))
+			switch r.Intn(5) {
+			case 0:
+				mutated[v].Accepting = true
+			case 1:
+				mutated[v].ParentID = r.Intn(len(mutated) + 1)
+			case 2:
+				mutated[v].Depth = 1 + r.Intn(8)
+			case 3:
+				if len(mutated[v].ClassKey) > 0 {
+					mutated[v].ClassKey[r.Intn(len(mutated[v].ClassKey))] ^= byte(1 + r.Intn(255))
+				}
+			case 4:
+				mutated[v].Bag = append([]int(nil), mutated[v].Bag...)
+				if len(mutated[v].Bag) > 0 {
+					mutated[v].Bag[r.Intn(len(mutated[v].Bag))] = 1 + r.Intn(len(mutated))
+				}
+			}
+		}
+		if ok, _ := Verify(g, 4, predicates.Acyclicity{}, mutated); ok {
+			t.Fatalf("attempt %d: adversarial certificates accepted on a false instance", attempt)
+		}
+	}
+}
+
+func TestCertifyMatchesOracleAcrossPredicates(t *testing.T) {
+	r := rand.New(rand.NewSource(1103))
+	preds := []struct {
+		pred    regular.Predicate
+		formula mso.Formula
+	}{
+		{predicates.Acyclicity{}, msolib.Acyclic()},
+		{predicates.KColorability{K: 2}, msolib.KColorable(2)},
+	}
+	for _, tc := range preds {
+		for trial := 0; trial < 10; trial++ {
+			g, _ := gen.BoundedTreedepth(4+r.Intn(8), 2, 0.5, r.Int63())
+			want, err := mso.NewEvaluator(g).Eval(tc.formula, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			certs, err := Prove(g, 3, tc.pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := Verify(g, 3, tc.pred, certs)
+			if got != want {
+				t.Fatalf("%s trial %d: certified=%v oracle=%v", tc.pred.Name(), trial, got, want)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLength(t *testing.T) {
+	g := gen.Path(4)
+	ok, rejectors := Verify(g, 3, predicates.Acyclicity{}, nil)
+	if ok || len(rejectors) != 4 {
+		t.Fatal("missing certificates must be rejected everywhere")
+	}
+}
+
+func TestProveValidation(t *testing.T) {
+	dis, _ := gen.DisjointUnion(gen.Path(2), gen.Path(2))
+	if _, err := Prove(dis, 3, predicates.Acyclicity{}); err == nil {
+		t.Fatal("disconnected graph should be rejected")
+	}
+	if _, err := Prove(gen.Path(4), 3, predicates.IndependentSet{}); err == nil {
+		t.Fatal("free-variable predicates cannot be certified by this scheme")
+	}
+	// td(P40) = 6: a depth-2 budget fails.
+	if _, err := Prove(gen.Path(40), 2, predicates.Acyclicity{}); err == nil {
+		t.Fatal("deep trees should be rejected for small d")
+	}
+}
+
+func TestCertificateSizeScalesWithLogN(t *testing.T) {
+	// For fixed d, certificate bits grow only through the O(log n) ID width
+	// (here IDs are machine ints, so the bag length dominates and is O(2^d)).
+	const d = 3
+	prev := 0
+	for _, n := range []int{16, 64, 256} {
+		g, _ := gen.BoundedTreedepth(n, d, 0.2, int64(n))
+		certs, err := Prove(g, d, predicates.Acyclicity{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := MaxCertificateBits(certs)
+		if bits <= 0 {
+			t.Fatal("certificate bits must be positive")
+		}
+		// Bounded by the depth bound, not by n.
+		if prev != 0 && bits > 4*prev {
+			t.Fatalf("certificate size exploded with n: %d -> %d", prev, bits)
+		}
+		prev = bits
+	}
+}
+
+func cloneCerts(in []Certificate) []Certificate {
+	out := make([]Certificate, len(in))
+	for i, c := range in {
+		out[i] = c
+		out[i].Bag = append([]int(nil), c.Bag...)
+		out[i].ClassKey = append([]byte(nil), c.ClassKey...)
+	}
+	return out
+}
+
+func TestVerifyDistributedCompleteness(t *testing.T) {
+	r := rand.New(rand.NewSource(1104))
+	for trial := 0; trial < 8; trial++ {
+		g := gen.RandomTree(4+r.Intn(10), r.Int63())
+		certs, err := Prove(g, 4, predicates.Acyclicity{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, stats, err := VerifyDistributed(g, 4, predicates.Acyclicity{}, certs, congest.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: honest distributed verification rejected", trial)
+		}
+		if stats.Rounds < 1 {
+			t.Fatal("the exchange costs at least one round")
+		}
+		// The distributed and sequential verifiers must agree.
+		seqOK, _ := Verify(g, 4, predicates.Acyclicity{}, certs)
+		if seqOK != ok {
+			t.Fatalf("trial %d: distributed %v != sequential %v", trial, ok, seqOK)
+		}
+	}
+}
+
+func TestVerifyDistributedSoundness(t *testing.T) {
+	g := gen.Cycle(8)
+	certs, err := Prove(g, 4, predicates.Acyclicity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := VerifyDistributed(g, 4, predicates.Acyclicity{}, certs, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("false instance accepted by the distributed verifier")
+	}
+	// Corrupted certificates are rejected, not crashed on.
+	r := rand.New(rand.NewSource(1105))
+	for attempt := 0; attempt < 50; attempt++ {
+		mutated := cloneCerts(certs)
+		v := r.Intn(len(mutated))
+		if len(mutated[v].ClassKey) > 0 {
+			mutated[v].ClassKey[r.Intn(len(mutated[v].ClassKey))] ^= 0xFF
+		}
+		mutated[v].Accepting = true
+		if ok, _, err := VerifyDistributed(g, 4, predicates.Acyclicity{}, mutated, congest.Options{}); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			t.Fatalf("attempt %d: corrupted certificates accepted", attempt)
+		}
+	}
+}
+
+func TestVerifyDistributedValidation(t *testing.T) {
+	g := gen.Path(4)
+	certs, err := Prove(g, 3, predicates.Acyclicity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := VerifyDistributed(g, 3, predicates.Acyclicity{}, certs, congest.Options{IDSeed: 7}); err == nil {
+		t.Fatal("non-identity IDs should be rejected")
+	}
+	if _, _, err := VerifyDistributed(g, 3, predicates.Acyclicity{}, certs[:2], congest.Options{}); err == nil {
+		t.Fatal("wrong certificate count should be rejected")
+	}
+}
+
+func TestCertificateWireRoundTrip(t *testing.T) {
+	c := Certificate{ParentID: 7, Depth: 3, Bag: []int{2, 5, 7}, ClassKey: []byte{9, 8, 7}, Accepting: true}
+	back, err := decodeCertificate(encodeCertificate(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ParentID != 7 || back.Depth != 3 || !back.Accepting ||
+		len(back.Bag) != 3 || back.Bag[1] != 5 || string(back.ClassKey) != string(c.ClassKey) {
+		t.Fatalf("round trip changed: %+v", back)
+	}
+	if _, err := decodeCertificate([]byte{1, 2}); err == nil {
+		t.Fatal("truncated certificate should fail to decode")
+	}
+}

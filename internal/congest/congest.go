@@ -1,0 +1,364 @@
+// Package congest implements a deterministic simulator for the CONGEST model
+// of distributed computing (Peleg 2000): a synchronous network of nodes, one
+// per graph vertex, where in each round every node may send one message of
+// at most B = O(log n) bits to each neighbor. The simulator enforces the
+// bandwidth cap on every edge in every round, assigns O(log n)-bit unique
+// identifiers (optionally adversarially permuted), and accounts rounds,
+// messages, and bits so that protocol round complexity can be measured
+// exactly as the theory states it.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ErrMessageTooLarge is returned when a node sends a message exceeding the
+// per-edge per-round bandwidth.
+var ErrMessageTooLarge = errors.New("congest: message exceeds bandwidth")
+
+// ErrRoundLimit is returned when a protocol exceeds the configured maximum
+// number of rounds without halting.
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// DefaultBandwidthFactor is the constant c in B = c * ceil(log2 n) bits.
+const DefaultBandwidthFactor = 4
+
+// DefaultRoundLimit caps simulations that fail to halt.
+const DefaultRoundLimit = 1 << 20
+
+// Message is a payload in flight on one edge. Its size in bits is 8*len.
+type Message []byte
+
+// Incoming pairs a received message with the port (neighbor index) it
+// arrived on.
+type Incoming struct {
+	Port    int
+	Payload Message
+}
+
+// Node is the interface a protocol implements. A node knows only its own
+// identifier, its degree, and whatever arrives in messages.
+type Node interface {
+	// Init is called once before round 1. Degree is the number of ports
+	// (0..degree-1); port order is arbitrary but fixed. Send messages by
+	// returning Outgoing entries.
+	Init(env *Env) []Outgoing
+	// Round is called every round with the messages received at the end of
+	// the previous round. Returning halted = true stops this node: it sends
+	// nothing further and receives nothing further; the simulation ends when
+	// all nodes have halted.
+	Round(env *Env, inbox []Incoming) (out []Outgoing, halted bool)
+}
+
+// Outgoing routes a payload to a port (-1 broadcasts to all ports).
+type Outgoing struct {
+	Port    int
+	Payload Message
+}
+
+// Broadcast builds an Outgoing that sends the payload on every port.
+func Broadcast(payload Message) Outgoing { return Outgoing{Port: -1, Payload: payload} }
+
+// Env exposes the node-local view of the network.
+type Env struct {
+	// ID is the node's unique O(log n)-bit identifier.
+	ID int
+	// Degree is the number of incident edges (ports 0..Degree-1).
+	Degree int
+	// NeighborIDs[p] is the identifier of the neighbor on port p. In CONGEST
+	// nodes learn neighbor IDs in one round; the simulator provides them
+	// up front and charges the protocol nothing, as is standard.
+	NeighborIDs []int
+	// Bandwidth is the per-edge per-round message budget in bits.
+	Bandwidth int
+	// N is the number of nodes (known to nodes, as usual in CONGEST).
+	N int
+	// Round is the current round number (1-based; 0 during Init).
+	Round int
+	// Weight and Labels carry the node's local input (vertex weight and
+	// unary predicates), part of the input assignment in the labeled-graph
+	// setting of the paper.
+	Weight int64
+	Labels map[string]bool
+	// PortWeight and PortLabels carry local edge inputs per port.
+	PortWeight []int64
+	PortLabels []map[string]bool
+}
+
+// Stats aggregates the cost of a simulation.
+type Stats struct {
+	Rounds      int
+	Messages    int64
+	Bits        int64
+	MaxMsgBits  int // largest single message
+	Bandwidth   int // enforced per-edge per-round budget in bits
+	HaltedNodes int
+}
+
+// Options configure a simulation.
+type Options struct {
+	// BandwidthFactor is c in B = c*ceil(log2 n); 0 means
+	// DefaultBandwidthFactor.
+	BandwidthFactor int
+	// RoundLimit caps rounds; 0 means DefaultRoundLimit.
+	RoundLimit int
+	// IDSeed permutes node identifiers pseudo-randomly when nonzero,
+	// modeling adversarial ID assignment. IDs remain unique and O(log n)
+	// bits. When zero, node v gets ID v+1.
+	IDSeed int64
+	// Unbounded disables the bandwidth check (diagnostics only).
+	Unbounded bool
+	// CorruptProb flips one random bit in each delivered message with this
+	// probability (fault injection for robustness testing); CorruptSeed
+	// seeds the fault source.
+	CorruptProb float64
+	CorruptSeed int64
+	// Parallel executes node programs concurrently within each round (one
+	// goroutine per node, joined before delivery). Results are identical to
+	// sequential execution: nodes share no state and messages are delivered
+	// in vertex order either way.
+	Parallel bool
+}
+
+// Bandwidth computes the per-edge budget in bits for an n-node network.
+// The result is floored at 8 bits so that byte-aligned frames always fit.
+func (o Options) bandwidth(n int) int {
+	factor := o.BandwidthFactor
+	if factor == 0 {
+		factor = DefaultBandwidthFactor
+	}
+	logn := bits.Len(uint(n))
+	if logn < 1 {
+		logn = 1
+	}
+	b := factor * logn
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// Simulator runs a Node program on every vertex of a graph.
+type Simulator struct {
+	g       *graph.Graph
+	opts    Options
+	ids     []int // vertex -> ID
+	ports   [][]int
+	portsOf []map[int]int // vertex -> neighbor vertex -> port
+}
+
+// NewSimulator prepares a simulation over the given connected graph.
+func NewSimulator(g *graph.Graph, opts Options) (*Simulator, error) {
+	if g.NumVertices() == 0 {
+		return nil, errors.New("congest: empty graph")
+	}
+	if !g.IsConnected() {
+		return nil, errors.New("congest: graph must be connected")
+	}
+	n := g.NumVertices()
+	ids := make([]int, n)
+	for v := 0; v < n; v++ {
+		ids[v] = v + 1
+	}
+	if opts.IDSeed != 0 {
+		r := rand.New(rand.NewSource(opts.IDSeed))
+		perm := r.Perm(n)
+		for v := 0; v < n; v++ {
+			ids[v] = perm[v] + 1
+		}
+	}
+	ports := make([][]int, n)
+	portsOf := make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		ports[v] = append([]int(nil), nbrs...)
+		portsOf[v] = make(map[int]int, len(nbrs))
+		for p, w := range nbrs {
+			portsOf[v][w] = p
+		}
+	}
+	return &Simulator{g: g, opts: opts, ids: ids, ports: ports, portsOf: portsOf}, nil
+}
+
+// IDs returns a copy of the vertex -> identifier assignment.
+func (s *Simulator) IDs() []int { return append([]int(nil), s.ids...) }
+
+// VertexOfID returns the vertex with the given identifier, or -1.
+func (s *Simulator) VertexOfID(id int) int {
+	for v, vid := range s.ids {
+		if vid == id {
+			return v
+		}
+	}
+	return -1
+}
+
+// Run executes the protocol created by factory on every vertex until all
+// nodes halt. factory receives the vertex index and must return a fresh Node
+// (the vertex index is for instantiation only; protocols must not use it as
+// knowledge — all runtime information flows through Env and messages).
+func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
+	n := s.g.NumVertices()
+	bandwidth := s.opts.bandwidth(n)
+	limit := s.opts.RoundLimit
+	if limit == 0 {
+		limit = DefaultRoundLimit
+	}
+
+	nodes := make([]Node, n)
+	envs := make([]*Env, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = factory(v)
+		nbrIDs := make([]int, len(s.ports[v]))
+		portWeight := make([]int64, len(s.ports[v]))
+		portLabels := make([]map[string]bool, len(s.ports[v]))
+		for p, w := range s.ports[v] {
+			nbrIDs[p] = s.ids[w]
+			if eid, ok := s.g.EdgeBetween(v, w); ok {
+				portWeight[p] = s.g.EdgeWeight(eid)
+				labels := map[string]bool{}
+				for _, name := range s.g.EdgeLabelNames() {
+					if s.g.HasEdgeLabel(name, eid) {
+						labels[name] = true
+					}
+				}
+				portLabels[p] = labels
+			}
+		}
+		labels := map[string]bool{}
+		for _, name := range s.g.VertexLabelNames() {
+			if s.g.HasVertexLabel(name, v) {
+				labels[name] = true
+			}
+		}
+		envs[v] = &Env{
+			ID:          s.ids[v],
+			Degree:      len(s.ports[v]),
+			NeighborIDs: nbrIDs,
+			Bandwidth:   bandwidth,
+			N:           n,
+			Weight:      s.g.VertexWeight(v),
+			Labels:      labels,
+			PortWeight:  portWeight,
+			PortLabels:  portLabels,
+		}
+	}
+
+	stats := Stats{Bandwidth: bandwidth}
+	var faults *rand.Rand
+	if s.opts.CorruptProb > 0 {
+		faults = rand.New(rand.NewSource(s.opts.CorruptSeed))
+	}
+	halted := make([]bool, n)
+	haltedCount := 0
+	// outboxes[v] = messages sent by v this round; inboxes built per round.
+	inboxes := make([][]Incoming, n)
+
+	deliver := func(v int, out []Outgoing) error {
+		for _, o := range out {
+			targets := []int{o.Port}
+			if o.Port == -1 {
+				targets = targets[:0]
+				for p := range s.ports[v] {
+					targets = append(targets, p)
+				}
+			}
+			for _, p := range targets {
+				if p < 0 || p >= len(s.ports[v]) {
+					return fmt.Errorf("congest: node %d sent to invalid port %d", s.ids[v], p)
+				}
+				sizeBits := 8 * len(o.Payload)
+				if !s.opts.Unbounded && sizeBits > bandwidth {
+					return fmt.Errorf("%w: %d bits > %d-bit budget (node %d, port %d)",
+						ErrMessageTooLarge, sizeBits, bandwidth, s.ids[v], p)
+				}
+				w := s.ports[v][p]
+				if halted[w] {
+					continue
+				}
+				payload := append(Message(nil), o.Payload...)
+				if faults != nil && len(payload) > 0 && faults.Float64() < s.opts.CorruptProb {
+					i := faults.Intn(len(payload))
+					payload[i] ^= 1 << uint(faults.Intn(8))
+				}
+				inboxes[w] = append(inboxes[w], Incoming{Port: s.portsOf[w][v], Payload: payload})
+				stats.Messages++
+				stats.Bits += int64(sizeBits)
+				if sizeBits > stats.MaxMsgBits {
+					stats.MaxMsgBits = sizeBits
+				}
+			}
+		}
+		return nil
+	}
+
+	// Init phase (round 0).
+	for v := 0; v < n; v++ {
+		envs[v].Round = 0
+		out := nodes[v].Init(envs[v])
+		if err := deliver(v, out); err != nil {
+			return stats, err
+		}
+	}
+
+	outs := make([][]Outgoing, n)
+	dones := make([]bool, n)
+	for round := 1; haltedCount < n; round++ {
+		if round > limit {
+			return stats, fmt.Errorf("%w: %d rounds", ErrRoundLimit, limit)
+		}
+		stats.Rounds = round
+		current := inboxes
+		inboxes = make([][]Incoming, n)
+		step := func(v int) {
+			envs[v].Round = round
+			inbox := current[v]
+			sort.Slice(inbox, func(i, j int) bool { return inbox[i].Port < inbox[j].Port })
+			outs[v], dones[v] = nodes[v].Round(envs[v], inbox)
+		}
+		if s.opts.Parallel {
+			var wg sync.WaitGroup
+			for v := 0; v < n; v++ {
+				if halted[v] {
+					continue
+				}
+				wg.Add(1)
+				go func(v int) {
+					defer wg.Done()
+					step(v)
+				}(v)
+			}
+			wg.Wait()
+		} else {
+			for v := 0; v < n; v++ {
+				if !halted[v] {
+					step(v)
+				}
+			}
+		}
+		// Delivery is serial and in vertex order in both modes, so the two
+		// execution modes are indistinguishable to the protocol.
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			if err := deliver(v, outs[v]); err != nil {
+				return stats, err
+			}
+			outs[v] = nil
+			if dones[v] {
+				halted[v] = true
+				haltedCount++
+			}
+		}
+	}
+	stats.HaltedNodes = haltedCount
+	return stats, nil
+}

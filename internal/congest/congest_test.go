@@ -1,0 +1,346 @@
+package congest
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph/gen"
+)
+
+// floodMinNode floods the minimum ID seen; halts after a fixed number of
+// rounds and records the result.
+type floodMinNode struct {
+	min      int
+	rounds   int
+	maxRound int
+}
+
+func (f *floodMinNode) Init(env *Env) []Outgoing {
+	f.min = env.ID
+	return []Outgoing{Broadcast(encodeID(f.min))}
+}
+
+func (f *floodMinNode) Round(env *Env, inbox []Incoming) ([]Outgoing, bool) {
+	changed := false
+	for _, in := range inbox {
+		if id := decodeID(in.Payload); id < f.min {
+			f.min = id
+			changed = true
+		}
+	}
+	f.rounds++
+	if f.rounds >= f.maxRound {
+		return nil, true
+	}
+	if changed {
+		return []Outgoing{Broadcast(encodeID(f.min))}, false
+	}
+	return nil, false
+}
+
+func encodeID(id int) Message {
+	return Message{byte(id), byte(id >> 8)}
+}
+
+func decodeID(m Message) int {
+	return int(m[0]) | int(m[1])<<8
+}
+
+func TestFloodMin(t *testing.T) {
+	g := gen.Path(10)
+	sim, err := NewSimulator(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*floodMinNode, 10)
+	stats, err := sim.Run(func(v int) Node {
+		nodes[v] = &floodMinNode{maxRound: 12}
+		return nodes[v]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, n := range nodes {
+		if n.min != 1 {
+			t.Fatalf("node %d: min = %d, want 1", v, n.min)
+		}
+	}
+	if stats.Rounds != 12 {
+		t.Fatalf("Rounds = %d, want 12", stats.Rounds)
+	}
+	if stats.Messages == 0 || stats.Bits == 0 {
+		t.Fatal("stats should count messages and bits")
+	}
+	if stats.MaxMsgBits > stats.Bandwidth {
+		t.Fatal("max message exceeds bandwidth")
+	}
+}
+
+func TestAdversarialIDs(t *testing.T) {
+	g := gen.Star(8)
+	sim, err := NewSimulator(g, Options{IDSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sim.IDs()
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id < 1 || id > 8 || seen[id] {
+			t.Fatalf("bad ID assignment %v", ids)
+		}
+		seen[id] = true
+	}
+	// Different seeds give different permutations (with high probability).
+	sim2, _ := NewSimulator(g, Options{IDSeed: 43})
+	same := true
+	for v, id := range sim2.IDs() {
+		if ids[v] != id {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should permute IDs differently")
+	}
+	if sim.VertexOfID(ids[3]) != 3 {
+		t.Fatal("VertexOfID inverse wrong")
+	}
+	if sim.VertexOfID(999) != -1 {
+		t.Fatal("unknown ID should map to -1")
+	}
+}
+
+type oversizedNode struct{}
+
+func (oversizedNode) Init(env *Env) []Outgoing {
+	return []Outgoing{Broadcast(make(Message, 1024))}
+}
+
+func (oversizedNode) Round(*Env, []Incoming) ([]Outgoing, bool) { return nil, true }
+
+func TestBandwidthEnforced(t *testing.T) {
+	g := gen.Path(4)
+	sim, err := NewSimulator(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(func(int) Node { return oversizedNode{} })
+	if !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("err = %v, want ErrMessageTooLarge", err)
+	}
+	// Unbounded mode allows it.
+	sim2, _ := NewSimulator(g, Options{Unbounded: true})
+	if _, err := sim2.Run(func(int) Node { return oversizedNode{} }); err != nil {
+		t.Fatalf("unbounded run failed: %v", err)
+	}
+}
+
+type neverHaltNode struct{}
+
+func (neverHaltNode) Init(*Env) []Outgoing                      { return nil }
+func (neverHaltNode) Round(*Env, []Incoming) ([]Outgoing, bool) { return nil, false }
+
+func TestRoundLimit(t *testing.T) {
+	g := gen.Path(3)
+	sim, err := NewSimulator(g, Options{RoundLimit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(func(int) Node { return neverHaltNode{} })
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+}
+
+func TestSimulatorRejectsBadGraphs(t *testing.T) {
+	dis, _ := gen.DisjointUnion(gen.Path(2), gen.Path(2))
+	if _, err := NewSimulator(dis, Options{}); err == nil {
+		t.Fatal("disconnected graph should be rejected")
+	}
+}
+
+type envCheckNode struct {
+	t       *testing.T
+	sawInit bool
+}
+
+func (e *envCheckNode) Init(env *Env) []Outgoing {
+	e.sawInit = true
+	if env.Round != 0 {
+		e.t.Error("Init should see round 0")
+	}
+	if env.Degree != len(env.NeighborIDs) {
+		e.t.Error("degree/neighbor mismatch")
+	}
+	if env.Weight == 0 {
+		e.t.Error("vertex weight not exposed")
+	}
+	if !env.Labels["sensor"] && env.ID == 1 {
+		// Only vertex 0 is labeled; with default IDs vertex 0 has ID 1.
+		e.t.Error("vertex label not exposed")
+	}
+	return nil
+}
+
+func (e *envCheckNode) Round(env *Env, inbox []Incoming) ([]Outgoing, bool) {
+	return nil, true
+}
+
+func TestEnvCarriesLocalInput(t *testing.T) {
+	g := gen.Path(3)
+	for v := 0; v < 3; v++ {
+		g.SetVertexWeight(v, int64(v+10))
+	}
+	g.SetVertexLabel("sensor", 0)
+	eid, _ := g.EdgeBetween(0, 1)
+	g.SetEdgeWeight(eid, 99)
+	g.SetEdgeLabel("trunk", eid)
+	sim, err := NewSimulator(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var captured []*Env
+	_, err = sim.Run(func(v int) Node {
+		n := &envCheckNode{t: t}
+		return n
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = captured
+}
+
+func TestByteStreamRoundTrip(t *testing.T) {
+	var s ByteStreamSender
+	var r ByteStreamReceiver
+	msgs := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{7}, 100),
+		[]byte("x"),
+	}
+	for _, m := range msgs {
+		s.Push(m)
+	}
+	budget := 3
+	for {
+		frame, ok := s.NextFrame(budget)
+		if !ok {
+			break
+		}
+		if len(frame) > budget {
+			t.Fatalf("frame size %d > budget %d", len(frame), budget)
+		}
+		r.Feed(frame)
+	}
+	if s.Pending() {
+		t.Fatal("sender should be drained")
+	}
+	for i, want := range msgs {
+		got, ok := r.Pop()
+		if !ok {
+			t.Fatalf("message %d missing", i)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("message %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("no more messages expected")
+	}
+}
+
+func TestByteStreamPartialPop(t *testing.T) {
+	var s ByteStreamSender
+	var r ByteStreamReceiver
+	s.Push([]byte("abcdef"))
+	frame, _ := s.NextFrame(4)
+	r.Feed(frame)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("incomplete message should not pop")
+	}
+	for s.Pending() {
+		frame, _ := s.NextFrame(4)
+		r.Feed(frame)
+	}
+	got, ok := r.Pop()
+	if !ok || string(got) != "abcdef" {
+		t.Fatalf("got %q, %v", got, ok)
+	}
+}
+
+func TestFrameBudgetBytes(t *testing.T) {
+	if FrameBudgetBytes(32) != 4 || FrameBudgetBytes(7) != 1 || FrameBudgetBytes(0) != 1 {
+		t.Fatal("FrameBudgetBytes wrong")
+	}
+}
+
+// Property: any message sequence survives fragmentation at any budget.
+func TestQuickStreamFragmentation(t *testing.T) {
+	f := func(seed int64, budgetRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		budget := 1 + int(budgetRaw)%16
+		var s ByteStreamSender
+		var rc ByteStreamReceiver
+		count := 1 + r.Intn(8)
+		msgs := make([][]byte, count)
+		for i := range msgs {
+			msgs[i] = make([]byte, r.Intn(40))
+			r.Read(msgs[i])
+			s.Push(msgs[i])
+		}
+		for {
+			frame, ok := s.NextFrame(budget)
+			if !ok {
+				break
+			}
+			rc.Feed(frame)
+		}
+		for _, want := range msgs {
+			got, ok := rc.Pop()
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, extra := rc.Pop()
+		return !extra
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelModeMatchesSequential(t *testing.T) {
+	g := gen.Grid(4, 6)
+	run := func(parallel bool) (Stats, []int) {
+		sim, err := NewSimulator(g, Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := make([]*floodMinNode, g.NumVertices())
+		stats, err := sim.Run(func(v int) Node {
+			nodes[v] = &floodMinNode{maxRound: 15}
+			return nodes[v]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mins := make([]int, len(nodes))
+		for v, n := range nodes {
+			mins[v] = n.min
+		}
+		return stats, mins
+	}
+	serialStats, serialMins := run(false)
+	parallelStats, parallelMins := run(true)
+	if serialStats != parallelStats {
+		t.Fatalf("stats differ: %+v vs %+v", serialStats, parallelStats)
+	}
+	for v := range serialMins {
+		if serialMins[v] != parallelMins[v] {
+			t.Fatalf("node %d state differs between modes", v)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package congest
+
+import "encoding/binary"
+
+// ByteStreamSender turns logical messages of arbitrary size into a sequence
+// of frames that each fit the per-edge per-round bandwidth. Sending a k-bit
+// logical message therefore costs ceil(k/B) rounds on an edge with B-bit
+// bandwidth, exactly the Θ(k/log n) accounting of the paper.
+//
+// The zero value is ready to use.
+type ByteStreamSender struct {
+	buf []byte
+}
+
+// Push enqueues a logical message (length-prefixed on the wire).
+func (s *ByteStreamSender) Push(msg []byte) {
+	var length [4]byte
+	binary.LittleEndian.PutUint32(length[:], uint32(len(msg)))
+	s.buf = append(s.buf, length[:]...)
+	s.buf = append(s.buf, msg...)
+}
+
+// NextFrame pops the next frame of at most budgetBytes bytes, or ok=false
+// when nothing is pending.
+func (s *ByteStreamSender) NextFrame(budgetBytes int) (Message, bool) {
+	if len(s.buf) == 0 {
+		return nil, false
+	}
+	if budgetBytes < 1 {
+		budgetBytes = 1
+	}
+	n := budgetBytes
+	if n > len(s.buf) {
+		n = len(s.buf)
+	}
+	frame := append(Message(nil), s.buf[:n]...)
+	s.buf = s.buf[n:]
+	return frame, true
+}
+
+// Pending reports whether bytes remain queued.
+func (s *ByteStreamSender) Pending() bool { return len(s.buf) > 0 }
+
+// ByteStreamReceiver reassembles logical messages from in-order frames.
+// The zero value is ready to use.
+type ByteStreamReceiver struct {
+	buf []byte
+}
+
+// Feed appends a received frame.
+func (r *ByteStreamReceiver) Feed(frame Message) {
+	r.buf = append(r.buf, frame...)
+}
+
+// Pop extracts the next complete logical message, or ok=false if none is
+// complete yet.
+func (r *ByteStreamReceiver) Pop() ([]byte, bool) {
+	if len(r.buf) < 4 {
+		return nil, false
+	}
+	length := int(binary.LittleEndian.Uint32(r.buf[:4]))
+	if len(r.buf) < 4+length {
+		return nil, false
+	}
+	msg := append([]byte(nil), r.buf[4:4+length]...)
+	r.buf = r.buf[4+length:]
+	return msg, true
+}
+
+// FrameBudgetBytes converts a bandwidth in bits to a frame budget in whole
+// bytes (at least 1).
+func FrameBudgetBytes(bandwidthBits int) int {
+	b := bandwidthBits / 8
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

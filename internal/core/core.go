@@ -1,0 +1,298 @@
+// Package core ties the engines together: a registry of named problems
+// (predicate + mode + direction) spanning the paper's applications, used by
+// the command-line tools and the benchmark harness, plus a uniform Solve
+// entry point that can run any registered problem sequentially (Algorithm 1)
+// or distributed (Theorem 6.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/mso"
+	"repro/internal/mso/msolib"
+	"repro/internal/msoauto"
+	"repro/internal/protocols"
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+	"repro/internal/seq"
+	"repro/internal/treedepth"
+)
+
+// ErrUnknownProblem is returned for unregistered problem names.
+var ErrUnknownProblem = errors.New("core: unknown problem")
+
+// Kind classifies what a problem computes.
+type Kind int
+
+// Problem kinds.
+const (
+	KindDecision Kind = iota + 1
+	KindOptimization
+	KindCounting
+)
+
+// Problem is a registered, named problem instance.
+type Problem struct {
+	Name string
+	Kind Kind
+	// Maximize applies to optimization problems.
+	Maximize bool
+	// Build returns a fresh predicate (some predicates carry parameters).
+	Build func() (regular.Predicate, error)
+	// Oracle evaluates the problem naively for cross-validation; nil when
+	// no oracle formula exists. For decision problems the weight is 0.
+	Oracle func(g *graph.Graph) (bool, int64, error)
+	// Description is a one-line human-readable summary.
+	Description string
+}
+
+func decisionOracle(f mso.Formula) func(*graph.Graph) (bool, int64, error) {
+	return func(g *graph.Graph) (bool, int64, error) {
+		v, err := mso.NewEvaluator(g).Eval(f, nil)
+		return v, 0, err
+	}
+}
+
+func optOracle(f mso.Formula, kind mso.VarKind, maximize bool) func(*graph.Graph) (bool, int64, error) {
+	return func(g *graph.Graph) (bool, int64, error) {
+		res, err := mso.NewEvaluator(g).OptimizeSet(f, msolib.FreeSet, kind, maximize)
+		if err != nil {
+			return false, 0, err
+		}
+		return res.Found, res.Weight, nil
+	}
+}
+
+// Problems returns the registry, sorted by name.
+func Problems() []Problem {
+	ps := []Problem{
+		{
+			Name: "acyclic", Kind: KindDecision,
+			Build:       func() (regular.Predicate, error) { return predicates.Acyclicity{}, nil },
+			Oracle:      decisionOracle(msolib.Acyclic()),
+			Description: "G has no cycle (closed MSO)",
+		},
+		{
+			Name: "connected", Kind: KindDecision,
+			Build:       func() (regular.Predicate, error) { return predicates.Connectivity{}, nil },
+			Oracle:      decisionOracle(msolib.Connected()),
+			Description: "G is connected (closed MSO)",
+		},
+		{
+			Name: "3-colorable", Kind: KindDecision,
+			Build:       func() (regular.Predicate, error) { return predicates.KColorability{K: 3}, nil },
+			Oracle:      decisionOracle(msolib.KColorable(3)),
+			Description: "G admits a proper 3-coloring (the paper's running example, negated)",
+		},
+		{
+			Name: "2-colorable", Kind: KindDecision,
+			Build:       func() (regular.Predicate, error) { return predicates.KColorability{K: 2}, nil },
+			Oracle:      decisionOracle(msolib.KColorable(2)),
+			Description: "G is bipartite",
+		},
+		{
+			Name: "triangle-free", Kind: KindDecision,
+			Build: func() (regular.Predicate, error) {
+				h := graph.New(3)
+				h.MustAddEdge(0, 1)
+				h.MustAddEdge(1, 2)
+				h.MustAddEdge(2, 0)
+				p, err := predicates.NewHSubgraph(h)
+				if err != nil {
+					return nil, err
+				}
+				return predicates.Negate(p), nil
+			},
+			Oracle:      decisionOracle(msolib.TriangleFree()),
+			Description: "G contains no triangle (H-freeness via the subgraph predicate)",
+		},
+		{
+			Name: "has-perfect-matching", Kind: KindDecision,
+			Build:       func() (regular.Predicate, error) { return predicates.Matching{Perfect: true}, nil },
+			Oracle:      decisionOracle(msolib.HasPerfectMatching()),
+			Description: "G has a perfect matching",
+		},
+		{
+			Name: "max-independent-set", Kind: KindOptimization, Maximize: true,
+			Build:       func() (regular.Predicate, error) { return predicates.IndependentSet{}, nil },
+			Oracle:      optOracle(msolib.IndependentSet(), mso.KindVertexSet, true),
+			Description: "maximum-weight independent set",
+		},
+		{
+			Name: "min-vertex-cover", Kind: KindOptimization, Maximize: false,
+			Build:       func() (regular.Predicate, error) { return predicates.VertexCover{}, nil },
+			Oracle:      optOracle(msolib.VertexCover(), mso.KindVertexSet, false),
+			Description: "minimum-weight vertex cover",
+		},
+		{
+			Name: "min-dominating-set", Kind: KindOptimization, Maximize: false,
+			Build:       func() (regular.Predicate, error) { return predicates.DominatingSet{}, nil },
+			Oracle:      optOracle(msolib.DominatingSet(), mso.KindVertexSet, false),
+			Description: "minimum-weight dominating set",
+		},
+		{
+			Name: "min-feedback-vertex-set", Kind: KindOptimization, Maximize: false,
+			Build:       func() (regular.Predicate, error) { return predicates.FeedbackVertexSet{}, nil },
+			Oracle:      optOracle(msolib.FeedbackVertexSet(), mso.KindVertexSet, false),
+			Description: "minimum-weight feedback vertex set",
+		},
+		{
+			Name: "mst", Kind: KindOptimization, Maximize: false,
+			Build:       func() (regular.Predicate, error) { return predicates.SpanningTree{}, nil },
+			Oracle:      optOracle(msolib.SpanningTree(), mso.KindEdgeSet, false),
+			Description: "minimum-weight spanning tree",
+		},
+		{
+			Name: "max-matching", Kind: KindOptimization, Maximize: true,
+			Build:       func() (regular.Predicate, error) { return predicates.Matching{}, nil },
+			Oracle:      optOracle(msolib.Matching(), mso.KindEdgeSet, true),
+			Description: "maximum-weight matching",
+		},
+		{
+			Name: "min-steiner-tree", Kind: KindOptimization, Maximize: false,
+			Build:       func() (regular.Predicate, error) { return predicates.SteinerTree{}, nil },
+			Description: "minimum-weight Steiner tree over 'terminal'-labeled vertices",
+		},
+		{
+			Name: "hamiltonian-cycle", Kind: KindDecision,
+			Build:       func() (regular.Predicate, error) { return decideViaExists{predicates.HamiltonianCycle{}}, nil },
+			Description: "G has a Hamiltonian cycle",
+		},
+		{
+			Name: "min-tsp-tour", Kind: KindOptimization, Maximize: false,
+			Build:       func() (regular.Predicate, error) { return predicates.HamiltonianCycle{}, nil },
+			Description: "minimum-weight Hamiltonian cycle",
+		},
+		{
+			Name: "count-hamiltonian-cycles", Kind: KindCounting,
+			Build:       func() (regular.Predicate, error) { return predicates.HamiltonianCycle{}, nil },
+			Description: "number of Hamiltonian cycles",
+		},
+		{
+			Name: "count-triangles", Kind: KindCounting,
+			Build:       func() (regular.Predicate, error) { return predicates.Triangles{}, nil },
+			Description: "number of triangles",
+		},
+		{
+			Name: "count-perfect-matchings", Kind: KindCounting,
+			Build:       func() (regular.Predicate, error) { return predicates.Matching{Perfect: true}, nil },
+			Description: "number of perfect matchings",
+		},
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// Lookup finds a problem by name.
+func Lookup(name string) (Problem, error) {
+	for _, p := range Problems() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Problem{}, fmt.Errorf("%w: %q", ErrUnknownProblem, name)
+}
+
+// decideViaExists adapts a free-set predicate to the decision question
+// "does some satisfying set exist?" — the class-set bottom-up phase already
+// tracks all reachable classes, so Decide with the same predicate answers
+// existence directly.
+type decideViaExists struct {
+	regular.Predicate
+}
+
+// Solution is the uniform result of Solve.
+type Solution struct {
+	TdExceeded bool
+	Accepted   bool
+	Found      bool
+	Weight     int64
+	Count      int64
+	Selected   *bitset.Set // vertex or edge IDs, per predicate kind
+	Stats      congest.Stats
+}
+
+// SolveDistributed runs the problem's distributed protocol with treedepth
+// parameter d.
+func SolveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options) (*Solution, error) {
+	pred, err := prob.Build()
+	if err != nil {
+		return nil, err
+	}
+	var run *protocols.RunResult
+	switch prob.Kind {
+	case KindDecision:
+		run, err = protocols.Decide(g, d, pred, opts)
+	case KindOptimization:
+		run, err = protocols.Optimize(g, d, pred, prob.Maximize, opts)
+	case KindCounting:
+		run, err = protocols.Count(g, d, pred, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown kind %d", prob.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sel := run.Selected
+	if sel == nil {
+		sel = run.SelectedEdges
+	}
+	return &Solution{
+		TdExceeded: run.TdExceeded,
+		Accepted:   run.Accepted,
+		Found:      run.Found,
+		Weight:     run.Weight,
+		Count:      run.Count,
+		Selected:   sel,
+		Stats:      run.Stats,
+	}, nil
+}
+
+// SolveSequential runs the problem centrally with Algorithm 1 over a DFS
+// elimination tree (the baseline of the benchmark harness).
+func SolveSequential(g *graph.Graph, prob Problem) (*Solution, error) {
+	pred, err := prob.Build()
+	if err != nil {
+		return nil, err
+	}
+	forest := treedepth.DFSForest(g)
+	run, err := seq.New(g, forest, pred)
+	if err != nil {
+		return nil, err
+	}
+	out := &Solution{}
+	switch prob.Kind {
+	case KindDecision:
+		out.Accepted, err = run.Decide()
+	case KindOptimization:
+		var res seq.OptResult
+		res, err = run.Optimize(prob.Maximize)
+		out.Found, out.Weight = res.Found, res.Weight
+		if res.Vertices != nil {
+			out.Selected = res.Vertices
+		} else {
+			out.Selected = res.Edges
+		}
+	case KindCounting:
+		out.Count, err = run.Count()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompileClosedFormula compiles a closed MSO formula text into a predicate
+// via the generic engine.
+func CompileClosedFormula(text string) (regular.Predicate, error) {
+	f, err := mso.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return msoauto.New(f, msoauto.Options{})
+}

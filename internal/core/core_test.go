@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/graph/gen"
+	"repro/internal/regular"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	if _, err := Lookup("acyclic"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); !errors.Is(err, ErrUnknownProblem) {
+		t.Fatalf("err = %v", err)
+	}
+	seen := map[string]bool{}
+	for _, p := range Problems() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate problem %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Description == "" || p.Build == nil {
+			t.Fatalf("problem %q incomplete", p.Name)
+		}
+	}
+}
+
+// Every registered problem with an oracle must agree with it, both
+// sequentially and distributed, on random bounded-treedepth instances.
+func TestAllProblemsAgreeWithOracles(t *testing.T) {
+	r := rand.New(rand.NewSource(701))
+	for _, prob := range Problems() {
+		prob := prob
+		t.Run(prob.Name, func(t *testing.T) {
+			for trial := 0; trial < 4; trial++ {
+				n := 4 + r.Intn(6)
+				g, _ := gen.BoundedTreedepth(n, 2, 0.6, r.Int63())
+				gen.AssignRandomWeights(g, 8, r.Int63())
+				seqSol, err := SolveSequential(g, prob)
+				if err != nil {
+					t.Fatalf("trial %d: sequential: %v", trial, err)
+				}
+				distSol, err := SolveDistributed(g, prob, 3, congest.Options{IDSeed: r.Int63()})
+				if err != nil {
+					t.Fatalf("trial %d: distributed: %v", trial, err)
+				}
+				if distSol.TdExceeded {
+					t.Fatalf("trial %d: unexpected treedepth report", trial)
+				}
+				switch prob.Kind {
+				case KindDecision:
+					if seqSol.Accepted != distSol.Accepted {
+						t.Fatalf("trial %d: seq=%v dist=%v", trial, seqSol.Accepted, distSol.Accepted)
+					}
+				case KindOptimization:
+					if seqSol.Found != distSol.Found || (seqSol.Found && seqSol.Weight != distSol.Weight) {
+						t.Fatalf("trial %d: seq=(%v,%d) dist=(%v,%d)",
+							trial, seqSol.Found, seqSol.Weight, distSol.Found, distSol.Weight)
+					}
+				case KindCounting:
+					if seqSol.Count != distSol.Count {
+						t.Fatalf("trial %d: seq=%d dist=%d", trial, seqSol.Count, distSol.Count)
+					}
+				}
+				if prob.Oracle == nil {
+					continue
+				}
+				okOracle, weightOracle, err := prob.Oracle(g)
+				if err != nil {
+					t.Fatalf("trial %d: oracle: %v", trial, err)
+				}
+				switch prob.Kind {
+				case KindDecision:
+					if distSol.Accepted != okOracle {
+						t.Fatalf("trial %d: dist=%v oracle=%v", trial, distSol.Accepted, okOracle)
+					}
+				case KindOptimization:
+					if distSol.Found != okOracle || (okOracle && distSol.Weight != weightOracle) {
+						t.Fatalf("trial %d: dist=(%v,%d) oracle=(%v,%d)",
+							trial, distSol.Found, distSol.Weight, okOracle, weightOracle)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCompileClosedFormula(t *testing.T) {
+	pred, err := CompileClosedFormula("~ exists x:V, y:V, z:V . adj(x,y) & adj(y,z) & adj(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := Problem{
+		Name: "custom-triangle-free", Kind: KindDecision,
+		Build: func() (regular.Predicate, error) { return pred, nil },
+	}
+	sol, err := SolveDistributed(gen.Cycle(6), custom, 4, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.TdExceeded || !sol.Accepted {
+		t.Fatalf("C6 should be triangle-free: %+v", sol)
+	}
+	if _, err := CompileClosedFormula("(("); err == nil {
+		t.Fatal("parse errors should surface")
+	}
+}

@@ -1,0 +1,226 @@
+package expansion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/mso"
+	"repro/internal/mso/msolib"
+	"repro/internal/treedepth"
+)
+
+func TestDegeneracy(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path", gen.Path(10), 1},
+		{"tree", gen.RandomTree(20, 1), 1},
+		{"cycle", gen.Cycle(8), 2},
+		{"K5", gen.Complete(5), 4},
+		{"outerplanar", gen.MaximalOuterplanar(15, 2), 2},
+		{"grid", gen.Grid(5, 5), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, order := Degeneracy(tc.g)
+			if d != tc.want {
+				t.Fatalf("degeneracy = %d, want %d", d, tc.want)
+			}
+			// Ordering witness: each vertex has <= d later neighbors.
+			pos := make([]int, tc.g.NumVertices())
+			for i, v := range order {
+				pos[v] = i
+			}
+			for v := 0; v < tc.g.NumVertices(); v++ {
+				later := 0
+				for _, w := range tc.g.Neighbors(v) {
+					if pos[w] > pos[v] {
+						later++
+					}
+				}
+				if later > d {
+					t.Fatalf("vertex %d has %d later neighbors > degeneracy %d", v, later, d)
+				}
+			}
+		})
+	}
+}
+
+func TestSequentialPeelingLayers(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		g := gen.RandomDegenerate(n, 3, int64(n))
+		p := SequentialPeeling(g, 0.5)
+		bound := 2*int(math.Ceil(math.Log2(float64(n)))) + 4
+		if p.NumLayers > bound {
+			t.Fatalf("n=%d: %d layers exceeds O(log n) bound %d", n, p.NumLayers, bound)
+		}
+		for v, l := range p.Layer {
+			if l < 0 || l >= p.NumLayers {
+				t.Fatalf("vertex %d has invalid layer %d", v, l)
+			}
+		}
+	}
+}
+
+func TestDistributedPeelingMatchesBound(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		g := gen.MaximalOuterplanar(n, int64(n))
+		peel, stats, err := DistributedPeeling(g, 8, congest.Options{IDSeed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := int(math.Ceil(math.Log2(float64(n)))) + 4
+		if stats.Rounds > bound {
+			t.Fatalf("n=%d: %d rounds exceeds O(log n) bound %d", n, stats.Rounds, bound)
+		}
+		if peel.NumLayers > stats.Rounds {
+			t.Fatalf("n=%d: more layers than rounds", n)
+		}
+		// Every vertex has at most degCap neighbors in its own or later
+		// layers... except stragglers forced out at the last iteration.
+		for v := 0; v < n; v++ {
+			same := 0
+			for _, w := range g.Neighbors(v) {
+				if peel.Layer[w] >= peel.Layer[v] {
+					same++
+				}
+			}
+			if same > 8 && peel.Layer[v] != peel.NumLayers-1 {
+				t.Fatalf("n=%d: vertex %d has %d same-or-later neighbors", n, v, same)
+			}
+		}
+	}
+}
+
+func TestWeakReachability(t *testing.T) {
+	// Path 0-1-2-3 with order [0 1 2 3]: WReach_2(3) = {1, 2}: 2 via direct
+	// edge, 1 via path 3-2-1 (min position 1 at the endpoint).
+	g := gen.Path(4)
+	order := []int{0, 1, 2, 3}
+	wr := WeakReachability(g, order, 2)
+	if len(wr[3]) != 2 || wr[3][0] != 1 || wr[3][1] != 2 {
+		t.Fatalf("WReach_2(3) = %v, want [1 2]", wr[3])
+	}
+	// Vertex 0 is first in the order: nothing is weakly reachable.
+	if len(wr[0]) != 0 {
+		t.Fatalf("WReach_2(0) = %v, want empty", wr[0])
+	}
+	// r = 1: just earlier neighbors.
+	wr1 := WeakReachability(g, order, 1)
+	if len(wr1[2]) != 1 || wr1[2][0] != 1 {
+		t.Fatalf("WReach_1(2) = %v, want [1]", wr1[2])
+	}
+}
+
+func TestLowTreedepthDecompositionProperty(t *testing.T) {
+	// The Theorem 7.1 property, verified exactly on small graphs: every
+	// union of <= p parts must have treedepth <= p... our greedy does not
+	// guarantee exactly p, so we check a relaxed but still n-independent
+	// bound and, crucially, that the exact treedepth of each union is small.
+	r := rand.New(rand.NewSource(601))
+	p := 2
+	for trial := 0; trial < 10; trial++ {
+		g := gen.MaximalOuterplanar(10+r.Intn(8), r.Int63())
+		colors, k, err := LowTreedepthDecomposition(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 16 {
+			t.Fatalf("trial %d: %d colors is suspiciously many", trial, k)
+		}
+		for _, pick := range Subsets(k, p) {
+			union := PartsUnion(colors, pick)
+			if len(union) == 0 || len(union) > 18 {
+				continue
+			}
+			sub, _ := g.InducedSubgraph(union)
+			for _, comp := range sub.Components() {
+				if len(comp) > 16 {
+					continue
+				}
+				compG, _ := sub.InducedSubgraph(comp)
+				td, err := treedepth.Exact(compG)
+				if err != nil {
+					continue
+				}
+				if td > 2*p+2 {
+					t.Fatalf("trial %d: union %v component treedepth %d too large", trial, pick, td)
+				}
+			}
+		}
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	s := Subsets(4, 2)
+	// C(4,1) + C(4,2) = 4 + 6 = 10.
+	if len(s) != 10 {
+		t.Fatalf("Subsets(4,2) has %d entries, want 10", len(s))
+	}
+	if len(Subsets(3, 5)) != 7 { // all nonempty subsets
+		t.Fatal("Subsets(3,5) should enumerate all 7 nonempty subsets")
+	}
+}
+
+func TestHFreeDistributedCorrect(t *testing.T) {
+	r := rand.New(rand.NewSource(602))
+	patterns := []*graph.Graph{gen.Complete(3), gen.Cycle(4)}
+	for trial := 0; trial < 6; trial++ {
+		n := 8 + r.Intn(10)
+		g := gen.MaximalOuterplanar(n, r.Int63())
+		for _, h := range patterns {
+			res, err := HFreeDistributed(g, h, 8, congest.Options{IDSeed: r.Int63()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := mso.NewEvaluator(g).Eval(msolib.HSubgraphFree(h), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.HFree != want {
+				t.Fatalf("trial %d pattern %v: HFree=%v oracle=%v", trial, h, res.HFree, want)
+			}
+			if res.PeelRounds == 0 || res.SubsetRuns == 0 && !res.HFree {
+				t.Fatalf("trial %d: implausible accounting %+v", trial, res)
+			}
+		}
+	}
+}
+
+func TestHFreeDistributedOnTriangleFreeFamily(t *testing.T) {
+	// Grids are C3-free but contain C4.
+	g := gen.Grid(4, 5)
+	res, err := HFreeDistributed(g, gen.Complete(3), 8, congest.Options{IDSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HFree {
+		t.Fatal("grids are triangle-free")
+	}
+	res, err = HFreeDistributed(g, gen.Cycle(4), 8, congest.Options{IDSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HFree {
+		t.Fatal("grids contain C4")
+	}
+}
+
+func TestHFreeRejectsBadPattern(t *testing.T) {
+	dis, _ := gen.DisjointUnion(gen.Path(2), gen.Path(2))
+	if _, err := HFreeDistributed(gen.Path(5), dis, 8, congest.Options{}); err == nil {
+		t.Fatal("disconnected pattern should be rejected")
+	}
+	if _, _, err := DistributedPeeling(gen.Path(4), 0, congest.Options{}); err == nil {
+		t.Fatal("degCap 0 should be rejected")
+	}
+	if _, _, err := LowTreedepthDecomposition(gen.Path(4), 0); err == nil {
+		t.Fatal("p = 0 should be rejected")
+	}
+}

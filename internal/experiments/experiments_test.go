@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			out := tab.Render()
+			if out == "" {
+				t.Fatal("empty render")
+			}
+			// Every boolean verdict column must be true.
+			for _, row := range tab.Rows {
+				for i, cell := range row {
+					if cell == "false" && verdictColumn(tab.Header[i]) {
+						t.Fatalf("row %v: verdict column %q is false", row, tab.Header[i])
+					}
+				}
+			}
+			if tab.CSV() == "" {
+				t.Fatal("empty CSV")
+			}
+		})
+	}
+}
+
+func verdictColumn(h string) bool {
+	switch h {
+	case "verdict ok", "selection ok", "match", "within budget", "valid":
+		return true
+	}
+	return false
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("T1"); !ok {
+		t.Fatal("T1 should exist")
+	}
+	if _, ok := Lookup("Z9"); ok {
+		t.Fatal("Z9 should not exist")
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/congest"
+	"repro/internal/graph/gen"
+	"repro/internal/protocols"
+	"repro/internal/regular/predicates"
+)
+
+// F1MessageWidth validates the CONGEST fidelity: the largest single message
+// ever sent stays within the enforced B = Θ(log n) budget across n, for both
+// decision and optimization runs.
+func F1MessageWidth(quick bool) (*Table, error) {
+	t := &Table{
+		ID:     "F1",
+		Title:  "Maximum message width vs n (series for a message-size figure)",
+		Claim:  "All protocol messages fit the O(log n)-bit CONGEST budget",
+		Header: []string{"n", "B (bits)", "max msg bits (decide)", "max msg bits (optimize)", "within budget"},
+	}
+	sizes := []int{32, 128, 512}
+	if !quick {
+		sizes = append(sizes, 2048)
+	}
+	for _, n := range sizes {
+		g, _ := gen.BoundedTreedepth(n, 2, 0.2, int64(n)*5)
+		gen.AssignRandomWeights(g, 100, int64(n)*11)
+		dec, err := protocols.Decide(g, 2, predicates.Acyclicity{}, congest.Options{IDSeed: 7})
+		if err != nil {
+			return nil, fmt.Errorf("F1 n=%d: %w", n, err)
+		}
+		opt, err := protocols.Optimize(g, 2, predicates.IndependentSet{}, true, congest.Options{IDSeed: 7})
+		if err != nil {
+			return nil, fmt.Errorf("F1 n=%d opt: %w", n, err)
+		}
+		within := dec.Stats.MaxMsgBits <= dec.Stats.Bandwidth && opt.Stats.MaxMsgBits <= opt.Stats.Bandwidth
+		t.AddRow(n, dec.Stats.Bandwidth, dec.Stats.MaxMsgBits, opt.Stats.MaxMsgBits, within)
+	}
+	t.Notes = append(t.Notes, "larger logical payloads (OPT tables) are streamed over ceil(k/B) rounds, as in the paper")
+	return t, nil
+}
+
+// F2BaselineCrossover locates the boundary of the meta-theorem: on
+// caterpillars, treedepth grows as Θ(log spine), so the protocol's O(2^2d)
+// rounds become polynomial in n and the naive collect-at-root baseline
+// (Θ(diam + m log n / B)) eventually overtakes it — the paper's own remark
+// that the theorem cannot extend even to the class of paths. On genuinely
+// bounded-treedepth families (T1) the protocol wins by an ever-growing
+// margin instead.
+func F2BaselineCrossover(quick bool) (*Table, error) {
+	t := &Table{
+		ID:     "F2",
+		Title:  "Protocol vs baseline rounds on caterpillars (crossover figure)",
+		Claim:  "The O(2^2d) cost is the meta-theorem's boundary: d = Θ(log n) here, so the baseline crosses over",
+		Header: []string{"spine", "n", "diam", "d", "protocol rounds", "baseline rounds", "protocol wins"},
+	}
+	spines := []int{4, 8, 16, 32}
+	if !quick {
+		spines = append(spines, 48, 64)
+	}
+	for _, spine := range spines {
+		g := gen.Caterpillar(spine, 2)
+		n := g.NumVertices()
+		d := int(math.Ceil(math.Log2(float64(spine+1)))) + 1
+		res, err := protocols.Decide(g, d, predicates.Acyclicity{}, congest.Options{IDSeed: 8})
+		if err != nil {
+			return nil, fmt.Errorf("F2 spine=%d: %w", spine, err)
+		}
+		if res.TdExceeded {
+			return nil, fmt.Errorf("F2 spine=%d: unexpected treedepth report at d=%d", spine, d)
+		}
+		base, err := protocols.BaselineDecide(g, protocols.AcyclicSolver, congest.Options{IDSeed: 8})
+		if err != nil {
+			return nil, fmt.Errorf("F2 spine=%d baseline: %w", spine, err)
+		}
+		t.AddRow(spine, n, g.Diameter(), d, res.Stats.Rounds, base.Stats.Rounds,
+			res.Stats.Rounds < base.Stats.Rounds)
+	}
+	t.Notes = append(t.Notes,
+		"caterpillars have treedepth Θ(log spine), so the protocol pays O(2^2d) = poly(spine) here",
+		"and loses to the baseline as the spine grows — exactly the paper's impossibility remark;",
+		"contrast with T1, where treedepth is fixed and the protocol's rounds stay flat in n")
+	return t, nil
+}
+
+// F3ElimTree validates Lemmas 5.1 and 5.3: Algorithm 2 produces elimination
+// trees of depth at most 2^d in O(2^2d) rounds, with correct bags.
+func F3ElimTree(quick bool) (*Table, error) {
+	t := &Table{
+		ID:     "F3",
+		Title:  "Distributed elimination-tree construction (Algorithm 2)",
+		Claim:  "Lemma 5.1: depth <= 2^d, O(2^2d) rounds; Lemma 5.3: correct bags",
+		Header: []string{"n", "d", "tree depth", "2^d", "rounds", "rounds / 2^2d", "valid"},
+	}
+	var jobs []struct{ n, d int }
+	for _, n := range []int{64, 256} {
+		for d := 2; d <= 4; d++ {
+			jobs = append(jobs, struct{ n, d int }{n, d})
+		}
+	}
+	if !quick {
+		jobs = append(jobs, struct{ n, d int }{1024, 3}, struct{ n, d int }{1024, 5})
+	}
+	for _, job := range jobs {
+		g, _ := gen.BoundedTreedepth(job.n, job.d, 0.2, int64(job.n*job.d))
+		res, err := protocols.Decide(g, job.d, predicates.Acyclicity{}, congest.Options{IDSeed: 9})
+		if err != nil {
+			return nil, fmt.Errorf("F3 n=%d d=%d: %w", job.n, job.d, err)
+		}
+		valid := !res.TdExceeded && res.Forest.VerifyElimination(g) == nil
+		depth := res.Forest.Depth()
+		sq := 1 << uint(2*job.d)
+		t.AddRow(job.n, job.d, depth, 1<<uint(job.d), res.Stats.Rounds,
+			fmt.Sprintf("%.2f", float64(res.Stats.Rounds)/float64(sq)), valid && depth <= 1<<uint(job.d))
+	}
+	return t, nil
+}

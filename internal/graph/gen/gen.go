@@ -1,0 +1,294 @@
+// Package gen provides deterministic, seedable generators for the graph
+// families used across tests, examples, and the benchmark harness: classic
+// families (paths, cycles, cliques, grids, trees), random graphs of bounded
+// treedepth (via random elimination forests), bounded-degeneracy graphs, and
+// maximal outerplanar graphs for the bounded-expansion experiments.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Path returns the path P_n on vertices 0-1-2-...-(n-1).
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle C_n. It panics if n < 3.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: cycle needs n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.MustAddEdge(n-1, 0)
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side, a..a+b-1 on
+// the other.
+func CompleteBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.MustAddEdge(i, a+j)
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices (random
+// parent attachment, which is not uniform over all trees but adequate for
+// workloads).
+func RandomTree(n int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(r.Intn(i), i)
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar: a spine path of the given length with
+// legs pendant vertices attached to each spine vertex. Total vertices:
+// spine*(1+legs). Caterpillars have large diameter, which exercises the
+// baseline protocols.
+func Caterpillar(spine, legs int) *graph.Graph {
+	n := spine * (1 + legs)
+	g := graph.New(n)
+	for i := 0; i+1 < spine; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.MustAddEdge(i, next)
+			next++
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph (planar, bounded expansion).
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree with the given number
+// of levels (depth counts vertices on a root-leaf path).
+func CompleteBinaryTree(levels int) *graph.Graph {
+	n := (1 << uint(levels)) - 1
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge((i-1)/2, i)
+	}
+	return g
+}
+
+// BoundedTreedepth returns a connected random graph with treedepth at most d
+// together with the elimination-forest parent array that witnesses the bound
+// (parent[root] = -1). The construction samples a random rooted tree of depth
+// at most d on n vertices, connects every vertex to its parent, and adds each
+// further vertex-to-ancestor edge independently with probability extraProb.
+//
+// It panics unless n >= 1, d >= 1, and n is achievable at depth d (always,
+// since trees can be arbitrarily wide).
+func BoundedTreedepth(n, d int, extraProb float64, seed int64) (*graph.Graph, []int) {
+	if n < 1 || d < 1 {
+		panic(fmt.Sprintf("gen: BoundedTreedepth needs n >= 1, d >= 1; got n=%d d=%d", n, d))
+	}
+	r := rand.New(rand.NewSource(seed))
+	parent := make([]int, n)
+	depth := make([]int, n)
+	parent[0] = -1
+	depth[0] = 1
+	// Vertices with depth < d are eligible parents.
+	eligible := []int{}
+	if d > 1 {
+		eligible = append(eligible, 0)
+	}
+	for i := 1; i < n; i++ {
+		if len(eligible) == 0 {
+			// d == 1 with n > 1 is impossible for a connected graph; widen by
+			// rooting everything at 0 would break the bound, so reject.
+			panic(fmt.Sprintf("gen: cannot build connected graph with n=%d at treedepth %d", n, d))
+		}
+		p := eligible[r.Intn(len(eligible))]
+		parent[i] = p
+		depth[i] = depth[p] + 1
+		if depth[i] < d {
+			eligible = append(eligible, i)
+		}
+	}
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(parent[i], i)
+	}
+	// Extra ancestor edges preserve the elimination forest witness.
+	for i := 1; i < n; i++ {
+		for a := parent[parent[i]]; a >= 0; a = parent[a] {
+			if r.Float64() < extraProb {
+				if !g.HasEdge(a, i) {
+					g.MustAddEdge(a, i)
+				}
+			}
+		}
+	}
+	return g, parent
+}
+
+// RandomDegenerate returns a connected random k-degenerate graph on n
+// vertices: vertex i > 0 connects to min(i, 1+extra) random earlier vertices
+// where extra ~ Uniform[0, k-1]. Every subgraph then has a vertex of degree
+// at most k, so the graph class has bounded expansion.
+func RandomDegenerate(n, k int, seed int64) *graph.Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("gen: RandomDegenerate needs k >= 1, got %d", k))
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		want := 1 + r.Intn(k)
+		if want > i {
+			want = i
+		}
+		// Sample distinct earlier vertices; iterate in sorted order so that
+		// edge IDs are deterministic for a given seed.
+		chosen := map[int]bool{}
+		for len(chosen) < want {
+			chosen[r.Intn(i)] = true
+		}
+		for p := 0; p < i; p++ {
+			if chosen[p] {
+				g.MustAddEdge(p, i)
+			}
+		}
+	}
+	return g
+}
+
+// MaximalOuterplanar returns a maximal outerplanar graph on n >= 3 vertices:
+// the cycle 0..n-1 plus a random triangulation of its interior. Outerplanar
+// graphs are planar (hence bounded expansion) with treewidth 2.
+func MaximalOuterplanar(n int, seed int64) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: MaximalOuterplanar needs n >= 3, got %d", n))
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := Cycle(n)
+	var triangulate func(i, j int)
+	triangulate = func(i, j int) {
+		// Polygon i, i+1, ..., j (cyclically contiguous, j > i+1).
+		if j-i < 2 {
+			return
+		}
+		k := i + 1 + r.Intn(j-i-1)
+		if k != i+1 && !g.HasEdge(i, k) {
+			g.MustAddEdge(i, k)
+		}
+		if k != j-1 && !g.HasEdge(k, j) {
+			g.MustAddEdge(k, j)
+		}
+		triangulate(i, k)
+		triangulate(k, j)
+	}
+	triangulate(0, n-1)
+	return g
+}
+
+// RandomGNP returns an Erdos-Renyi G(n, p) graph (possibly disconnected).
+func RandomGNP(n int, p float64, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// AssignRandomWeights sets every vertex and edge weight uniformly from
+// [1, maxW] using the given seed.
+func AssignRandomWeights(g *graph.Graph, maxW int64, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for v := 0; v < g.NumVertices(); v++ {
+		g.SetVertexWeight(v, 1+r.Int63n(maxW))
+	}
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.ID, 1+r.Int63n(maxW))
+	}
+}
+
+// DisjointUnion returns the disjoint union of the given graphs, with vertices
+// renumbered consecutively, plus the offset of each input graph's vertex 0.
+func DisjointUnion(gs ...*graph.Graph) (*graph.Graph, []int) {
+	total := 0
+	offsets := make([]int, len(gs))
+	for i, g := range gs {
+		offsets[i] = total
+		total += g.NumVertices()
+	}
+	out := graph.New(total)
+	for i, g := range gs {
+		off := offsets[i]
+		for _, e := range g.Edges() {
+			id := out.MustAddEdge(e.U+off, e.V+off)
+			out.SetEdgeWeight(id, g.EdgeWeight(e.ID))
+			for _, label := range g.EdgeLabelNames() {
+				if g.HasEdgeLabel(label, e.ID) {
+					out.SetEdgeLabel(label, id)
+				}
+			}
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			out.SetVertexWeight(v+off, g.VertexWeight(v))
+			for _, label := range g.VertexLabelNames() {
+				if g.HasVertexLabel(label, v) {
+					out.SetVertexLabel(label, v+off)
+				}
+			}
+		}
+	}
+	return out, offsets
+}

@@ -1,0 +1,247 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/treedepth"
+)
+
+func TestPathCycleStar(t *testing.T) {
+	p := Path(5)
+	if p.NumVertices() != 5 || p.NumEdges() != 4 || p.Diameter() != 4 {
+		t.Fatalf("Path(5) wrong: %v", p)
+	}
+	if Path(1).NumEdges() != 0 {
+		t.Fatal("Path(1) should have no edges")
+	}
+	c := Cycle(5)
+	if c.NumEdges() != 5 || c.Diameter() != 2 {
+		t.Fatalf("Cycle(5) wrong: %v diam=%d", c, c.Diameter())
+	}
+	s := Star(6)
+	if s.NumEdges() != 5 || s.Degree(0) != 5 || s.Diameter() != 2 {
+		t.Fatalf("Star(6) wrong: %v", s)
+	}
+}
+
+func TestCyclePanicsSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cycle(2) should panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestCompleteAndBipartite(t *testing.T) {
+	k := Complete(5)
+	if k.NumEdges() != 10 {
+		t.Fatalf("K5 edges = %d", k.NumEdges())
+	}
+	b := CompleteBipartite(2, 3)
+	if b.NumEdges() != 6 || b.HasEdge(0, 1) || !b.HasEdge(0, 2) {
+		t.Fatalf("K_{2,3} wrong")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g := RandomTree(30, 1)
+	if g.NumEdges() != 29 || !g.IsConnected() {
+		t.Fatalf("RandomTree not a tree: m=%d", g.NumEdges())
+	}
+	// Determinism.
+	h := RandomTree(30, 1)
+	if graph.CanonicalKey(g) != graph.CanonicalKey(h) {
+		t.Fatal("same seed must give same tree")
+	}
+	h2 := RandomTree(30, 2)
+	if graph.CanonicalKey(g) == graph.CanonicalKey(h2) {
+		t.Fatal("different seeds should give different trees")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(10, 2)
+	if g.NumVertices() != 30 || g.NumEdges() != 29 || !g.IsConnected() {
+		t.Fatalf("Caterpillar wrong: %v", g)
+	}
+	if g.Diameter() != 11 { // leg + 9 spine edges + leg
+		t.Fatalf("Caterpillar diameter = %d, want 11", g.Diameter())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 || g.NumEdges() != 3*3+2*4 || !g.IsConnected() {
+		t.Fatalf("Grid wrong: %v", g)
+	}
+	if g.Diameter() != 2+3 {
+		t.Fatalf("Grid diameter = %d", g.Diameter())
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(4)
+	if g.NumVertices() != 15 || g.NumEdges() != 14 || !g.IsConnected() {
+		t.Fatalf("CompleteBinaryTree wrong: %v", g)
+	}
+}
+
+func TestBoundedTreedepthWitness(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(40)
+		d := 2 + r.Intn(4)
+		g, parent := BoundedTreedepth(n, d, 0.5, r.Int63())
+		if !g.IsConnected() {
+			t.Fatalf("trial %d: not connected", trial)
+		}
+		f := treedepth.NewForest(parent)
+		if err := f.VerifyElimination(g); err != nil {
+			t.Fatalf("trial %d: witness invalid: %v", trial, err)
+		}
+		if f.Depth() > d {
+			t.Fatalf("trial %d: witness depth %d > d=%d", trial, f.Depth(), d)
+		}
+	}
+}
+
+func TestBoundedTreedepthExactCheck(t *testing.T) {
+	// For small n, the exact treedepth must be at most d.
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + r.Intn(10)
+		d := 2 + r.Intn(3)
+		g, _ := BoundedTreedepth(n, d, 0.7, r.Int63())
+		td, err := treedepth.Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if td > d {
+			t.Fatalf("trial %d: exact td %d > d=%d", trial, td, d)
+		}
+	}
+}
+
+func TestBoundedTreedepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=5, d=1 should panic (disconnected impossible)")
+		}
+	}()
+	BoundedTreedepth(5, 1, 0, 1)
+}
+
+func TestRandomDegenerate(t *testing.T) {
+	g := RandomDegenerate(60, 3, 9)
+	if !g.IsConnected() {
+		t.Fatal("RandomDegenerate should be connected")
+	}
+	// Degeneracy check: repeatedly remove min-degree vertex; max removed degree <= 3.
+	if d := degeneracy(g); d > 3 {
+		t.Fatalf("degeneracy = %d, want <= 3", d)
+	}
+	// Determinism.
+	h := RandomDegenerate(60, 3, 9)
+	if graph.CanonicalKey(g) != graph.CanonicalKey(h) {
+		t.Fatal("same seed must give same graph")
+	}
+}
+
+func degeneracy(g *graph.Graph) int {
+	n := g.NumVertices()
+	removed := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	max := 0
+	for k := 0; k < n; k++ {
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if bestDeg > max {
+			max = bestDeg
+		}
+		removed[best] = true
+		for _, w := range g.Neighbors(best) {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	return max
+}
+
+func TestMaximalOuterplanar(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 10, 25} {
+		g := MaximalOuterplanar(n, 3)
+		// Maximal outerplanar on n >= 3 vertices has exactly 2n-3 edges.
+		if got, want := g.NumEdges(), 2*n-3; got != want {
+			t.Fatalf("n=%d: edges = %d, want %d", n, got, want)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("n=%d: not connected", n)
+		}
+		// Outerplanar graphs are 2-degenerate.
+		if d := degeneracy(g); d > 2 {
+			t.Fatalf("n=%d: degeneracy = %d, want <= 2", n, d)
+		}
+	}
+}
+
+func TestRandomGNP(t *testing.T) {
+	g := RandomGNP(20, 0, 1)
+	if g.NumEdges() != 0 {
+		t.Fatal("p=0 should give no edges")
+	}
+	g = RandomGNP(20, 1, 1)
+	if g.NumEdges() != 190 {
+		t.Fatalf("p=1 should give complete graph, got %d edges", g.NumEdges())
+	}
+}
+
+func TestAssignRandomWeights(t *testing.T) {
+	g := Path(10)
+	AssignRandomWeights(g, 100, 4)
+	for v := 0; v < 10; v++ {
+		if w := g.VertexWeight(v); w < 1 || w > 100 {
+			t.Fatalf("vertex weight %d out of range", w)
+		}
+	}
+	for _, e := range g.Edges() {
+		if w := g.EdgeWeight(e.ID); w < 1 || w > 100 {
+			t.Fatalf("edge weight %d out of range", w)
+		}
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	a := Path(3)
+	a.SetVertexLabel("red", 0)
+	a.SetVertexWeight(1, 5)
+	b := Cycle(3)
+	id := 0
+	b.SetEdgeWeight(id, 9)
+	u, offsets := DisjointUnion(a, b)
+	if u.NumVertices() != 6 || u.NumEdges() != 5 {
+		t.Fatalf("union wrong: %v", u)
+	}
+	if offsets[0] != 0 || offsets[1] != 3 {
+		t.Fatalf("offsets = %v", offsets)
+	}
+	if !u.HasVertexLabel("red", 0) || u.VertexWeight(1) != 5 {
+		t.Fatal("labels/weights not carried")
+	}
+	if !u.HasEdge(3, 4) || u.HasEdge(2, 3) {
+		t.Fatal("union edges wrong")
+	}
+	if len(u.Components()) != 2 {
+		t.Fatal("union should have 2 components")
+	}
+}

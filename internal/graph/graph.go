@@ -1,0 +1,433 @@
+// Package graph implements simple undirected graphs with optional vertex and
+// edge labels and integer weights, as used by the distributed model-checking
+// library. Vertices are integers 0..n-1; edges carry stable integer IDs in
+// insertion order.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// ErrLoop is returned when adding a self-loop to a simple graph.
+var ErrLoop = errors.New("graph: self-loops are not allowed")
+
+// ErrDuplicateEdge is returned when adding an edge that already exists.
+var ErrDuplicateEdge = errors.New("graph: duplicate edge")
+
+// ErrVertexRange is returned when an endpoint is outside [0, n).
+var ErrVertexRange = errors.New("graph: vertex out of range")
+
+// Edge is an undirected edge with a stable identifier. U < V always holds.
+type Edge struct {
+	ID int
+	U  int
+	V  int
+}
+
+// Other returns the endpoint of e different from x.
+func (e Edge) Other(x int) int {
+	if x == e.U {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is a simple undirected graph. The zero value is not usable; use New.
+type Graph struct {
+	n     int
+	adj   [][]int // neighbor vertex IDs, sorted
+	inc   [][]int // incident edge IDs, aligned with adj
+	edges []Edge
+
+	vertexLabels map[string]*bitset.Set
+	edgeLabels   map[string]*bitset.Set
+	vertexWeight []int64
+	edgeWeight   []int64
+}
+
+// New returns a graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:            n,
+		adj:          make([][]int, n),
+		inc:          make([][]int, n),
+		vertexLabels: make(map[string]*bitset.Set),
+		edgeLabels:   make(map[string]*bitset.Set),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u, v} and returns its ID.
+func (g *Graph) AddEdge(u, v int) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, fmt.Errorf("%w: {%d,%d} with n=%d", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return 0, fmt.Errorf("%w: vertex %d", ErrLoop, u)
+	}
+	if g.HasEdge(u, v) {
+		return 0, fmt.Errorf("%w: {%d,%d}", ErrDuplicateEdge, u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, U: u, V: v})
+	g.insertNeighbor(u, v, id)
+	g.insertNeighbor(v, u, id)
+	if g.edgeWeight != nil {
+		g.edgeWeight = append(g.edgeWeight, 0)
+	}
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for construction code where failure is a programming
+// error (e.g., generators); it panics on error.
+func (g *Graph) MustAddEdge(u, v int) int {
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (g *Graph) insertNeighbor(u, v, edgeID int) {
+	i := sort.SearchInts(g.adj[u], v)
+	g.adj[u] = append(g.adj[u], 0)
+	copy(g.adj[u][i+1:], g.adj[u][i:])
+	g.adj[u][i] = v
+	g.inc[u] = append(g.inc[u], 0)
+	copy(g.inc[u][i+1:], g.inc[u][i:])
+	g.inc[u][i] = edgeID
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.EdgeBetween(u, v)
+	return ok
+}
+
+// EdgeBetween returns the edge ID connecting u and v, if any.
+func (g *Graph) EdgeBetween(u, v int) (int, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return 0, false
+	}
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	i := sort.SearchInts(g.adj[u], v)
+	if i < len(g.adj[u]) && g.adj[u][i] == v {
+		return g.inc[u][i], true
+	}
+	return 0, false
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns a copy of the edge list in ID order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Neighbors returns the sorted neighbors of u. The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// IncidentEdges returns the IDs of edges incident to u, aligned with
+// Neighbors(u). The returned slice must not be modified.
+func (g *Graph) IncidentEdges(u int) []int { return g.inc[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of g, including labels and weights.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	for u := 0; u < g.n; u++ {
+		c.adj[u] = append([]int(nil), g.adj[u]...)
+		c.inc[u] = append([]int(nil), g.inc[u]...)
+	}
+	for name, set := range g.vertexLabels {
+		c.vertexLabels[name] = set.Clone()
+	}
+	for name, set := range g.edgeLabels {
+		c.edgeLabels[name] = set.Clone()
+	}
+	if g.vertexWeight != nil {
+		c.vertexWeight = append([]int64(nil), g.vertexWeight...)
+	}
+	if g.edgeWeight != nil {
+		c.edgeWeight = append([]int64(nil), g.edgeWeight...)
+	}
+	return c
+}
+
+// --- Labels ---
+
+// SetVertexLabel marks vertex v with the given label.
+func (g *Graph) SetVertexLabel(label string, v int) {
+	set, ok := g.vertexLabels[label]
+	if !ok {
+		set = bitset.New(g.n)
+		g.vertexLabels[label] = set
+	}
+	set.Add(v)
+}
+
+// HasVertexLabel reports whether vertex v carries the label.
+func (g *Graph) HasVertexLabel(label string, v int) bool {
+	set, ok := g.vertexLabels[label]
+	return ok && set.Contains(v)
+}
+
+// SetEdgeLabel marks the edge with the given ID.
+func (g *Graph) SetEdgeLabel(label string, edgeID int) {
+	set, ok := g.edgeLabels[label]
+	if !ok {
+		set = bitset.New(len(g.edges) + 64) // generous capacity; IDs only grow
+		g.edgeLabels[label] = set
+	}
+	if edgeID >= set.Len() {
+		grown := bitset.New(len(g.edges))
+		set.ForEach(grown.Add)
+		set = grown
+		g.edgeLabels[label] = set
+	}
+	set.Add(edgeID)
+}
+
+// HasEdgeLabel reports whether the edge with the given ID carries the label.
+func (g *Graph) HasEdgeLabel(label string, edgeID int) bool {
+	set, ok := g.edgeLabels[label]
+	return ok && set.Contains(edgeID)
+}
+
+// VertexLabelNames returns the sorted names of all vertex labels.
+func (g *Graph) VertexLabelNames() []string {
+	out := make([]string, 0, len(g.vertexLabels))
+	for name := range g.vertexLabels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeLabelNames returns the sorted names of all edge labels.
+func (g *Graph) EdgeLabelNames() []string {
+	out := make([]string, 0, len(g.edgeLabels))
+	for name := range g.edgeLabels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- Weights ---
+
+// SetVertexWeight assigns an integer weight to vertex v (default 0).
+func (g *Graph) SetVertexWeight(v int, w int64) {
+	if g.vertexWeight == nil {
+		g.vertexWeight = make([]int64, g.n)
+	}
+	g.vertexWeight[v] = w
+}
+
+// VertexWeight returns the weight of v (0 if unset).
+func (g *Graph) VertexWeight(v int) int64 {
+	if g.vertexWeight == nil {
+		return 0
+	}
+	return g.vertexWeight[v]
+}
+
+// SetEdgeWeight assigns an integer weight to the edge with the given ID.
+func (g *Graph) SetEdgeWeight(edgeID int, w int64) {
+	if g.edgeWeight == nil {
+		g.edgeWeight = make([]int64, len(g.edges))
+	}
+	g.edgeWeight[edgeID] = w
+}
+
+// EdgeWeight returns the weight of the edge with the given ID (0 if unset).
+func (g *Graph) EdgeWeight(edgeID int) int64 {
+	if g.edgeWeight == nil {
+		return 0
+	}
+	return g.edgeWeight[edgeID]
+}
+
+// --- Structure queries ---
+
+// Components returns the connected components as sorted vertex slices, in
+// order of their minimum vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		for i := 0; i < len(comp); i++ {
+			for _, w := range g.adj[comp[i]] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether g is connected. The empty graph counts as
+// connected.
+func (g *Graph) IsConnected() bool {
+	return g.n == 0 || len(g.Components()) == 1
+}
+
+// BFSDistances returns the distance (in edges) from src to every vertex, with
+// -1 for unreachable vertices.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[u] {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the diameter (max eccentricity) of a connected graph; it
+// returns -1 if the graph is disconnected or empty.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for s := 0; s < g.n; s++ {
+		for _, d := range g.BFSDistances(s) {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices, plus
+// the mapping from new vertex IDs to original vertex IDs. Labels, weights,
+// and induced edges are carried over. The input order is irrelevant; new IDs
+// follow the sorted order of the originals.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
+	orig := append([]int(nil), vertices...)
+	sort.Ints(orig)
+	// Deduplicate.
+	orig = dedupSorted(orig)
+	index := make(map[int]int, len(orig))
+	for i, v := range orig {
+		index[v] = i
+	}
+	sub := New(len(orig))
+	for _, e := range g.edges {
+		iu, okU := index[e.U]
+		iv, okV := index[e.V]
+		if !okU || !okV {
+			continue
+		}
+		id := sub.MustAddEdge(iu, iv)
+		for label := range g.edgeLabels {
+			if g.HasEdgeLabel(label, e.ID) {
+				sub.SetEdgeLabel(label, id)
+			}
+		}
+		if g.edgeWeight != nil {
+			sub.SetEdgeWeight(id, g.edgeWeight[e.ID])
+		}
+	}
+	for i, v := range orig {
+		for label := range g.vertexLabels {
+			if g.HasVertexLabel(label, v) {
+				sub.SetVertexLabel(label, i)
+			}
+		}
+		if g.vertexWeight != nil {
+			sub.SetVertexWeight(i, g.vertexWeight[v])
+		}
+	}
+	return sub, orig
+}
+
+// DeleteVertex returns a copy of g with vertex v removed (vertices above v
+// shift down by one) along with the mapping from new IDs to original IDs.
+func (g *Graph) DeleteVertex(v int) (*Graph, []int) {
+	keep := make([]int, 0, g.n-1)
+	for u := 0; u < g.n; u++ {
+		if u != v {
+			keep = append(keep, u)
+		}
+	}
+	return g.InducedSubgraph(keep)
+}
+
+func dedupSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// String renders a compact description, e.g. "Graph(n=4, m=3)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, len(g.edges))
+}

@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, g *Graph, u, v int) int {
+	t.Helper()
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+	return id
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	id0 := mustEdge(t, g, 0, 1)
+	id1 := mustEdge(t, g, 2, 1)
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(1, 2) {
+		t.Fatal("edges should be undirected")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("unexpected edge 0-2")
+	}
+	e := g.Edge(id1)
+	if e.U != 1 || e.V != 2 {
+		t.Fatalf("Edge(%d) = %+v, want normalized U<V", id1, e)
+	}
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Fatal("Other endpoint wrong")
+	}
+	if got, ok := g.EdgeBetween(0, 1); !ok || got != id0 {
+		t.Fatalf("EdgeBetween(0,1) = %d,%v", got, ok)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if _, err := g.AddEdge(0, 0); !errors.Is(err, ErrLoop) {
+		t.Fatalf("loop error = %v", err)
+	}
+	if _, err := g.AddEdge(0, 3); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("range error = %v", err)
+	}
+	if _, err := g.AddEdge(-1, 1); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("range error = %v", err)
+	}
+	mustEdge(t, g, 0, 1)
+	if _, err := g.AddEdge(1, 0); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate error = %v", err)
+	}
+}
+
+func TestNeighborsSortedAndAligned(t *testing.T) {
+	g := New(5)
+	e3 := mustEdge(t, g, 2, 3)
+	e0 := mustEdge(t, g, 2, 0)
+	e4 := mustEdge(t, g, 2, 4)
+	e1 := mustEdge(t, g, 2, 1)
+	nbrs := g.Neighbors(2)
+	want := []int{0, 1, 3, 4}
+	wantE := []int{e0, e1, e3, e4}
+	if len(nbrs) != 4 {
+		t.Fatalf("Neighbors = %v", nbrs)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", nbrs, want)
+		}
+		if g.IncidentEdges(2)[i] != wantE[i] {
+			t.Fatalf("IncidentEdges misaligned: %v want %v", g.IncidentEdges(2), wantE)
+		}
+	}
+	if g.Degree(2) != 4 || g.MaxDegree() != 4 {
+		t.Fatal("degree bookkeeping wrong")
+	}
+}
+
+func TestComponentsAndConnectivity(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 4, 5)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components = %v, want 3 components", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 1 || len(comps[2]) != 2 {
+		t.Fatalf("Components = %v", comps)
+	}
+	if g.IsConnected() {
+		t.Fatal("graph should be disconnected")
+	}
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 4)
+	if !g.IsConnected() {
+		t.Fatal("graph should now be connected")
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	// Path 0-1-2-3-4.
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		mustEdge(t, g, i, i+1)
+	}
+	dist := g.BFSDistances(0)
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("Diameter = %d, want 4", d)
+	}
+	g2 := New(3)
+	mustEdge(t, g2, 0, 1)
+	if d := g2.Diameter(); d != -1 {
+		t.Fatalf("disconnected Diameter = %d, want -1", d)
+	}
+	if d := New(0).Diameter(); d != -1 {
+		t.Fatalf("empty Diameter = %d, want -1", d)
+	}
+}
+
+func TestLabelsAndWeights(t *testing.T) {
+	g := New(3)
+	id := mustEdge(t, g, 0, 1)
+	g.SetVertexLabel("red", 0)
+	g.SetVertexLabel("red", 2)
+	g.SetVertexLabel("blue", 1)
+	g.SetEdgeLabel("mark", id)
+	if !g.HasVertexLabel("red", 0) || g.HasVertexLabel("red", 1) {
+		t.Fatal("vertex label wrong")
+	}
+	if !g.HasEdgeLabel("mark", id) || g.HasEdgeLabel("mark", id+7) {
+		t.Fatal("edge label wrong")
+	}
+	if g.HasVertexLabel("nonexistent", 0) {
+		t.Fatal("unknown label should be false")
+	}
+	names := g.VertexLabelNames()
+	if len(names) != 2 || names[0] != "blue" || names[1] != "red" {
+		t.Fatalf("VertexLabelNames = %v", names)
+	}
+	g.SetVertexWeight(2, -7)
+	g.SetEdgeWeight(id, 42)
+	if g.VertexWeight(2) != -7 || g.VertexWeight(0) != 0 {
+		t.Fatal("vertex weight wrong")
+	}
+	if g.EdgeWeight(id) != 42 {
+		t.Fatal("edge weight wrong")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	g := New(3)
+	id := mustEdge(t, g, 0, 1)
+	g.SetVertexLabel("red", 0)
+	g.SetVertexWeight(1, 9)
+	g.SetEdgeWeight(id, 5)
+	c := g.Clone()
+	mustEdge(t, c, 1, 2)
+	c.SetVertexLabel("red", 2)
+	c.SetVertexWeight(1, 1)
+	if g.NumEdges() != 1 || g.HasVertexLabel("red", 2) || g.VertexWeight(1) != 9 {
+		t.Fatal("Clone must be deep")
+	}
+	if c.EdgeWeight(id) != 5 {
+		t.Fatal("Clone lost edge weight")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(6)
+	e01 := mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	e05 := mustEdge(t, g, 0, 5)
+	g.SetVertexLabel("red", 0)
+	g.SetVertexLabel("red", 3)
+	g.SetVertexWeight(5, 11)
+	g.SetEdgeWeight(e01, 3)
+	g.SetEdgeLabel("mark", e05)
+
+	sub, origIDs := g.InducedSubgraph([]int{5, 0, 1, 1}) // dup + unsorted
+	if sub.NumVertices() != 3 {
+		t.Fatalf("sub n = %d, want 3", sub.NumVertices())
+	}
+	// origIDs sorted: [0 1 5] -> new IDs 0,1,2.
+	if origIDs[0] != 0 || origIDs[1] != 1 || origIDs[2] != 5 {
+		t.Fatalf("origIDs = %v", origIDs)
+	}
+	if sub.NumEdges() != 2 || !sub.HasEdge(0, 1) || !sub.HasEdge(0, 2) {
+		t.Fatalf("sub edges wrong: %v", sub.Edges())
+	}
+	if !sub.HasVertexLabel("red", 0) || sub.HasVertexLabel("red", 1) {
+		t.Fatal("sub vertex labels wrong")
+	}
+	if sub.VertexWeight(2) != 11 {
+		t.Fatal("sub vertex weight wrong")
+	}
+	id01, _ := sub.EdgeBetween(0, 1)
+	if sub.EdgeWeight(id01) != 3 {
+		t.Fatal("sub edge weight wrong")
+	}
+	id05, _ := sub.EdgeBetween(0, 2)
+	if !sub.HasEdgeLabel("mark", id05) {
+		t.Fatal("sub edge label wrong")
+	}
+}
+
+func TestDeleteVertex(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	h, orig := g.DeleteVertex(1)
+	if h.NumVertices() != 3 || h.NumEdges() != 1 {
+		t.Fatalf("after delete: %v", h)
+	}
+	if orig[0] != 0 || orig[1] != 2 || orig[2] != 3 {
+		t.Fatalf("orig = %v", orig)
+	}
+	if !h.HasEdge(1, 2) { // old 2-3
+		t.Fatal("edge 2-3 should survive as 1-2")
+	}
+}
+
+// Property: induced subgraph on all vertices is the same graph.
+func TestQuickInducedIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					g.MustAddEdge(i, j)
+				}
+			}
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		sub, _ := g.InducedSubgraph(all)
+		if sub.NumVertices() != n || sub.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if sub.HasEdge(i, j) != g.HasEdge(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum of degrees = 2|E|.
+func TestQuickHandshake(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(2) == 0 {
+					g.MustAddEdge(i, j)
+				}
+			}
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

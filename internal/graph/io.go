@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a simple textual format:
+//
+//	n <numVertices>
+//	e <u> <v>            (one line per edge, in ID order)
+//	vl <label> <v>       (vertex labels)
+//	el <label> <edgeID>  (edge labels)
+//	vw <v> <weight>      (nonzero vertex weights)
+//	ew <edgeID> <weight> (nonzero edge weights)
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d\n", g.NumVertices())
+	for _, e := range g.edges {
+		fmt.Fprintf(bw, "e %d %d\n", e.U, e.V)
+	}
+	for _, label := range g.VertexLabelNames() {
+		for v := 0; v < g.n; v++ {
+			if g.HasVertexLabel(label, v) {
+				fmt.Fprintf(bw, "vl %s %d\n", label, v)
+			}
+		}
+	}
+	for _, label := range g.EdgeLabelNames() {
+		for _, e := range g.edges {
+			if g.HasEdgeLabel(label, e.ID) {
+				fmt.Fprintf(bw, "el %s %d\n", label, e.ID)
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if wt := g.VertexWeight(v); wt != 0 {
+			fmt.Fprintf(bw, "vw %d %d\n", v, wt)
+		}
+	}
+	for _, e := range g.edges {
+		if wt := g.EdgeWeight(e.ID); wt != 0 {
+			fmt.Fprintf(bw, "ew %d %d\n", e.ID, wt)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g == nil && fields[0] != "n" {
+			return nil, fmt.Errorf("graph: line %d: expected header 'n <count>' first", lineNo)
+		}
+		switch fields[0] {
+		case "n":
+			n, err := atoiField(fields, 1, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			g = New(n)
+		case "e":
+			u, err := atoiField(fields, 1, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			v, err := atoiField(fields, 2, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := g.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+		case "vl":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: vl needs label and vertex", lineNo)
+			}
+			v, err := atoiField(fields, 2, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			g.SetVertexLabel(fields[1], v)
+		case "el":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: el needs label and edge ID", lineNo)
+			}
+			id, err := atoiField(fields, 2, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if id < 0 || id >= g.NumEdges() {
+				return nil, fmt.Errorf("graph: line %d: edge ID %d out of range", lineNo, id)
+			}
+			g.SetEdgeLabel(fields[1], id)
+		case "vw":
+			v, err := atoiField(fields, 1, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			wt, err := atoi64Field(fields, 2, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			g.SetVertexWeight(v, wt)
+		case "ew":
+			id, err := atoiField(fields, 1, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if id < 0 || id >= g.NumEdges() {
+				return nil, fmt.Errorf("graph: line %d: edge ID %d out of range", lineNo, id)
+			}
+			wt, err := atoi64Field(fields, 2, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			g.SetEdgeWeight(id, wt)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return g, nil
+}
+
+func atoiField(fields []string, i, lineNo int) (int, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("graph: line %d: missing field %d", lineNo, i)
+	}
+	v, err := strconv.Atoi(fields[i])
+	if err != nil {
+		return 0, fmt.Errorf("graph: line %d: bad integer %q: %w", lineNo, fields[i], err)
+	}
+	return v, nil
+}
+
+func atoi64Field(fields []string, i, lineNo int) (int64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("graph: line %d: missing field %d", lineNo, i)
+	}
+	v, err := strconv.ParseInt(fields[i], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("graph: line %d: bad integer %q: %w", lineNo, fields[i], err)
+	}
+	return v, nil
+}
+
+// WriteDOT writes g in Graphviz DOT format for visualization.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "graph %s {\n", name)
+	labels := g.VertexLabelNames()
+	for v := 0; v < g.NumVertices(); v++ {
+		var attrs []string
+		var has []string
+		for _, label := range labels {
+			if g.HasVertexLabel(label, v) {
+				has = append(has, label)
+			}
+		}
+		if len(has) > 0 {
+			attrs = append(attrs, fmt.Sprintf("label=\"%d:%s\"", v, strings.Join(has, ",")))
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(bw, "  %d [%s];\n", v, strings.Join(attrs, " "))
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// CanonicalKey returns a string that is identical for equal graphs (same
+// vertex numbering, edges, labels, weights). It is *not* an isomorphism
+// invariant; see IsomorphicSmall for that.
+func CanonicalKey(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d;", g.NumVertices())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "%d-%d;", e.U, e.V)
+	}
+	for _, label := range g.VertexLabelNames() {
+		fmt.Fprintf(&b, "vl:%s=", label)
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.HasVertexLabel(label, v) {
+				fmt.Fprintf(&b, "%d,", v)
+			}
+		}
+		b.WriteByte(';')
+	}
+	for _, label := range g.EdgeLabelNames() {
+		fmt.Fprintf(&b, "el:%s=", label)
+		for _, e := range g.Edges() {
+			if g.HasEdgeLabel(label, e.ID) {
+				fmt.Fprintf(&b, "%d,", e.ID)
+			}
+		}
+		b.WriteByte(';')
+	}
+	var weighted []string
+	for v := 0; v < g.NumVertices(); v++ {
+		if wt := g.VertexWeight(v); wt != 0 {
+			weighted = append(weighted, fmt.Sprintf("vw%d=%d", v, wt))
+		}
+	}
+	for _, e := range g.Edges() {
+		if wt := g.EdgeWeight(e.ID); wt != 0 {
+			weighted = append(weighted, fmt.Sprintf("ew%d=%d", e.ID, wt))
+		}
+	}
+	sort.Strings(weighted)
+	b.WriteString(strings.Join(weighted, ";"))
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := New(5)
+	e0 := mustEdge(t, g, 0, 1)
+	e1 := mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	g.SetVertexLabel("red", 0)
+	g.SetVertexLabel("blue", 4)
+	g.SetEdgeLabel("mark", e1)
+	g.SetVertexWeight(2, -3)
+	g.SetEdgeWeight(e0, 17)
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalKey(g) != CanonicalKey(h) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", CanonicalKey(g), CanonicalKey(h))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"no header", "e 0 1\n"},
+		{"bad int", "n x\n"},
+		{"loop", "n 2\ne 1 1\n"},
+		{"out of range vertex", "n 2\ne 0 5\n"},
+		{"unknown record", "n 2\nzz 1\n"},
+		{"edge label out of range", "n 2\ne 0 1\nel mark 3\n"},
+		{"missing field", "n 2\ne 0\n"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.input)); err == nil {
+				t.Fatalf("expected error for %q", tc.input)
+			}
+		})
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# a comment\nn 3\n\ne 0 1\n  # another\ne 1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	g.SetVertexLabel("red", 0)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph G {", "0 -- 1;", "red"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	h := New(3)
+	mustEdge(t, h, 1, 2)
+	if CanonicalKey(g) == CanonicalKey(h) {
+		t.Fatal("different graphs must have different keys")
+	}
+	g2 := g.Clone()
+	if CanonicalKey(g) != CanonicalKey(g2) {
+		t.Fatal("clone must have equal key")
+	}
+	g2.SetVertexWeight(0, 1)
+	if CanonicalKey(g) == CanonicalKey(g2) {
+		t.Fatal("weights must affect the key")
+	}
+}

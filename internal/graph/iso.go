@@ -1,0 +1,89 @@
+package graph
+
+// IsomorphicSmall reports whether g and h are isomorphic, respecting vertex
+// labels. It uses degree-pruned backtracking and is intended for small graphs
+// (tests, canonical-representative checks); it is exponential in the worst
+// case.
+func IsomorphicSmall(g, h *Graph) bool {
+	n := g.NumVertices()
+	if n != h.NumVertices() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	gLabels := g.VertexLabelNames()
+	hLabels := h.VertexLabelNames()
+	if len(gLabels) != len(hLabels) {
+		return false
+	}
+	for i := range gLabels {
+		if gLabels[i] != hLabels[i] {
+			return false
+		}
+	}
+	// Degree-sequence quick reject.
+	if !sameDegreeSequence(g, h) {
+		return false
+	}
+	mapping := make([]int, n) // g vertex -> h vertex
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	var match func(v int) bool
+	match = func(v int) bool {
+		if v == n {
+			return true
+		}
+		for w := 0; w < n; w++ {
+			if used[w] || g.Degree(v) != h.Degree(w) {
+				continue
+			}
+			if !sameLabelProfile(g, h, gLabels, v, w) {
+				continue
+			}
+			ok := true
+			for u := 0; u < v; u++ {
+				if g.HasEdge(v, u) != h.HasEdge(w, mapping[u]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[v] = w
+			used[w] = true
+			if match(v + 1) {
+				return true
+			}
+			mapping[v] = -1
+			used[w] = false
+		}
+		return false
+	}
+	return match(0)
+}
+
+func sameDegreeSequence(g, h *Graph) bool {
+	n := g.NumVertices()
+	gd := make([]int, n+1)
+	hd := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		gd[g.Degree(v)]++
+		hd[h.Degree(v)]++
+	}
+	for i := range gd {
+		if gd[i] != hd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameLabelProfile(g, h *Graph, labels []string, v, w int) bool {
+	for _, label := range labels {
+		if g.HasVertexLabel(label, v) != h.HasVertexLabel(label, w) {
+			return false
+		}
+	}
+	return true
+}

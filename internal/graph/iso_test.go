@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestIsomorphicSmallBasic(t *testing.T) {
+	// P4 relabeled.
+	g := pathGraph(4)
+	h := New(4)
+	h.MustAddEdge(2, 0)
+	h.MustAddEdge(0, 3)
+	h.MustAddEdge(3, 1)
+	if !IsomorphicSmall(g, h) {
+		t.Fatal("relabeled P4 should be isomorphic")
+	}
+	// P4 vs star K_{1,3}: same degree counts? P4 degrees: 1,2,2,1; star: 3,1,1,1. Different.
+	star := New(4)
+	star.MustAddEdge(0, 1)
+	star.MustAddEdge(0, 2)
+	star.MustAddEdge(0, 3)
+	if IsomorphicSmall(g, star) {
+		t.Fatal("P4 vs K_{1,3} should not be isomorphic")
+	}
+}
+
+func TestIsomorphicSmallNeedsBacktracking(t *testing.T) {
+	// C6 vs two triangles: same degree sequence (all degree 2).
+	c6 := New(6)
+	for i := 0; i < 6; i++ {
+		c6.MustAddEdge(i, (i+1)%6)
+	}
+	twoTriangles := New(6)
+	twoTriangles.MustAddEdge(0, 1)
+	twoTriangles.MustAddEdge(1, 2)
+	twoTriangles.MustAddEdge(2, 0)
+	twoTriangles.MustAddEdge(3, 4)
+	twoTriangles.MustAddEdge(4, 5)
+	twoTriangles.MustAddEdge(5, 3)
+	if IsomorphicSmall(c6, twoTriangles) {
+		t.Fatal("C6 vs 2K3 should not be isomorphic")
+	}
+}
+
+func TestIsomorphicSmallLabels(t *testing.T) {
+	g := pathGraph(2)
+	g.SetVertexLabel("red", 0)
+	h := pathGraph(2)
+	h.SetVertexLabel("red", 1)
+	if !IsomorphicSmall(g, h) {
+		t.Fatal("label on either endpoint of P2 is symmetric")
+	}
+	h2 := pathGraph(2)
+	h2.SetVertexLabel("blue", 0)
+	if IsomorphicSmall(g, h2) {
+		t.Fatal("different label names cannot match")
+	}
+	g3 := pathGraph(3)
+	g3.SetVertexLabel("red", 1) // center
+	h3 := pathGraph(3)
+	h3.SetVertexLabel("red", 0) // endpoint
+	if IsomorphicSmall(g3, h3) {
+		t.Fatal("center-labeled vs endpoint-labeled P3 differ")
+	}
+}
+
+func TestIsomorphicSmallRandomPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(8)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(2) == 0 {
+					g.MustAddEdge(i, j)
+				}
+			}
+		}
+		perm := r.Perm(n)
+		h := New(n)
+		for _, e := range g.Edges() {
+			h.MustAddEdge(perm[e.U], perm[e.V])
+		}
+		if !IsomorphicSmall(g, h) {
+			t.Fatalf("trial %d: permuted graph should be isomorphic", trial)
+		}
+	}
+}
+
+func TestIsomorphicSmallSizeMismatch(t *testing.T) {
+	if IsomorphicSmall(pathGraph(3), pathGraph(4)) {
+		t.Fatal("different n")
+	}
+	g := pathGraph(3)
+	h := pathGraph(3)
+	h.MustAddEdge(0, 2)
+	if IsomorphicSmall(g, h) {
+		t.Fatal("different m")
+	}
+}

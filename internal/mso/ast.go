@@ -1,0 +1,447 @@
+// Package mso implements monadic second-order logic over graphs: an AST with
+// element variables (vertices, edges) and set variables (vertex sets, edge
+// sets), the predicates adj / inc / = / ∈ plus unary label predicates, a
+// textual parser, a well-formedness checker, and a naive exhaustive evaluator
+// used as the ground-truth oracle for the automata-based engines.
+package mso
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VarKind classifies MSO variables.
+type VarKind int
+
+// Variable kinds. Element variables range over single vertices or edges; set
+// variables range over subsets.
+const (
+	KindVertex VarKind = iota + 1
+	KindEdge
+	KindVertexSet
+	KindEdgeSet
+)
+
+// String returns the parser notation of the kind.
+func (k VarKind) String() string {
+	switch k {
+	case KindVertex:
+		return "V"
+	case KindEdge:
+		return "E"
+	case KindVertexSet:
+		return "VS"
+	case KindEdgeSet:
+		return "ES"
+	default:
+		return fmt.Sprintf("VarKind(%d)", int(k))
+	}
+}
+
+// IsSet reports whether the kind is a set kind.
+func (k VarKind) IsSet() bool { return k == KindVertexSet || k == KindEdgeSet }
+
+// ElementKind returns the element kind underlying a set kind (or the kind
+// itself for element kinds).
+func (k VarKind) ElementKind() VarKind {
+	switch k {
+	case KindVertexSet:
+		return KindVertex
+	case KindEdgeSet:
+		return KindEdge
+	default:
+		return k
+	}
+}
+
+// Formula is an MSO formula node.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Adj asserts that vertex variables X and Y are adjacent.
+type Adj struct{ X, Y string }
+
+// Inc asserts that vertex variable V is incident to edge variable E.
+type Inc struct{ V, E string }
+
+// Eq asserts equality of two element variables of the same kind.
+type Eq struct{ X, Y string }
+
+// In asserts membership of element variable X in set variable S.
+type In struct{ X, S string }
+
+// Label asserts that element variable X carries the named unary label.
+type Label struct {
+	Name string
+	X    string
+}
+
+// Not is logical negation.
+type Not struct{ F Formula }
+
+// And is logical conjunction.
+type And struct{ L, R Formula }
+
+// Or is logical disjunction.
+type Or struct{ L, R Formula }
+
+// Implies is logical implication.
+type Implies struct{ L, R Formula }
+
+// Iff is logical equivalence.
+type Iff struct{ L, R Formula }
+
+// Exists is existential quantification of Var (of kind Kind) in Body.
+type Exists struct {
+	Var  string
+	Kind VarKind
+	Body Formula
+}
+
+// ForAll is universal quantification of Var (of kind Kind) in Body.
+type ForAll struct {
+	Var  string
+	Kind VarKind
+	Body Formula
+}
+
+// True is the constant true formula (nullary conjunction).
+type True struct{}
+
+// False is the constant false formula (nullary disjunction).
+type False struct{}
+
+func (Adj) isFormula()     {}
+func (Inc) isFormula()     {}
+func (Eq) isFormula()      {}
+func (In) isFormula()      {}
+func (Label) isFormula()   {}
+func (Not) isFormula()     {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Implies) isFormula() {}
+func (Iff) isFormula()     {}
+func (Exists) isFormula()  {}
+func (ForAll) isFormula()  {}
+func (True) isFormula()    {}
+func (False) isFormula()   {}
+
+func (a Adj) String() string   { return fmt.Sprintf("adj(%s,%s)", a.X, a.Y) }
+func (i Inc) String() string   { return fmt.Sprintf("inc(%s,%s)", i.V, i.E) }
+func (e Eq) String() string    { return fmt.Sprintf("%s = %s", e.X, e.Y) }
+func (i In) String() string    { return fmt.Sprintf("%s in %s", i.X, i.S) }
+func (l Label) String() string { return fmt.Sprintf("%s(%s)", l.Name, l.X) }
+func (n Not) String() string   { return "~" + parenthesize(n.F) }
+func (a And) String() string   { return parenthesize(a.L) + " & " + parenthesize(a.R) }
+func (o Or) String() string    { return parenthesize(o.L) + " | " + parenthesize(o.R) }
+func (i Implies) String() string {
+	return parenthesize(i.L) + " -> " + parenthesize(i.R)
+}
+func (i Iff) String() string { return parenthesize(i.L) + " <-> " + parenthesize(i.R) }
+func (e Exists) String() string {
+	return fmt.Sprintf("exists %s:%s . %s", e.Var, e.Kind, e.Body)
+}
+func (f ForAll) String() string {
+	return fmt.Sprintf("forall %s:%s . %s", f.Var, f.Kind, f.Body)
+}
+func (True) String() string  { return "true" }
+func (False) String() string { return "false" }
+
+func parenthesize(f Formula) string {
+	switch f.(type) {
+	// Eq and In are excluded: "~x = y" would reparse as "(~x) = y".
+	case Adj, Inc, Label, Not, True, False:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// --- Convenience constructors ---
+
+// AndAll folds the formulas with conjunction; the empty conjunction is True.
+func AndAll(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return True{}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = And{out, f}
+	}
+	return out
+}
+
+// OrAll folds the formulas with disjunction; the empty disjunction is False.
+func OrAll(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return False{}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = Or{out, f}
+	}
+	return out
+}
+
+// ExistsMany nests existential quantifiers of the same kind.
+func ExistsMany(kind VarKind, vars []string, body Formula) Formula {
+	out := body
+	for i := len(vars) - 1; i >= 0; i-- {
+		out = Exists{Var: vars[i], Kind: kind, Body: out}
+	}
+	return out
+}
+
+// ForAllMany nests universal quantifiers of the same kind.
+func ForAllMany(kind VarKind, vars []string, body Formula) Formula {
+	out := body
+	for i := len(vars) - 1; i >= 0; i-- {
+		out = ForAll{Var: vars[i], Kind: kind, Body: out}
+	}
+	return out
+}
+
+// Distinct asserts that the named element variables are pairwise distinct.
+func Distinct(vars ...string) Formula {
+	var parts []Formula
+	for i := range vars {
+		for j := i + 1; j < len(vars); j++ {
+			parts = append(parts, Not{Eq{vars[i], vars[j]}})
+		}
+	}
+	return AndAll(parts...)
+}
+
+// QuantifierRank returns the maximum quantifier nesting depth (set and
+// element quantifiers both count).
+func QuantifierRank(f Formula) int {
+	switch t := f.(type) {
+	case Adj, Inc, Eq, In, Label, True, False:
+		return 0
+	case Not:
+		return QuantifierRank(t.F)
+	case And:
+		return maxInt(QuantifierRank(t.L), QuantifierRank(t.R))
+	case Or:
+		return maxInt(QuantifierRank(t.L), QuantifierRank(t.R))
+	case Implies:
+		return maxInt(QuantifierRank(t.L), QuantifierRank(t.R))
+	case Iff:
+		return maxInt(QuantifierRank(t.L), QuantifierRank(t.R))
+	case Exists:
+		return 1 + QuantifierRank(t.Body)
+	case ForAll:
+		return 1 + QuantifierRank(t.Body)
+	default:
+		return 0
+	}
+}
+
+// SetQuantifierCount returns the total number of set quantifiers in f.
+func SetQuantifierCount(f Formula) int {
+	switch t := f.(type) {
+	case Adj, Inc, Eq, In, Label, True, False:
+		return 0
+	case Not:
+		return SetQuantifierCount(t.F)
+	case And:
+		return SetQuantifierCount(t.L) + SetQuantifierCount(t.R)
+	case Or:
+		return SetQuantifierCount(t.L) + SetQuantifierCount(t.R)
+	case Implies:
+		return SetQuantifierCount(t.L) + SetQuantifierCount(t.R)
+	case Iff:
+		return SetQuantifierCount(t.L) + SetQuantifierCount(t.R)
+	case Exists:
+		c := SetQuantifierCount(t.Body)
+		if t.Kind.IsSet() {
+			c++
+		}
+		return c
+	case ForAll:
+		c := SetQuantifierCount(t.Body)
+		if t.Kind.IsSet() {
+			c++
+		}
+		return c
+	default:
+		return 0
+	}
+}
+
+// FreeVars returns the free variables of f with their kinds, inferred from
+// usage context. Kinds of free variables that appear only in position-neutral
+// predicates (Eq) may be unresolved and are reported as 0; Check resolves and
+// validates kinds fully given declared kinds for free variables.
+func FreeVars(f Formula) map[string]VarKind {
+	free := map[string]VarKind{}
+	collectFree(f, map[string]bool{}, free)
+	return free
+}
+
+func collectFree(f Formula, bound map[string]bool, free map[string]VarKind) {
+	note := func(name string, kind VarKind) {
+		if bound[name] {
+			return
+		}
+		if prev, ok := free[name]; !ok || prev == 0 {
+			free[name] = kind
+		}
+	}
+	switch t := f.(type) {
+	case Adj:
+		note(t.X, KindVertex)
+		note(t.Y, KindVertex)
+	case Inc:
+		note(t.V, KindVertex)
+		note(t.E, KindEdge)
+	case Eq:
+		note(t.X, 0)
+		note(t.Y, 0)
+	case In:
+		note(t.X, 0)
+		note(t.S, 0)
+	case Label:
+		note(t.X, 0)
+	case Not:
+		collectFree(t.F, bound, free)
+	case And:
+		collectFree(t.L, bound, free)
+		collectFree(t.R, bound, free)
+	case Or:
+		collectFree(t.L, bound, free)
+		collectFree(t.R, bound, free)
+	case Implies:
+		collectFree(t.L, bound, free)
+		collectFree(t.R, bound, free)
+	case Iff:
+		collectFree(t.L, bound, free)
+		collectFree(t.R, bound, free)
+	case Exists:
+		collectQuantified(t.Var, t.Body, bound, free)
+	case ForAll:
+		collectQuantified(t.Var, t.Body, bound, free)
+	case True, False:
+	}
+}
+
+func collectQuantified(v string, body Formula, bound map[string]bool, free map[string]VarKind) {
+	was := bound[v]
+	bound[v] = true
+	collectFree(body, bound, free)
+	bound[v] = was
+}
+
+// Substitute returns f with every free occurrence of the element-or-set
+// variable old renamed to new. Quantifiers binding old shadow as usual.
+func Substitute(f Formula, oldName, newName string) Formula {
+	switch t := f.(type) {
+	case Adj:
+		return Adj{ren(t.X, oldName, newName), ren(t.Y, oldName, newName)}
+	case Inc:
+		return Inc{ren(t.V, oldName, newName), ren(t.E, oldName, newName)}
+	case Eq:
+		return Eq{ren(t.X, oldName, newName), ren(t.Y, oldName, newName)}
+	case In:
+		return In{ren(t.X, oldName, newName), ren(t.S, oldName, newName)}
+	case Label:
+		return Label{t.Name, ren(t.X, oldName, newName)}
+	case Not:
+		return Not{Substitute(t.F, oldName, newName)}
+	case And:
+		return And{Substitute(t.L, oldName, newName), Substitute(t.R, oldName, newName)}
+	case Or:
+		return Or{Substitute(t.L, oldName, newName), Substitute(t.R, oldName, newName)}
+	case Implies:
+		return Implies{Substitute(t.L, oldName, newName), Substitute(t.R, oldName, newName)}
+	case Iff:
+		return Iff{Substitute(t.L, oldName, newName), Substitute(t.R, oldName, newName)}
+	case Exists:
+		if t.Var == oldName {
+			return t
+		}
+		return Exists{t.Var, t.Kind, Substitute(t.Body, oldName, newName)}
+	case ForAll:
+		if t.Var == oldName {
+			return t
+		}
+		return ForAll{t.Var, t.Kind, Substitute(t.Body, oldName, newName)}
+	default:
+		return f
+	}
+}
+
+func ren(name, oldName, newName string) string {
+	if name == oldName {
+		return newName
+	}
+	return name
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Size returns the number of AST nodes of f.
+func Size(f Formula) int {
+	switch t := f.(type) {
+	case Not:
+		return 1 + Size(t.F)
+	case And:
+		return 1 + Size(t.L) + Size(t.R)
+	case Or:
+		return 1 + Size(t.L) + Size(t.R)
+	case Implies:
+		return 1 + Size(t.L) + Size(t.R)
+	case Iff:
+		return 1 + Size(t.L) + Size(t.R)
+	case Exists:
+		return 1 + Size(t.Body)
+	case ForAll:
+		return 1 + Size(t.Body)
+	default:
+		return 1
+	}
+}
+
+// LabelNames returns the sorted set of unary label predicate names used in f.
+func LabelNames(f Formula) []string {
+	seen := map[string]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch t := f.(type) {
+		case Label:
+			seen[t.Name] = true
+		case Not:
+			walk(t.F)
+		case And:
+			walk(t.L)
+			walk(t.R)
+		case Or:
+			walk(t.L)
+			walk(t.R)
+		case Implies:
+			walk(t.L)
+			walk(t.R)
+		case Iff:
+			walk(t.L)
+			walk(t.R)
+		case Exists:
+			walk(t.Body)
+		case ForAll:
+			walk(t.Body)
+		}
+	}
+	walk(f)
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,152 @@
+package mso
+
+import (
+	"testing"
+)
+
+func TestStringRoundTrip(t *testing.T) {
+	// Every formula's String() must reparse to an equal-printing formula.
+	formulas := []Formula{
+		Adj{"x", "y"},
+		Inc{"x", "e"},
+		Eq{"x", "y"},
+		In{"x", "X"},
+		Label{"red", "x"},
+		Not{Adj{"x", "y"}},
+		And{Adj{"x", "y"}, Eq{"x", "y"}},
+		Or{Adj{"x", "y"}, Not{Eq{"x", "y"}}},
+		Implies{In{"x", "X"}, Label{"red", "x"}},
+		Iff{True{}, False{}},
+		Exists{"x", KindVertex, Adj{"x", "x"}},
+		ForAll{"X", KindVertexSet, Exists{"x", KindVertex, In{"x", "X"}}},
+		Exists{"e", KindEdge, Exists{"F", KindEdgeSet, In{"e", "F"}}},
+	}
+	for _, f := range formulas {
+		s := f.String()
+		g, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s, err)
+		}
+		if g.String() != s {
+			t.Fatalf("round trip changed: %q -> %q", s, g.String())
+		}
+	}
+}
+
+func TestAndAllOrAll(t *testing.T) {
+	if _, ok := AndAll().(True); !ok {
+		t.Fatal("empty AndAll should be True")
+	}
+	if _, ok := OrAll().(False); !ok {
+		t.Fatal("empty OrAll should be False")
+	}
+	f := AndAll(Adj{"a", "b"})
+	if _, ok := f.(Adj); !ok {
+		t.Fatal("singleton AndAll should be the formula itself")
+	}
+}
+
+func TestQuantifierRank(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want int
+	}{
+		{Adj{"x", "y"}, 0},
+		{Exists{"x", KindVertex, Adj{"x", "x"}}, 1},
+		{Exists{"x", KindVertex, Exists{"y", KindVertex, Adj{"x", "y"}}}, 2},
+		{And{
+			Exists{"x", KindVertex, Adj{"x", "x"}},
+			Exists{"y", KindVertex, Exists{"z", KindVertex, Adj{"y", "z"}}},
+		}, 2},
+		{Not{ForAll{"X", KindVertexSet, Exists{"x", KindVertex, In{"x", "X"}}}}, 2},
+	}
+	for i, tc := range cases {
+		if got := QuantifierRank(tc.f); got != tc.want {
+			t.Fatalf("case %d: rank = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestSetQuantifierCount(t *testing.T) {
+	f := Exists{"X", KindVertexSet, And{
+		Exists{"x", KindVertex, In{"x", "X"}},
+		ForAll{"F", KindEdgeSet, True{}},
+	}}
+	if got := SetQuantifierCount(f); got != 2 {
+		t.Fatalf("SetQuantifierCount = %d, want 2", got)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := Exists{"x", KindVertex, And{Adj{"x", "y"}, In{"x", "S"}}}
+	free := FreeVars(f)
+	if len(free) != 2 {
+		t.Fatalf("free = %v", free)
+	}
+	if free["y"] != KindVertex {
+		t.Fatalf("y kind = %v", free["y"])
+	}
+	if _, ok := free["S"]; !ok {
+		t.Fatal("S should be free")
+	}
+	if _, ok := free["x"]; ok {
+		t.Fatal("x is bound")
+	}
+	// Shadowing: inner binder hides outer free use.
+	g := And{Adj{"x", "x"}, Exists{"x", KindVertex, Adj{"x", "x"}}}
+	free = FreeVars(g)
+	if len(free) != 1 || free["x"] != KindVertex {
+		t.Fatalf("free = %v", free)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	f := And{Adj{"x", "y"}, Exists{"x", KindVertex, Adj{"x", "y"}}}
+	g := Substitute(f, "x", "z")
+	want := "adj(z,y) & (exists x:V . adj(x,y))"
+	if g.String() != want {
+		t.Fatalf("Substitute = %q, want %q", g.String(), want)
+	}
+	h := Substitute(f, "y", "w")
+	if h.String() != "adj(x,w) & (exists x:V . adj(x,w))" {
+		t.Fatalf("Substitute = %q", h.String())
+	}
+}
+
+func TestSizeAndLabelNames(t *testing.T) {
+	f := And{Label{"red", "x"}, Not{Label{"blue", "x"}}}
+	if got := Size(f); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	names := LabelNames(Exists{"x", KindVertex, f})
+	if len(names) != 2 || names[0] != "blue" || names[1] != "red" {
+		t.Fatalf("LabelNames = %v", names)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	f := Distinct("a", "b", "c")
+	// 3 pairwise inequalities.
+	want := "(~(a = b) & ~(a = c)) & ~(b = c)"
+	if f.String() != want {
+		t.Fatalf("Distinct = %q, want %q", f.String(), want)
+	}
+	if _, ok := Distinct("a").(True); !ok {
+		t.Fatal("Distinct of one var should be True")
+	}
+}
+
+func TestVarKindHelpers(t *testing.T) {
+	if KindVertexSet.ElementKind() != KindVertex || KindEdgeSet.ElementKind() != KindEdge {
+		t.Fatal("ElementKind wrong")
+	}
+	if KindVertex.ElementKind() != KindVertex {
+		t.Fatal("ElementKind of element kind should be identity")
+	}
+	if !KindVertexSet.IsSet() || KindEdge.IsSet() {
+		t.Fatal("IsSet wrong")
+	}
+	if KindVertex.String() != "V" || KindEdgeSet.String() != "ES" {
+		t.Fatal("String wrong")
+	}
+}

@@ -1,0 +1,141 @@
+package mso
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIllFormed is wrapped by all well-formedness errors reported by Check.
+var ErrIllFormed = errors.New("mso: ill-formed formula")
+
+// Check verifies that f is well formed given the declared kinds of its free
+// variables: every variable used is bound (by a quantifier or a declaration),
+// predicates receive variables of the right kinds, Eq compares like kinds,
+// and In relates an element to a set of the matching element kind. It
+// returns nil when the formula is well formed.
+func Check(f Formula, free map[string]VarKind) error {
+	env := make(map[string]VarKind, len(free))
+	for name, kind := range free {
+		if kind != KindVertex && kind != KindEdge && kind != KindVertexSet && kind != KindEdgeSet {
+			return fmt.Errorf("%w: free variable %q has invalid kind %v", ErrIllFormed, name, kind)
+		}
+		env[name] = kind
+	}
+	return check(f, env)
+}
+
+func check(f Formula, env map[string]VarKind) error {
+	lookup := func(name string, want VarKind, ctx string) error {
+		kind, ok := env[name]
+		if !ok {
+			return fmt.Errorf("%w: unbound variable %q in %s", ErrIllFormed, name, ctx)
+		}
+		if kind != want {
+			return fmt.Errorf("%w: variable %q is %v but %s needs %v", ErrIllFormed, name, kind, ctx, want)
+		}
+		return nil
+	}
+	switch t := f.(type) {
+	case Adj:
+		if err := lookup(t.X, KindVertex, "adj"); err != nil {
+			return err
+		}
+		return lookup(t.Y, KindVertex, "adj")
+	case Inc:
+		if err := lookup(t.V, KindVertex, "inc"); err != nil {
+			return err
+		}
+		return lookup(t.E, KindEdge, "inc")
+	case Eq:
+		kx, ok := env[t.X]
+		if !ok {
+			return fmt.Errorf("%w: unbound variable %q in =", ErrIllFormed, t.X)
+		}
+		ky, ok := env[t.Y]
+		if !ok {
+			return fmt.Errorf("%w: unbound variable %q in =", ErrIllFormed, t.Y)
+		}
+		if kx.IsSet() || ky.IsSet() {
+			return fmt.Errorf("%w: = compares elements, got %v and %v", ErrIllFormed, kx, ky)
+		}
+		if kx != ky {
+			return fmt.Errorf("%w: = kind mismatch: %q is %v, %q is %v", ErrIllFormed, t.X, kx, t.Y, ky)
+		}
+		return nil
+	case In:
+		kx, ok := env[t.X]
+		if !ok {
+			return fmt.Errorf("%w: unbound variable %q in 'in'", ErrIllFormed, t.X)
+		}
+		ks, ok := env[t.S]
+		if !ok {
+			return fmt.Errorf("%w: unbound variable %q in 'in'", ErrIllFormed, t.S)
+		}
+		if kx.IsSet() {
+			return fmt.Errorf("%w: left side of 'in' must be an element, %q is %v", ErrIllFormed, t.X, kx)
+		}
+		if !ks.IsSet() {
+			return fmt.Errorf("%w: right side of 'in' must be a set, %q is %v", ErrIllFormed, t.S, ks)
+		}
+		if ks.ElementKind() != kx {
+			return fmt.Errorf("%w: 'in' kind mismatch: %q is %v, %q is %v", ErrIllFormed, t.X, kx, t.S, ks)
+		}
+		return nil
+	case Label:
+		kind, ok := env[t.X]
+		if !ok {
+			return fmt.Errorf("%w: unbound variable %q in label %q", ErrIllFormed, t.X, t.Name)
+		}
+		if kind.IsSet() {
+			return fmt.Errorf("%w: label %q applies to elements, %q is %v", ErrIllFormed, t.Name, t.X, kind)
+		}
+		return nil
+	case Not:
+		return check(t.F, env)
+	case And:
+		if err := check(t.L, env); err != nil {
+			return err
+		}
+		return check(t.R, env)
+	case Or:
+		if err := check(t.L, env); err != nil {
+			return err
+		}
+		return check(t.R, env)
+	case Implies:
+		if err := check(t.L, env); err != nil {
+			return err
+		}
+		return check(t.R, env)
+	case Iff:
+		if err := check(t.L, env); err != nil {
+			return err
+		}
+		return check(t.R, env)
+	case Exists:
+		return checkQuantifier(t.Var, t.Kind, t.Body, env)
+	case ForAll:
+		return checkQuantifier(t.Var, t.Kind, t.Body, env)
+	case True, False:
+		return nil
+	case nil:
+		return fmt.Errorf("%w: nil formula node", ErrIllFormed)
+	default:
+		return fmt.Errorf("%w: unknown node type %T", ErrIllFormed, f)
+	}
+}
+
+func checkQuantifier(name string, kind VarKind, body Formula, env map[string]VarKind) error {
+	if kind != KindVertex && kind != KindEdge && kind != KindVertexSet && kind != KindEdgeSet {
+		return fmt.Errorf("%w: quantifier over %q has invalid kind %v", ErrIllFormed, name, kind)
+	}
+	prev, had := env[name]
+	env[name] = kind
+	err := check(body, env)
+	if had {
+		env[name] = prev
+	} else {
+		delete(env, name)
+	}
+	return err
+}

@@ -1,0 +1,72 @@
+package mso
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckValid(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		free map[string]VarKind
+	}{
+		{MustParse("exists x:V, y:V . adj(x,y)"), nil},
+		{MustParse("forall e:E . exists x:V . inc(x,e)"), nil},
+		{MustParse("x in S"), map[string]VarKind{"x": KindVertex, "S": KindVertexSet}},
+		{MustParse("e in F"), map[string]VarKind{"e": KindEdge, "F": KindEdgeSet}},
+		{MustParse("exists x:V . red(x)"), nil},
+		{MustParse("forall e:E . mark(e)"), nil},
+		{MustParse("exists x:V, y:V . x = y"), nil},
+		{True{}, nil},
+	}
+	for i, tc := range cases {
+		if err := Check(tc.f, tc.free); err != nil {
+			t.Fatalf("case %d (%s): %v", i, tc.f, err)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Formula
+		free map[string]VarKind
+	}{
+		{"unbound adj", MustParse("adj(x,y)"), nil},
+		{"adj on edge", MustParse("exists e:E . adj(e,e)"), nil},
+		{"inc swapped", MustParse("exists x:V, e:E . inc(e,x)"), nil},
+		{"eq kind mismatch", MustParse("exists x:V, e:E . x = e"), nil},
+		{"eq on sets", MustParse("exists X:VS, Y:VS . X = Y"), nil},
+		{"in element-element", MustParse("exists x:V, y:V . x in y"), nil},
+		{"in set-set", MustParse("exists X:VS, Y:VS . X in Y"), nil},
+		{"in cross kind", MustParse("exists x:V, F:ES . x in F"), nil},
+		{"label on set", MustParse("exists X:VS . red(X)"), nil},
+		{"unbound in body", MustParse("exists x:V . adj(x,z)"), nil},
+		{"bad free kind", MustParse("x in S"), map[string]VarKind{"x": 0, "S": KindVertexSet}},
+		{"nil node", Not{nil}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Check(tc.f, tc.free)
+			if err == nil {
+				t.Fatalf("Check(%s) should fail", tc.f)
+			}
+			if !errors.Is(err, ErrIllFormed) {
+				t.Fatalf("error %v should wrap ErrIllFormed", err)
+			}
+		})
+	}
+}
+
+func TestCheckShadowing(t *testing.T) {
+	// Outer X is a vertex set; inner binder reuses the name as an edge set.
+	f := MustParse("exists X:VS . (exists x:V . x in X) & (exists X:ES . exists e:E . e in X)")
+	if err := Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// After the inner scope closes, outer kind must be restored.
+	g := MustParse("exists X:VS . (exists X:ES . exists e:E . e in X) & (exists x:V . x in X)")
+	if err := Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}

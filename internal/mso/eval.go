@@ -1,0 +1,404 @@
+package mso
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// ErrUniverseTooLarge is returned when naive evaluation would need to
+// enumerate more subsets than the configured limit allows.
+var ErrUniverseTooLarge = errors.New("mso: universe too large for naive evaluation")
+
+// DefaultMaxSetUniverse bounds the universe size (vertices or edges) over
+// which the naive evaluator will enumerate all subsets for set quantifiers.
+const DefaultMaxSetUniverse = 24
+
+// Value is the binding of a variable in an assignment.
+type Value struct {
+	Kind VarKind
+	Elem int         // for KindVertex / KindEdge
+	Set  *bitset.Set // for KindVertexSet / KindEdgeSet
+}
+
+// VertexValue binds a vertex element.
+func VertexValue(v int) Value { return Value{Kind: KindVertex, Elem: v} }
+
+// EdgeValue binds an edge element by edge ID.
+func EdgeValue(e int) Value { return Value{Kind: KindEdge, Elem: e} }
+
+// VertexSetValue binds a vertex set.
+func VertexSetValue(s *bitset.Set) Value { return Value{Kind: KindVertexSet, Set: s} }
+
+// EdgeSetValue binds an edge set (by edge IDs).
+func EdgeSetValue(s *bitset.Set) Value { return Value{Kind: KindEdgeSet, Set: s} }
+
+// Assignment maps free-variable names to values.
+type Assignment map[string]Value
+
+// Evaluator evaluates MSO formulas on a graph by exhaustive enumeration. It
+// is exponential in the number of set quantifiers and serves as the
+// ground-truth oracle; the automata engines are the scalable implementations.
+type Evaluator struct {
+	G *graph.Graph
+	// MaxSetUniverse bounds vertex/edge counts for subset enumeration; 0
+	// means DefaultMaxSetUniverse.
+	MaxSetUniverse int
+}
+
+// NewEvaluator returns an evaluator for g with default limits.
+func NewEvaluator(g *graph.Graph) *Evaluator { return &Evaluator{G: g} }
+
+func (ev *Evaluator) maxUniverse() int {
+	if ev.MaxSetUniverse > 0 {
+		return ev.MaxSetUniverse
+	}
+	return DefaultMaxSetUniverse
+}
+
+// Eval evaluates f under the given assignment of its free variables. The
+// assignment map is not modified.
+func (ev *Evaluator) Eval(f Formula, asg Assignment) (bool, error) {
+	env := make(Assignment, len(asg)+4)
+	for k, v := range asg {
+		env[k] = v
+	}
+	return ev.eval(f, env)
+}
+
+func (ev *Evaluator) eval(f Formula, env Assignment) (bool, error) {
+	switch t := f.(type) {
+	case True:
+		return true, nil
+	case False:
+		return false, nil
+	case Adj:
+		x, err := ev.elem(env, t.X, KindVertex)
+		if err != nil {
+			return false, err
+		}
+		y, err := ev.elem(env, t.Y, KindVertex)
+		if err != nil {
+			return false, err
+		}
+		return ev.G.HasEdge(x, y), nil
+	case Inc:
+		v, err := ev.elem(env, t.V, KindVertex)
+		if err != nil {
+			return false, err
+		}
+		e, err := ev.elem(env, t.E, KindEdge)
+		if err != nil {
+			return false, err
+		}
+		edge := ev.G.Edge(e)
+		return edge.U == v || edge.V == v, nil
+	case Eq:
+		vx, ok := env[t.X]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound variable %q", t.X)
+		}
+		vy, ok := env[t.Y]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound variable %q", t.Y)
+		}
+		if vx.Kind.IsSet() || vy.Kind.IsSet() || vx.Kind != vy.Kind {
+			return false, fmt.Errorf("mso: = kind mismatch for %q, %q", t.X, t.Y)
+		}
+		return vx.Elem == vy.Elem, nil
+	case In:
+		vx, ok := env[t.X]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound variable %q", t.X)
+		}
+		vs, ok := env[t.S]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound variable %q", t.S)
+		}
+		if vx.Kind.IsSet() || !vs.Kind.IsSet() || vs.Kind.ElementKind() != vx.Kind {
+			return false, fmt.Errorf("mso: 'in' kind mismatch for %q, %q", t.X, t.S)
+		}
+		return vs.Set.Contains(vx.Elem), nil
+	case Label:
+		vx, ok := env[t.X]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound variable %q", t.X)
+		}
+		switch vx.Kind {
+		case KindVertex:
+			return ev.G.HasVertexLabel(t.Name, vx.Elem), nil
+		case KindEdge:
+			return ev.G.HasEdgeLabel(t.Name, vx.Elem), nil
+		default:
+			return false, fmt.Errorf("mso: label %q applied to set variable %q", t.Name, t.X)
+		}
+	case Not:
+		v, err := ev.eval(t.F, env)
+		return !v, err
+	case And:
+		l, err := ev.eval(t.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return ev.eval(t.R, env)
+	case Or:
+		l, err := ev.eval(t.L, env)
+		if err != nil || l {
+			return l, err
+		}
+		return ev.eval(t.R, env)
+	case Implies:
+		l, err := ev.eval(t.L, env)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return ev.eval(t.R, env)
+	case Iff:
+		l, err := ev.eval(t.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.eval(t.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case Exists:
+		return ev.quantify(t.Var, t.Kind, t.Body, env, true)
+	case ForAll:
+		return ev.quantify(t.Var, t.Kind, t.Body, env, false)
+	case nil:
+		return false, fmt.Errorf("mso: nil formula node")
+	default:
+		return false, fmt.Errorf("mso: unknown node type %T", f)
+	}
+}
+
+// quantify evaluates an existential (existential=true) or universal
+// quantifier by enumerating the domain.
+func (ev *Evaluator) quantify(name string, kind VarKind, body Formula, env Assignment, existential bool) (bool, error) {
+	prev, had := env[name]
+	defer func() {
+		if had {
+			env[name] = prev
+		} else {
+			delete(env, name)
+		}
+	}()
+
+	try := func(val Value) (bool, bool, error) {
+		env[name] = val
+		v, err := ev.eval(body, env)
+		if err != nil {
+			return false, true, err
+		}
+		if existential && v {
+			return true, true, nil
+		}
+		if !existential && !v {
+			return false, true, nil
+		}
+		return false, false, nil
+	}
+
+	switch kind {
+	case KindVertex:
+		for v := 0; v < ev.G.NumVertices(); v++ {
+			if res, done, err := try(VertexValue(v)); done {
+				return res, err
+			}
+		}
+	case KindEdge:
+		for e := 0; e < ev.G.NumEdges(); e++ {
+			if res, done, err := try(EdgeValue(e)); done {
+				return res, err
+			}
+		}
+	case KindVertexSet, KindEdgeSet:
+		universe := ev.G.NumVertices()
+		if kind == KindEdgeSet {
+			universe = ev.G.NumEdges()
+		}
+		if universe > ev.maxUniverse() {
+			return false, fmt.Errorf("%w: %d elements for set quantifier over %q (limit %d)",
+				ErrUniverseTooLarge, universe, name, ev.maxUniverse())
+		}
+		for mask := uint64(0); mask < 1<<uint(universe); mask++ {
+			set := bitset.New(universe)
+			for m := mask; m != 0; m &= m - 1 {
+				set.Add(trailingZeros(m))
+			}
+			val := VertexSetValue(set)
+			if kind == KindEdgeSet {
+				val = EdgeSetValue(set)
+			}
+			if res, done, err := try(val); done {
+				return res, err
+			}
+		}
+	default:
+		return false, fmt.Errorf("mso: quantifier over %q has invalid kind %v", name, kind)
+	}
+	// Existential exhausted without witness: false. Universal never failed: true.
+	return !existential, nil
+}
+
+func trailingZeros(m uint64) int { return bits.TrailingZeros64(m) }
+
+func (ev *Evaluator) elem(env Assignment, name string, want VarKind) (int, error) {
+	v, ok := env[name]
+	if !ok {
+		return 0, fmt.Errorf("mso: unbound variable %q", name)
+	}
+	if v.Kind != want {
+		return 0, fmt.Errorf("mso: variable %q is %v, want %v", name, v.Kind, want)
+	}
+	if want == KindVertex && (v.Elem < 0 || v.Elem >= ev.G.NumVertices()) {
+		return 0, fmt.Errorf("mso: vertex value %d of %q out of range", v.Elem, name)
+	}
+	if want == KindEdge && (v.Elem < 0 || v.Elem >= ev.G.NumEdges()) {
+		return 0, fmt.Errorf("mso: edge value %d of %q out of range", v.Elem, name)
+	}
+	return v.Elem, nil
+}
+
+// TypedVar declares a free variable with its kind, for counting and
+// optimization drivers.
+type TypedVar struct {
+	Name string
+	Kind VarKind
+}
+
+// CountAssignments counts the assignments of the given free variables that
+// satisfy f, enumerating exhaustively. Set variables require the universe to
+// be within the evaluator's limit.
+func (ev *Evaluator) CountAssignments(f Formula, free []TypedVar) (int64, error) {
+	env := make(Assignment, len(free))
+	var count int64
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(free) {
+			v, err := ev.eval(f, env)
+			if err != nil {
+				return err
+			}
+			if v {
+				count++
+			}
+			return nil
+		}
+		fv := free[i]
+		switch fv.Kind {
+		case KindVertex:
+			for v := 0; v < ev.G.NumVertices(); v++ {
+				env[fv.Name] = VertexValue(v)
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+		case KindEdge:
+			for e := 0; e < ev.G.NumEdges(); e++ {
+				env[fv.Name] = EdgeValue(e)
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+		case KindVertexSet, KindEdgeSet:
+			universe := ev.G.NumVertices()
+			if fv.Kind == KindEdgeSet {
+				universe = ev.G.NumEdges()
+			}
+			if universe > ev.maxUniverse() {
+				return fmt.Errorf("%w: %d elements for free set variable %q (limit %d)",
+					ErrUniverseTooLarge, universe, fv.Name, ev.maxUniverse())
+			}
+			for mask := uint64(0); mask < 1<<uint(universe); mask++ {
+				set := bitset.New(universe)
+				for m := mask; m != 0; m &= m - 1 {
+					set.Add(trailingZeros(m))
+				}
+				if fv.Kind == KindVertexSet {
+					env[fv.Name] = VertexSetValue(set)
+				} else {
+					env[fv.Name] = EdgeSetValue(set)
+				}
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("mso: free variable %q has invalid kind %v", fv.Name, fv.Kind)
+		}
+		delete(env, fv.Name)
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// OptResult reports the outcome of naive optimization.
+type OptResult struct {
+	Found  bool
+	Weight int64
+	Set    *bitset.Set // vertex IDs or edge IDs depending on the variable kind
+}
+
+// OptimizeSet finds a subset binding for the free set variable that satisfies
+// f and has maximum (or minimum) total weight, using vertex weights for
+// vertex sets and edge weights for edge sets. It enumerates all subsets and
+// requires the universe to be within the evaluator's limit.
+func (ev *Evaluator) OptimizeSet(f Formula, varName string, kind VarKind, maximize bool) (OptResult, error) {
+	if !kind.IsSet() {
+		return OptResult{}, fmt.Errorf("mso: OptimizeSet needs a set kind, got %v", kind)
+	}
+	universe := ev.G.NumVertices()
+	if kind == KindEdgeSet {
+		universe = ev.G.NumEdges()
+	}
+	if universe > ev.maxUniverse() {
+		return OptResult{}, fmt.Errorf("%w: %d elements for optimization over %q (limit %d)",
+			ErrUniverseTooLarge, universe, varName, ev.maxUniverse())
+	}
+	weight := func(set *bitset.Set) int64 {
+		var total int64
+		set.ForEach(func(i int) {
+			if kind == KindVertexSet {
+				total += ev.G.VertexWeight(i)
+			} else {
+				total += ev.G.EdgeWeight(i)
+			}
+		})
+		return total
+	}
+	var best OptResult
+	for mask := uint64(0); mask < 1<<uint(universe); mask++ {
+		set := bitset.New(universe)
+		for m := mask; m != 0; m &= m - 1 {
+			set.Add(trailingZeros(m))
+		}
+		val := VertexSetValue(set)
+		if kind == KindEdgeSet {
+			val = EdgeSetValue(set)
+		}
+		ok, err := ev.Eval(f, Assignment{varName: val})
+		if err != nil {
+			return OptResult{}, err
+		}
+		if !ok {
+			continue
+		}
+		w := weight(set)
+		if !best.Found || (maximize && w > best.Weight) || (!maximize && w < best.Weight) {
+			best = OptResult{Found: true, Weight: w, Set: set}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,324 @@
+package mso
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+func triangle() *graph.Graph {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	return g
+}
+
+func path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func evalClosed(t *testing.T, g *graph.Graph, input string) bool {
+	t.Helper()
+	f := MustParse(input)
+	if err := Check(f, nil); err != nil {
+		t.Fatalf("Check(%q): %v", input, err)
+	}
+	v, err := NewEvaluator(g).Eval(f, nil)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", input, err)
+	}
+	return v
+}
+
+func TestEvalAtoms(t *testing.T) {
+	g := path(3)
+	ev := NewEvaluator(g)
+	cases := []struct {
+		f    Formula
+		asg  Assignment
+		want bool
+	}{
+		{Adj{"x", "y"}, Assignment{"x": VertexValue(0), "y": VertexValue(1)}, true},
+		{Adj{"x", "y"}, Assignment{"x": VertexValue(0), "y": VertexValue(2)}, false},
+		{Eq{"x", "y"}, Assignment{"x": VertexValue(1), "y": VertexValue(1)}, true},
+		{Eq{"x", "y"}, Assignment{"x": VertexValue(1), "y": VertexValue(2)}, false},
+		{Inc{"v", "e"}, Assignment{"v": VertexValue(0), "e": EdgeValue(0)}, true},
+		{Inc{"v", "e"}, Assignment{"v": VertexValue(2), "e": EdgeValue(0)}, false},
+		{In{"x", "S"}, Assignment{"x": VertexValue(1), "S": VertexSetValue(bitset.FromIndices(3, 1))}, true},
+		{In{"x", "S"}, Assignment{"x": VertexValue(0), "S": VertexSetValue(bitset.FromIndices(3, 1))}, false},
+		{In{"e", "F"}, Assignment{"e": EdgeValue(1), "F": EdgeSetValue(bitset.FromIndices(2, 1))}, true},
+		{True{}, nil, true},
+		{False{}, nil, false},
+	}
+	for i, tc := range cases {
+		got, err := ev.Eval(tc.f, tc.asg)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != tc.want {
+			t.Fatalf("case %d (%s): got %v, want %v", i, tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestEvalLabels(t *testing.T) {
+	g := path(2)
+	g.SetVertexLabel("red", 0)
+	g.SetEdgeLabel("mark", 0)
+	ev := NewEvaluator(g)
+	got, err := ev.Eval(Label{"red", "x"}, Assignment{"x": VertexValue(0)})
+	if err != nil || !got {
+		t.Fatalf("red(0) = %v, %v", got, err)
+	}
+	got, err = ev.Eval(Label{"red", "x"}, Assignment{"x": VertexValue(1)})
+	if err != nil || got {
+		t.Fatalf("red(1) = %v, %v", got, err)
+	}
+	got, err = ev.Eval(Label{"mark", "e"}, Assignment{"e": EdgeValue(0)})
+	if err != nil || !got {
+		t.Fatalf("mark(e0) = %v, %v", got, err)
+	}
+}
+
+func TestEvalConnectives(t *testing.T) {
+	g := path(2)
+	if !evalClosed(t, g, "true & ~false") {
+		t.Fatal("true & ~false")
+	}
+	if evalClosed(t, g, "false | false") {
+		t.Fatal("false | false")
+	}
+	if !evalClosed(t, g, "false -> false") {
+		t.Fatal("vacuous implication")
+	}
+	if !evalClosed(t, g, "false <-> false") {
+		t.Fatal("iff")
+	}
+	if evalClosed(t, g, "true <-> false") {
+		t.Fatal("iff")
+	}
+}
+
+func TestEvalQuantifiers(t *testing.T) {
+	tri := triangle()
+	p4 := path(4)
+	hasTriangle := "exists x:V, y:V, z:V . adj(x,y) & adj(y,z) & adj(z,x)"
+	if !evalClosed(t, tri, hasTriangle) {
+		t.Fatal("triangle graph should have a triangle")
+	}
+	if evalClosed(t, p4, hasTriangle) {
+		t.Fatal("P4 should be triangle-free")
+	}
+	allAdjacent := "forall x:V, y:V . x = y | adj(x,y)"
+	if !evalClosed(t, tri, allAdjacent) {
+		t.Fatal("K3 is complete")
+	}
+	if evalClosed(t, p4, allAdjacent) {
+		t.Fatal("P4 is not complete")
+	}
+	// Edge quantifier: every edge has two endpoints.
+	if !evalClosed(t, p4, "forall e:E . exists x:V, y:V . x != y & inc(x,e) & inc(y,e)") {
+		t.Fatal("edges have two endpoints")
+	}
+}
+
+func TestEvalSetQuantifiers(t *testing.T) {
+	// "There is an independent set of size >= 2" via sets.
+	f := `exists X:VS . (exists a:V, b:V . a != b & a in X & b in X) &
+		(forall x:V, y:V . (x in X & y in X) -> ~adj(x,y))`
+	if evalClosed(t, triangle(), f) {
+		t.Fatal("K3 has no independent set of size 2")
+	}
+	if !evalClosed(t, path(3), f) {
+		t.Fatal("P3 has an independent set of size 2")
+	}
+	// Edge set quantifier: some nonempty edge set exists iff graph has edges.
+	g := graph.New(3)
+	hasEdgeSet := "exists F:ES . exists e:E . e in F"
+	if evalClosed(t, g, hasEdgeSet) {
+		t.Fatal("edgeless graph")
+	}
+	if !evalClosed(t, path(3), hasEdgeSet) {
+		t.Fatal("P3 has edges")
+	}
+}
+
+func TestEvalEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	if !evalClosed(t, g, "forall x:V . false") {
+		t.Fatal("universal over empty domain is true")
+	}
+	if evalClosed(t, g, "exists x:V . true") {
+		t.Fatal("existential over empty domain is false")
+	}
+}
+
+func TestEvalUniverseLimit(t *testing.T) {
+	g := path(30)
+	ev := &Evaluator{G: g, MaxSetUniverse: 10}
+	_, err := ev.Eval(MustParse("exists X:VS . true"), nil)
+	if !errors.Is(err, ErrUniverseTooLarge) {
+		t.Fatalf("err = %v, want ErrUniverseTooLarge", err)
+	}
+	// Element quantifiers are fine at any size.
+	if _, err := ev.Eval(MustParse("exists x:V . true"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	ev := NewEvaluator(path(3))
+	if _, err := ev.Eval(Adj{"x", "y"}, nil); err == nil {
+		t.Fatal("unbound variable should error")
+	}
+	if _, err := ev.Eval(Adj{"x", "y"}, Assignment{"x": EdgeValue(0), "y": VertexValue(0)}); err == nil {
+		t.Fatal("kind mismatch should error")
+	}
+	if _, err := ev.Eval(Adj{"x", "y"}, Assignment{"x": VertexValue(99), "y": VertexValue(0)}); err == nil {
+		t.Fatal("out-of-range vertex should error")
+	}
+	if _, err := ev.Eval(nil, nil); err == nil {
+		t.Fatal("nil formula should error")
+	}
+}
+
+func TestEvalDoesNotMutateAssignment(t *testing.T) {
+	ev := NewEvaluator(path(3))
+	asg := Assignment{"y": VertexValue(1)}
+	_, err := ev.Eval(MustParse("exists y:V . adj(y,y)"), asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := asg["y"]; v.Kind != KindVertex || v.Elem != 1 {
+		t.Fatal("Eval must not mutate the caller's assignment")
+	}
+	if len(asg) != 1 {
+		t.Fatal("Eval must not add bindings to the caller's assignment")
+	}
+}
+
+func TestCountAssignments(t *testing.T) {
+	tri := triangle()
+	ev := NewEvaluator(tri)
+	triFormula := MustParse("adj(x1,x2) & adj(x2,x3) & adj(x3,x1)")
+	free := []TypedVar{{"x1", KindVertex}, {"x2", KindVertex}, {"x3", KindVertex}}
+	count, err := ev.CountAssignments(triFormula, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 { // 3! ordered triangles
+		t.Fatalf("ordered triangles in K3 = %d, want 6", count)
+	}
+	// P4 has none.
+	count, err = NewEvaluator(path(4)).CountAssignments(triFormula, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("triangles in P4 = %d, want 0", count)
+	}
+	// Count edges via edge variable.
+	count, err = ev.CountAssignments(True{}, []TypedVar{{"e", KindEdge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("edges = %d, want 3", count)
+	}
+	// Count subsets: all vertex sets of K3 satisfying true = 8.
+	count, err = ev.CountAssignments(True{}, []TypedVar{{"X", KindVertexSet}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("subsets = %d, want 8", count)
+	}
+}
+
+func TestOptimizeSetIndependentSet(t *testing.T) {
+	// P4: maximum independent set has size 2 (unit weights).
+	g := path(4)
+	for v := 0; v < 4; v++ {
+		g.SetVertexWeight(v, 1)
+	}
+	indep := MustParse("forall x:V, y:V . (x in S & y in S) -> ~adj(x,y)")
+	res, err := NewEvaluator(g).OptimizeSet(indep, "S", KindVertexSet, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 2 {
+		t.Fatalf("MaxIS(P4) = %+v, want weight 2", res)
+	}
+	// Weighted: middle vertices heavy.
+	g.SetVertexWeight(1, 10)
+	g.SetVertexWeight(2, 10)
+	res, err = NewEvaluator(g).OptimizeSet(indep, "S", KindVertexSet, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best: {1, 3}? 1 and 3 not adjacent: weight 11. Or {0, 2}: 11. Both 11.
+	if res.Weight != 11 {
+		t.Fatalf("weighted MaxIS = %d, want 11", res.Weight)
+	}
+}
+
+func TestOptimizeSetMinimize(t *testing.T) {
+	// Minimum vertex cover of K3 with unit weights is 2.
+	g := triangle()
+	for v := 0; v < 3; v++ {
+		g.SetVertexWeight(v, 1)
+	}
+	vc := MustParse("forall e:E . exists x:V . inc(x,e) & x in S")
+	res, err := NewEvaluator(g).OptimizeSet(vc, "S", KindVertexSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 2 {
+		t.Fatalf("MinVC(K3) = %+v, want weight 2", res)
+	}
+}
+
+func TestOptimizeSetInfeasible(t *testing.T) {
+	res, err := NewEvaluator(path(2)).OptimizeSet(False{}, "S", KindVertexSet, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("no set satisfies false")
+	}
+}
+
+func TestOptimizeSetEdges(t *testing.T) {
+	// Maximum matching in P4 (unit edge weights): both end edges, size 2.
+	g := path(4)
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.ID, 1)
+	}
+	matching := MustParse(`forall e1:E, e2:E . (e1 in S & e2 in S & e1 != e2) ->
+		~(exists x:V . inc(x,e1) & inc(x,e2))`)
+	res, err := NewEvaluator(g).OptimizeSet(matching, "S", KindEdgeSet, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 2 {
+		t.Fatalf("MaxMatching(P4) = %+v, want 2", res)
+	}
+}
+
+func TestOptimizeSetErrors(t *testing.T) {
+	ev := NewEvaluator(path(3))
+	if _, err := ev.OptimizeSet(True{}, "S", KindVertex, true); err == nil {
+		t.Fatal("element kind should be rejected")
+	}
+	big := &Evaluator{G: path(40), MaxSetUniverse: 8}
+	if _, err := big.OptimizeSet(True{}, "S", KindVertexSet, true); !errors.Is(err, ErrUniverseTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package msolib is a library of MSO formulas for classic graph properties
+// and optimization problems, built programmatically on the mso AST. Closed
+// formulas express decision predicates (acyclicity, k-colorability,
+// H-freeness); formulas with a free set variable express optimization
+// problems (independent set, vertex cover, spanning tree, matching) in the
+// maxφ/minφ framework of the paper.
+package msolib
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mso"
+)
+
+// FreeSet is the conventional name of the free set variable in optimization
+// formulas produced by this package.
+const FreeSet = "S"
+
+// TriangleFree is ¬∃x,y,z pairwise-adjacent distinct vertices.
+func TriangleFree() mso.Formula {
+	return mso.Not{F: mso.ExistsMany(mso.KindVertex, []string{"x1", "x2", "x3"},
+		mso.AndAll(
+			mso.Adj{X: "x1", Y: "x2"},
+			mso.Adj{X: "x2", Y: "x3"},
+			mso.Adj{X: "x3", Y: "x1"},
+		))}
+}
+
+// Triangle is the free-variable formula φ(x1,x2,x3) stating that the three
+// vertices form a triangle; used for counting triangles (each triangle has 6
+// ordered occurrences).
+func Triangle() mso.Formula {
+	return mso.AndAll(
+		mso.Adj{X: "x1", Y: "x2"},
+		mso.Adj{X: "x2", Y: "x3"},
+		mso.Adj{X: "x3", Y: "x1"},
+	)
+}
+
+// CycleFree returns C_k-freeness (no cycle on exactly k vertices as a
+// subgraph, not necessarily induced). It panics for k < 3.
+func CycleFree(k int) mso.Formula {
+	return HSubgraphFree(cycleGraph(k))
+}
+
+func cycleGraph(k int) *graph.Graph {
+	if k < 3 {
+		panic(fmt.Sprintf("msolib: CycleFree needs k >= 3, got %d", k))
+	}
+	c := graph.New(k)
+	for i := 0; i < k; i++ {
+		c.MustAddEdge(i, (i+1)%k)
+	}
+	return c
+}
+
+// HSubgraph returns the formula ∃x_1..x_p distinct with adj(x_i, x_j) for
+// every edge {i,j} of H: "G contains H as a (not necessarily induced)
+// subgraph". This is the formula φ_H of Corollary 7.3 without the negation.
+func HSubgraph(h *graph.Graph) mso.Formula {
+	p := h.NumVertices()
+	vars := make([]string, p)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i+1)
+	}
+	parts := []mso.Formula{mso.Distinct(vars...)}
+	for _, e := range h.Edges() {
+		parts = append(parts, mso.Adj{X: vars[e.U], Y: vars[e.V]})
+	}
+	return mso.ExistsMany(mso.KindVertex, vars, mso.AndAll(parts...))
+}
+
+// HSubgraphFree is ¬HSubgraph(h): "G is H-free" in the subgraph sense.
+func HSubgraphFree(h *graph.Graph) mso.Formula {
+	return mso.Not{F: HSubgraph(h)}
+}
+
+// HInducedSubgraph additionally requires non-adjacency for non-edges of H,
+// i.e. G contains H as an induced subgraph.
+func HInducedSubgraph(h *graph.Graph) mso.Formula {
+	p := h.NumVertices()
+	vars := make([]string, p)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i+1)
+	}
+	parts := []mso.Formula{mso.Distinct(vars...)}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			if h.HasEdge(i, j) {
+				parts = append(parts, mso.Adj{X: vars[i], Y: vars[j]})
+			} else {
+				parts = append(parts, mso.Not{F: mso.Adj{X: vars[i], Y: vars[j]}})
+			}
+		}
+	}
+	return mso.ExistsMany(mso.KindVertex, vars, mso.AndAll(parts...))
+}
+
+// HInducedFree is ¬HInducedSubgraph(h).
+func HInducedFree(h *graph.Graph) mso.Formula {
+	return mso.Not{F: HInducedSubgraph(h)}
+}
+
+// Acyclic is the paper's formulation: there is no nonempty vertex set X in
+// which every vertex has two distinct neighbors inside X.
+func Acyclic() mso.Formula {
+	inner := mso.ForAll{Var: "x", Kind: mso.KindVertex, Body: mso.Implies{
+		L: mso.In{X: "x", S: "X"},
+		R: mso.ExistsMany(mso.KindVertex, []string{"y1", "y2"}, mso.AndAll(
+			mso.In{X: "y1", S: "X"},
+			mso.In{X: "y2", S: "X"},
+			mso.Not{F: mso.Eq{X: "y1", Y: "y2"}},
+			mso.Adj{X: "x", Y: "y1"},
+			mso.Adj{X: "x", Y: "y2"},
+		)),
+	}}
+	nonEmpty := mso.Exists{Var: "z", Kind: mso.KindVertex, Body: mso.In{X: "z", S: "X"}}
+	return mso.Not{F: mso.Exists{Var: "X", Kind: mso.KindVertexSet,
+		Body: mso.And{L: nonEmpty, R: inner}}}
+}
+
+// Connected states that no proper nonempty vertex subset is closed under
+// adjacency: for every X with some vertex inside and some outside, an edge
+// crosses the cut.
+func Connected() mso.Formula {
+	someIn := mso.Exists{Var: "u", Kind: mso.KindVertex, Body: mso.In{X: "u", S: "X"}}
+	someOut := mso.Exists{Var: "v", Kind: mso.KindVertex, Body: mso.Not{F: mso.In{X: "v", S: "X"}}}
+	crossing := mso.ExistsMany(mso.KindVertex, []string{"a", "b"}, mso.AndAll(
+		mso.In{X: "a", S: "X"},
+		mso.Not{F: mso.In{X: "b", S: "X"}},
+		mso.Adj{X: "a", Y: "b"},
+	))
+	return mso.ForAll{Var: "X", Kind: mso.KindVertexSet,
+		Body: mso.Implies{L: mso.And{L: someIn, R: someOut}, R: crossing}}
+}
+
+// KColorable states that the vertices can be covered by k independent sets.
+func KColorable(k int) mso.Formula {
+	if k < 1 {
+		panic(fmt.Sprintf("msolib: KColorable needs k >= 1, got %d", k))
+	}
+	sets := make([]string, k)
+	for i := range sets {
+		sets[i] = fmt.Sprintf("C%d", i+1)
+	}
+	var coverParts []mso.Formula
+	for _, s := range sets {
+		coverParts = append(coverParts, mso.In{X: "x", S: s})
+	}
+	cover := mso.ForAll{Var: "x", Kind: mso.KindVertex, Body: mso.OrAll(coverParts...)}
+	parts := []mso.Formula{cover}
+	for _, s := range sets {
+		parts = append(parts, mso.ForAllMany(mso.KindVertex, []string{"y", "z"},
+			mso.Implies{
+				L: mso.AndAll(mso.In{X: "y", S: s}, mso.In{X: "z", S: s}),
+				R: mso.Not{F: mso.Adj{X: "y", Y: "z"}},
+			}))
+	}
+	body := mso.AndAll(parts...)
+	out := mso.Formula(body)
+	for i := k - 1; i >= 0; i-- {
+		out = mso.Exists{Var: sets[i], Kind: mso.KindVertexSet, Body: out}
+	}
+	return out
+}
+
+// NonKColorable is ¬KColorable(k); for k = 3 this is the paper's running
+// example of a hard MSO property made constant-round on bounded treedepth.
+func NonKColorable(k int) mso.Formula {
+	return mso.Not{F: KColorable(k)}
+}
+
+// IndependentSet is φ(S): no two vertices of S are adjacent.
+func IndependentSet() mso.Formula {
+	return mso.ForAllMany(mso.KindVertex, []string{"x", "y"},
+		mso.Implies{
+			L: mso.AndAll(mso.In{X: "x", S: FreeSet}, mso.In{X: "y", S: FreeSet}),
+			R: mso.Not{F: mso.Adj{X: "x", Y: "y"}},
+		})
+}
+
+// VertexCover is φ(S): every edge has an endpoint in S.
+func VertexCover() mso.Formula {
+	return mso.ForAll{Var: "e", Kind: mso.KindEdge,
+		Body: mso.Exists{Var: "x", Kind: mso.KindVertex,
+			Body: mso.AndAll(mso.Inc{V: "x", E: "e"}, mso.In{X: "x", S: FreeSet})}}
+}
+
+// DominatingSet is φ(S): every vertex is in S or adjacent to a vertex of S.
+func DominatingSet() mso.Formula {
+	return mso.ForAll{Var: "x", Kind: mso.KindVertex,
+		Body: mso.Or{
+			L: mso.In{X: "x", S: FreeSet},
+			R: mso.Exists{Var: "y", Kind: mso.KindVertex,
+				Body: mso.AndAll(mso.Adj{X: "x", Y: "y"}, mso.In{X: "y", S: FreeSet})},
+		}}
+}
+
+// FeedbackVertexSet is φ(S): deleting S leaves an acyclic graph — no
+// nonempty X disjoint from S has minimum degree 2 within X.
+func FeedbackVertexSet() mso.Formula {
+	inner := mso.ForAll{Var: "x", Kind: mso.KindVertex, Body: mso.Implies{
+		L: mso.In{X: "x", S: "X"},
+		R: mso.ExistsMany(mso.KindVertex, []string{"y1", "y2"}, mso.AndAll(
+			mso.In{X: "y1", S: "X"},
+			mso.In{X: "y2", S: "X"},
+			mso.Not{F: mso.Eq{X: "y1", Y: "y2"}},
+			mso.Adj{X: "x", Y: "y1"},
+			mso.Adj{X: "x", Y: "y2"},
+		)),
+	}}
+	nonEmpty := mso.Exists{Var: "z", Kind: mso.KindVertex, Body: mso.In{X: "z", S: "X"}}
+	disjoint := mso.ForAll{Var: "w", Kind: mso.KindVertex, Body: mso.Implies{
+		L: mso.In{X: "w", S: "X"},
+		R: mso.Not{F: mso.In{X: "w", S: FreeSet}},
+	}}
+	return mso.Not{F: mso.Exists{Var: "X", Kind: mso.KindVertexSet,
+		Body: mso.AndAll(nonEmpty, disjoint, inner)}}
+}
+
+// adjVia(x, y, s) states that some edge of set variable s joins x and y.
+func adjVia(x, y, s string) mso.Formula {
+	return mso.Exists{Var: "e_" + x + y, Kind: mso.KindEdge, Body: mso.AndAll(
+		mso.In{X: "e_" + x + y, S: s},
+		mso.Inc{V: x, E: "e_" + x + y},
+		mso.Inc{V: y, E: "e_" + x + y},
+	)}
+}
+
+// SpanningTree is φ(S) over edge sets: the subgraph (V, S) is connected and
+// acyclic. With edge weights and minφ, this yields minimum spanning tree.
+func SpanningTree() mso.Formula {
+	// Connectivity via S-edges: every cut is crossed by an S-edge.
+	someIn := mso.Exists{Var: "u", Kind: mso.KindVertex, Body: mso.In{X: "u", S: "X"}}
+	someOut := mso.Exists{Var: "v", Kind: mso.KindVertex, Body: mso.Not{F: mso.In{X: "v", S: "X"}}}
+	crossing := mso.ExistsMany(mso.KindVertex, []string{"a", "b"}, mso.AndAll(
+		mso.In{X: "a", S: "X"},
+		mso.Not{F: mso.In{X: "b", S: "X"}},
+		adjVia("a", "b", FreeSet),
+	))
+	connectedViaS := mso.ForAll{Var: "X", Kind: mso.KindVertexSet,
+		Body: mso.Implies{L: mso.And{L: someIn, R: someOut}, R: crossing}}
+	// Acyclicity of (V, S): no nonempty vertex set X where each vertex has
+	// two distinct S-neighbors within X. Unlike adj(x,x), adjVia(x,x,S) is
+	// satisfiable (any S-edge at x), so y1 != x and y2 != x are explicit.
+	inner := mso.ForAll{Var: "x", Kind: mso.KindVertex, Body: mso.Implies{
+		L: mso.In{X: "x", S: "X"},
+		R: mso.ExistsMany(mso.KindVertex, []string{"y1", "y2"}, mso.AndAll(
+			mso.In{X: "y1", S: "X"},
+			mso.In{X: "y2", S: "X"},
+			mso.Not{F: mso.Eq{X: "y1", Y: "y2"}},
+			mso.Not{F: mso.Eq{X: "y1", Y: "x"}},
+			mso.Not{F: mso.Eq{X: "y2", Y: "x"}},
+			adjVia("x", "y1", FreeSet),
+			adjVia("x", "y2", FreeSet),
+		)),
+	}}
+	nonEmpty := mso.Exists{Var: "z", Kind: mso.KindVertex, Body: mso.In{X: "z", S: "X"}}
+	acyclicViaS := mso.Not{F: mso.Exists{Var: "X", Kind: mso.KindVertexSet,
+		Body: mso.And{L: nonEmpty, R: inner}}}
+	return mso.And{L: connectedViaS, R: acyclicViaS}
+}
+
+// Matching is φ(S) over edge sets: no two distinct edges of S share an
+// endpoint.
+func Matching() mso.Formula {
+	return mso.ForAllMany(mso.KindEdge, []string{"e1", "e2"},
+		mso.Implies{
+			L: mso.AndAll(
+				mso.In{X: "e1", S: FreeSet},
+				mso.In{X: "e2", S: FreeSet},
+				mso.Not{F: mso.Eq{X: "e1", Y: "e2"}},
+			),
+			R: mso.Not{F: mso.Exists{Var: "x", Kind: mso.KindVertex,
+				Body: mso.AndAll(mso.Inc{V: "x", E: "e1"}, mso.Inc{V: "x", E: "e2"})}},
+		})
+}
+
+// PerfectMatching is φ(S): S is a matching covering every vertex. Counting
+// the satisfying assignments of S counts perfect matchings.
+func PerfectMatching() mso.Formula {
+	covers := mso.ForAll{Var: "x", Kind: mso.KindVertex,
+		Body: mso.Exists{Var: "e", Kind: mso.KindEdge,
+			Body: mso.AndAll(mso.In{X: "e", S: FreeSet}, mso.Inc{V: "x", E: "e"})}}
+	return mso.And{L: Matching(), R: covers}
+}
+
+// HasPerfectMatching is the closed formula ∃S PerfectMatching(S).
+func HasPerfectMatching() mso.Formula {
+	return mso.Exists{Var: FreeSet, Kind: mso.KindEdgeSet, Body: PerfectMatching()}
+}
+
+// RedBlueDominatingSet is the paper's labeled example: S contains only blue
+// vertices and every red vertex is adjacent to a vertex of S.
+func RedBlueDominatingSet() mso.Formula {
+	allBlue := mso.ForAll{Var: "x", Kind: mso.KindVertex, Body: mso.Implies{
+		L: mso.In{X: "x", S: FreeSet},
+		R: mso.Label{Name: "blue", X: "x"},
+	}}
+	dominated := mso.ForAll{Var: "y", Kind: mso.KindVertex, Body: mso.Implies{
+		L: mso.Label{Name: "red", X: "y"},
+		R: mso.Exists{Var: "x", Kind: mso.KindVertex,
+			Body: mso.AndAll(mso.In{X: "x", S: FreeSet}, mso.Adj{X: "x", Y: "y"})},
+	}}
+	return mso.And{L: allBlue, R: dominated}
+}
+
+// ProperlyTwoColored is the paper's labeled closed formula: every vertex is
+// red or blue, and no edge joins two vertices of the same color.
+func ProperlyTwoColored() mso.Formula {
+	covered := mso.ForAll{Var: "x", Kind: mso.KindVertex,
+		Body: mso.Or{L: mso.Label{Name: "red", X: "x"}, R: mso.Label{Name: "blue", X: "x"}}}
+	proper := mso.ForAllMany(mso.KindVertex, []string{"x", "y"},
+		mso.Not{F: mso.AndAll(
+			mso.Adj{X: "x", Y: "y"},
+			mso.Or{
+				L: mso.And{L: mso.Label{Name: "red", X: "x"}, R: mso.Label{Name: "red", X: "y"}},
+				R: mso.And{L: mso.Label{Name: "blue", X: "x"}, R: mso.Label{Name: "blue", X: "y"}},
+			},
+		)})
+	return mso.And{L: covered, R: proper}
+}
+
+// HasVertexOfDegreeAtLeast returns ∃x with k pairwise-distinct neighbors —
+// for k = 3 this is the paper's example of an FO property requiring Ω(n)
+// rounds on paths-with-a-claw, delimiting the meta-theorem.
+func HasVertexOfDegreeAtLeast(k int) mso.Formula {
+	if k < 1 {
+		panic(fmt.Sprintf("msolib: HasVertexOfDegreeAtLeast needs k >= 1, got %d", k))
+	}
+	vars := make([]string, k)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("y%d", i+1)
+	}
+	parts := []mso.Formula{mso.Distinct(vars...)}
+	for _, v := range vars {
+		parts = append(parts, mso.Adj{X: "x", Y: v})
+	}
+	return mso.Exists{Var: "x", Kind: mso.KindVertex,
+		Body: mso.ExistsMany(mso.KindVertex, vars, mso.AndAll(parts...))}
+}
+
+// MaxDegreeAtMost is ¬HasVertexOfDegreeAtLeast(k+1).
+func MaxDegreeAtMost(k int) mso.Formula {
+	return mso.Not{F: HasVertexOfDegreeAtLeast(k + 1)}
+}
+
+// EdgeDominatingSet is φ(S) over edge sets: every edge shares an endpoint
+// with an edge of S.
+func EdgeDominatingSet() mso.Formula {
+	return mso.ForAll{Var: "e", Kind: mso.KindEdge,
+		Body: mso.Exists{Var: "f", Kind: mso.KindEdge, Body: mso.AndAll(
+			mso.In{X: "f", S: FreeSet},
+			mso.Exists{Var: "x", Kind: mso.KindVertex,
+				Body: mso.And{L: mso.Inc{V: "x", E: "e"}, R: mso.Inc{V: "x", E: "f"}}},
+		)}}
+}

@@ -1,0 +1,376 @@
+package msolib
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/mso"
+)
+
+func evalClosed(t *testing.T, g *graph.Graph, f mso.Formula) bool {
+	t.Helper()
+	if err := mso.Check(f, nil); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	v, err := mso.NewEvaluator(g).Eval(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func checkOpt(t *testing.T, f mso.Formula) {
+	t.Helper()
+	if err := mso.Check(f, map[string]mso.VarKind{FreeSet: mso.KindVertexSet}); err != nil {
+		// Try edge set.
+		if err2 := mso.Check(f, map[string]mso.VarKind{FreeSet: mso.KindEdgeSet}); err2 != nil {
+			t.Fatalf("Check failed for both kinds: %v / %v", err, err2)
+		}
+	}
+}
+
+func TestTriangleFree(t *testing.T) {
+	if evalClosed(t, gen.Complete(3), TriangleFree()) {
+		t.Fatal("K3 is not triangle-free")
+	}
+	if !evalClosed(t, gen.Path(5), TriangleFree()) {
+		t.Fatal("P5 is triangle-free")
+	}
+	if !evalClosed(t, gen.Cycle(5), TriangleFree()) {
+		t.Fatal("C5 is triangle-free")
+	}
+	if evalClosed(t, gen.Complete(5), TriangleFree()) {
+		t.Fatal("K5 contains triangles")
+	}
+}
+
+func TestCycleFree(t *testing.T) {
+	if evalClosed(t, gen.Cycle(4), CycleFree(4)) {
+		t.Fatal("C4 is not C4-free")
+	}
+	if !evalClosed(t, gen.Cycle(5), CycleFree(4)) {
+		t.Fatal("C5 is C4-free")
+	}
+	// K4 contains C4 as a subgraph.
+	if evalClosed(t, gen.Complete(4), CycleFree(4)) {
+		t.Fatal("K4 contains C4")
+	}
+	if !evalClosed(t, gen.Path(6), CycleFree(3)) {
+		t.Fatal("P6 is C3-free")
+	}
+}
+
+func TestHSubgraphVsInduced(t *testing.T) {
+	// P3 as subgraph of K3: yes. As induced subgraph: no.
+	p3 := gen.Path(3)
+	if !evalClosed(t, gen.Complete(3), HSubgraph(p3)) {
+		t.Fatal("K3 contains P3 as subgraph")
+	}
+	if evalClosed(t, gen.Complete(3), HInducedSubgraph(p3)) {
+		t.Fatal("K3 does not contain P3 induced")
+	}
+	if !evalClosed(t, gen.Path(4), HInducedSubgraph(p3)) {
+		t.Fatal("P4 contains P3 induced")
+	}
+	if !evalClosed(t, gen.Complete(3), HInducedFree(p3)) {
+		t.Fatal("K3 is induced-P3-free")
+	}
+	if evalClosed(t, gen.Complete(3), HSubgraphFree(p3)) {
+		t.Fatal("K3 is not subgraph-P3-free")
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	if !evalClosed(t, gen.Path(6), Acyclic()) {
+		t.Fatal("P6 is acyclic")
+	}
+	if !evalClosed(t, gen.RandomTree(8, 3), Acyclic()) {
+		t.Fatal("trees are acyclic")
+	}
+	if evalClosed(t, gen.Cycle(5), Acyclic()) {
+		t.Fatal("C5 has a cycle")
+	}
+	if evalClosed(t, gen.Complete(4), Acyclic()) {
+		t.Fatal("K4 has cycles")
+	}
+	// Disconnected forest.
+	forest, _ := gen.DisjointUnion(gen.Path(3), gen.Path(4))
+	if !evalClosed(t, forest, Acyclic()) {
+		t.Fatal("forests are acyclic")
+	}
+	withCycle, _ := gen.DisjointUnion(gen.Path(3), gen.Cycle(3))
+	if evalClosed(t, withCycle, Acyclic()) {
+		t.Fatal("P3 + C3 has a cycle")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !evalClosed(t, gen.Path(5), Connected()) {
+		t.Fatal("P5 is connected")
+	}
+	two, _ := gen.DisjointUnion(gen.Path(2), gen.Path(3))
+	if evalClosed(t, two, Connected()) {
+		t.Fatal("disjoint union is disconnected")
+	}
+	if !evalClosed(t, graph.New(1), Connected()) {
+		t.Fatal("K1 is connected")
+	}
+}
+
+func TestKColorable(t *testing.T) {
+	if !evalClosed(t, gen.Cycle(4), KColorable(2)) {
+		t.Fatal("C4 is bipartite")
+	}
+	if evalClosed(t, gen.Cycle(5), KColorable(2)) {
+		t.Fatal("C5 is not bipartite")
+	}
+	if !evalClosed(t, gen.Cycle(5), KColorable(3)) {
+		t.Fatal("C5 is 3-colorable")
+	}
+	if evalClosed(t, gen.Complete(4), KColorable(3)) {
+		t.Fatal("K4 is not 3-colorable")
+	}
+	if !evalClosed(t, gen.Complete(4), KColorable(4)) {
+		t.Fatal("K4 is 4-colorable")
+	}
+	if !evalClosed(t, gen.Complete(4), NonKColorable(3)) {
+		t.Fatal("K4 is non-3-colorable")
+	}
+}
+
+func TestOptimizationFormulas(t *testing.T) {
+	// Unit weights on P5.
+	g := gen.Path(5)
+	for v := 0; v < 5; v++ {
+		g.SetVertexWeight(v, 1)
+	}
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.ID, 1)
+	}
+	ev := mso.NewEvaluator(g)
+
+	res, err := ev.OptimizeSet(IndependentSet(), FreeSet, mso.KindVertexSet, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 3 { // {0,2,4}
+		t.Fatalf("MaxIS(P5) = %d, want 3", res.Weight)
+	}
+
+	res, err = ev.OptimizeSet(VertexCover(), FreeSet, mso.KindVertexSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 2 { // {1,3}
+		t.Fatalf("MinVC(P5) = %d, want 2", res.Weight)
+	}
+
+	res, err = ev.OptimizeSet(DominatingSet(), FreeSet, mso.KindVertexSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 2 { // {1,3} or {1,4}
+		t.Fatalf("MinDS(P5) = %d, want 2", res.Weight)
+	}
+
+	res, err = ev.OptimizeSet(Matching(), FreeSet, mso.KindEdgeSet, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 2 {
+		t.Fatalf("MaxMatching(P5) = %d, want 2", res.Weight)
+	}
+}
+
+func TestFeedbackVertexSet(t *testing.T) {
+	// C5 + chord: minimum FVS has size 1.
+	g := gen.Cycle(5)
+	g.MustAddEdge(0, 2)
+	for v := 0; v < 5; v++ {
+		g.SetVertexWeight(v, 1)
+	}
+	res, err := mso.NewEvaluator(g).OptimizeSet(FeedbackVertexSet(), FreeSet, mso.KindVertexSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 1 {
+		t.Fatalf("MinFVS = %d, want 1", res.Weight)
+	}
+	// The empty set is a valid FVS of a tree.
+	tr := gen.RandomTree(6, 2)
+	for v := 0; v < 6; v++ {
+		tr.SetVertexWeight(v, 1)
+	}
+	res, err = mso.NewEvaluator(tr).OptimizeSet(FeedbackVertexSet(), FreeSet, mso.KindVertexSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 0 {
+		t.Fatalf("MinFVS(tree) = %d, want 0", res.Weight)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	// C4 with one heavy edge: MST avoids it.
+	g := gen.Cycle(4)
+	g.SetEdgeWeight(0, 1)
+	g.SetEdgeWeight(1, 1)
+	g.SetEdgeWeight(2, 1)
+	g.SetEdgeWeight(3, 100)
+	res, err := mso.NewEvaluator(g).OptimizeSet(SpanningTree(), FreeSet, mso.KindEdgeSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 3 {
+		t.Fatalf("MST(C4) = %+v, want weight 3", res)
+	}
+	if res.Set.Contains(3) {
+		t.Fatal("MST should avoid the heavy edge")
+	}
+	// Disconnected graph: no spanning tree.
+	dis, _ := gen.DisjointUnion(gen.Path(2), gen.Path(2))
+	res, err = mso.NewEvaluator(dis).OptimizeSet(SpanningTree(), FreeSet, mso.KindEdgeSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("disconnected graph has no spanning tree")
+	}
+}
+
+func TestPerfectMatching(t *testing.T) {
+	if !evalClosed(t, gen.Path(4), HasPerfectMatching()) {
+		t.Fatal("P4 has a perfect matching")
+	}
+	if evalClosed(t, gen.Path(3), HasPerfectMatching()) {
+		t.Fatal("P3 has no perfect matching (odd)")
+	}
+	if evalClosed(t, gen.Star(4), HasPerfectMatching()) {
+		t.Fatal("K_{1,3} has no perfect matching")
+	}
+	// Count perfect matchings of C6: exactly 2.
+	count, err := mso.NewEvaluator(gen.Cycle(6)).CountAssignments(
+		PerfectMatching(), []mso.TypedVar{{Name: FreeSet, Kind: mso.KindEdgeSet}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("perfect matchings of C6 = %d, want 2", count)
+	}
+}
+
+func TestTriangleCounting(t *testing.T) {
+	free := []mso.TypedVar{{Name: "x1", Kind: mso.KindVertex}, {Name: "x2", Kind: mso.KindVertex}, {Name: "x3", Kind: mso.KindVertex}}
+	count, err := mso.NewEvaluator(gen.Complete(4)).CountAssignments(Triangle(), free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 24 { // K4 has 4 triangles, 6 orderings each
+		t.Fatalf("ordered triangles in K4 = %d, want 24", count)
+	}
+}
+
+func TestLabeledFormulas(t *testing.T) {
+	// Star with red leaves and blue center: center dominates all reds.
+	g := gen.Star(5)
+	g.SetVertexLabel("blue", 0)
+	for v := 1; v < 5; v++ {
+		g.SetVertexLabel("red", v)
+		g.SetVertexWeight(v, 1)
+	}
+	g.SetVertexWeight(0, 1)
+	res, err := mso.NewEvaluator(g).OptimizeSet(RedBlueDominatingSet(), FreeSet, mso.KindVertexSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 1 || !res.Set.Contains(0) {
+		t.Fatalf("RedBlueDomination = %+v, want {0}", res)
+	}
+
+	// Proper 2-coloring.
+	p := gen.Path(3)
+	p.SetVertexLabel("red", 0)
+	p.SetVertexLabel("blue", 1)
+	p.SetVertexLabel("red", 2)
+	if !evalClosed(t, p, ProperlyTwoColored()) {
+		t.Fatal("alternating P3 is properly 2-colored")
+	}
+	bad := gen.Path(3)
+	bad.SetVertexLabel("red", 0)
+	bad.SetVertexLabel("red", 1)
+	bad.SetVertexLabel("blue", 2)
+	if evalClosed(t, bad, ProperlyTwoColored()) {
+		t.Fatal("adjacent reds are not properly colored")
+	}
+	missing := gen.Path(3)
+	missing.SetVertexLabel("red", 0)
+	if evalClosed(t, missing, ProperlyTwoColored()) {
+		t.Fatal("uncolored vertices fail the covering condition")
+	}
+}
+
+func TestDegreeFormulas(t *testing.T) {
+	if !evalClosed(t, gen.Star(5), HasVertexOfDegreeAtLeast(3)) {
+		t.Fatal("star center has degree 4")
+	}
+	if evalClosed(t, gen.Path(10), HasVertexOfDegreeAtLeast(3)) {
+		t.Fatal("paths have max degree 2")
+	}
+	if !evalClosed(t, gen.Path(10), MaxDegreeAtMost(2)) {
+		t.Fatal("paths have max degree 2")
+	}
+	if evalClosed(t, gen.Star(5), MaxDegreeAtMost(2)) {
+		t.Fatal("star violates max degree 2")
+	}
+}
+
+func TestEdgeDominatingSet(t *testing.T) {
+	g := gen.Path(5) // edges 0-1,1-2,2-3,3-4
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.ID, 1)
+	}
+	res, err := mso.NewEvaluator(g).OptimizeSet(EdgeDominatingSet(), FreeSet, mso.KindEdgeSet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges are 0-1, 1-2, 2-3, 3-4; no single edge touches all of them, and
+	// e.g. {1-2, 3-4} works, so the minimum is 2.
+	if !res.Found || res.Weight != 2 {
+		t.Fatalf("MinEDS(P5) = %+v, want 2", res)
+	}
+}
+
+func TestAllFormulasWellFormed(t *testing.T) {
+	closed := []mso.Formula{
+		TriangleFree(), Triangle(), CycleFree(5), Acyclic(), Connected(),
+		KColorable(3), NonKColorable(3), HasPerfectMatching(),
+		HasVertexOfDegreeAtLeast(3), MaxDegreeAtMost(2), ProperlyTwoColored(),
+		HSubgraph(gen.Path(3)), HInducedSubgraph(gen.Cycle(4)),
+	}
+	for i, f := range closed {
+		free := mso.FreeVars(f)
+		decl := map[string]mso.VarKind{}
+		for name, kind := range free {
+			if kind == 0 {
+				kind = mso.KindVertex
+			}
+			decl[name] = kind
+		}
+		if err := mso.Check(f, decl); err != nil {
+			t.Fatalf("formula %d: %v", i, err)
+		}
+	}
+	vertexOpt := []mso.Formula{IndependentSet(), VertexCover(), DominatingSet(), FeedbackVertexSet(), RedBlueDominatingSet()}
+	for i, f := range vertexOpt {
+		if err := mso.Check(f, map[string]mso.VarKind{FreeSet: mso.KindVertexSet}); err != nil {
+			t.Fatalf("vertex-opt formula %d: %v", i, err)
+		}
+	}
+	edgeOpt := []mso.Formula{SpanningTree(), Matching(), PerfectMatching(), EdgeDominatingSet()}
+	for i, f := range edgeOpt {
+		if err := mso.Check(f, map[string]mso.VarKind{FreeSet: mso.KindEdgeSet}); err != nil {
+			t.Fatalf("edge-opt formula %d: %v", i, err)
+		}
+	}
+}

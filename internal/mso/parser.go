@@ -1,0 +1,396 @@
+package mso
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ErrParse is wrapped by all parser errors.
+var ErrParse = errors.New("mso: parse error")
+
+// Parse parses the textual MSO syntax:
+//
+//	formula   := iff
+//	iff       := implies ('<->' implies)*
+//	implies   := or ('->' implies)?           (right associative)
+//	or        := and ('|' and)*
+//	and       := unary ('&' unary)*
+//	unary     := '~' unary | quantifier | atom
+//	quantifier:= ('exists'|'forall') binding (',' binding)* '.' formula
+//	binding   := NAME ':' ('V'|'E'|'VS'|'ES')
+//	atom      := 'true' | 'false' | '(' formula ')'
+//	           | 'adj' '(' NAME ',' NAME ')'
+//	           | 'inc' '(' NAME ',' NAME ')'
+//	           | NAME '(' NAME ')'            (unary label predicate)
+//	           | NAME '=' NAME | NAME '!=' NAME
+//	           | NAME 'in' NAME | NAME 'notin' NAME
+//
+// Identifiers are letters, digits, and underscores, starting with a letter or
+// underscore. Keywords: exists, forall, in, notin, true, false, adj, inc.
+func Parse(input string) (Formula, error) {
+	p := &parser{tokens: nil, pos: 0}
+	if err := p.tokenize(input); err != nil {
+		return nil, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("%w: unexpected %q at end of input", ErrParse, p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse for statically-known formulas; it panics on error.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokenType int
+
+const (
+	tokIdent tokenType = iota + 1
+	tokPunct           // ( ) , . : = & | ~ -> <-> !=
+	tokEOF
+)
+
+type token struct {
+	typ  tokenType
+	text string
+	pos  int
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) tokenize(input string) error {
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ':' || c == '=' || c == '&' || c == '|' || c == '~':
+			p.tokens = append(p.tokens, token{tokPunct, string(c), i})
+			i++
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				p.tokens = append(p.tokens, token{tokPunct, "!=", i})
+				i += 2
+			} else {
+				// '!' alone is an alias for '~'.
+				p.tokens = append(p.tokens, token{tokPunct, "~", i})
+				i++
+			}
+		case c == '-':
+			if i+1 < len(input) && input[i+1] == '>' {
+				p.tokens = append(p.tokens, token{tokPunct, "->", i})
+				i += 2
+			} else {
+				return fmt.Errorf("%w: stray '-' at offset %d", ErrParse, i)
+			}
+		case c == '<':
+			if strings.HasPrefix(input[i:], "<->") {
+				p.tokens = append(p.tokens, token{tokPunct, "<->", i})
+				i += 3
+			} else {
+				return fmt.Errorf("%w: stray '<' at offset %d", ErrParse, i)
+			}
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) {
+				r := rune(input[j])
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+					break
+				}
+				j++
+			}
+			p.tokens = append(p.tokens, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return fmt.Errorf("%w: unexpected character %q at offset %d", ErrParse, c, i)
+		}
+	}
+	p.tokens = append(p.tokens, token{tokEOF, "", len(input)})
+	return nil
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+
+func (p *parser) next() token {
+	t := p.tokens[p.pos]
+	if t.typ != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEnd() bool { return p.peek().typ == tokEOF }
+
+func (p *parser) acceptPunct(text string) bool {
+	if t := p.peek(); t.typ == tokPunct && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.typ == tokIdent && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(text string) error {
+	if !p.acceptPunct(text) {
+		t := p.peek()
+		return fmt.Errorf("%w: expected %q at offset %d, got %q", ErrParse, text, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.typ != tokIdent {
+		return "", fmt.Errorf("%w: expected identifier at offset %d, got %q", ErrParse, t.pos, t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseFormula() (Formula, error) { return p.parseIff() }
+
+func (p *parser) parseIff() (Formula, error) {
+	left, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("<->") {
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		left = Iff{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseImplies() (Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("->") {
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{left, right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("|") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("&") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	if p.acceptPunct("~") {
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{f}, nil
+	}
+	if p.acceptKeyword("exists") {
+		return p.parseQuantifier(true)
+	}
+	if p.acceptKeyword("forall") {
+		return p.parseQuantifier(false)
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseQuantifier(existential bool) (Formula, error) {
+	type binding struct {
+		name string
+		kind VarKind
+	}
+	var bindings []binding
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		kindText, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := parseKind(kindText)
+		if err != nil {
+			return nil, err
+		}
+		bindings = append(bindings, binding{name, kind})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	// The quantifier body extends as far right as possible ("dot notation").
+	body, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(bindings) - 1; i >= 0; i-- {
+		b := bindings[i]
+		if existential {
+			body = Exists{Var: b.name, Kind: b.kind, Body: body}
+		} else {
+			body = ForAll{Var: b.name, Kind: b.kind, Body: body}
+		}
+	}
+	return body, nil
+}
+
+func parseKind(text string) (VarKind, error) {
+	switch text {
+	case "V":
+		return KindVertex, nil
+	case "E":
+		return KindEdge, nil
+	case "VS":
+		return KindVertexSet, nil
+	case "ES":
+		return KindEdgeSet, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown kind %q (want V, E, VS, or ES)", ErrParse, text)
+	}
+}
+
+func (p *parser) parseAtom() (Formula, error) {
+	if p.acceptPunct("(") {
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	t := p.peek()
+	if t.typ != tokIdent {
+		return nil, fmt.Errorf("%w: expected atom at offset %d, got %q", ErrParse, t.pos, t.text)
+	}
+	name := p.next().text
+	switch name {
+	case "true":
+		return True{}, nil
+	case "false":
+		return False{}, nil
+	case "adj", "inc":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		b, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if name == "adj" {
+			return Adj{a, b}, nil
+		}
+		return Inc{a, b}, nil
+	}
+	// Label predicate: NAME '(' NAME ')'.
+	if p.acceptPunct("(") {
+		arg, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return Label{Name: name, X: arg}, nil
+	}
+	// Binary relational atoms on a leading variable.
+	switch {
+	case p.acceptPunct("="):
+		other, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return Eq{name, other}, nil
+	case p.acceptPunct("!="):
+		other, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Eq{name, other}}, nil
+	case p.acceptKeyword("in"):
+		other, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return In{name, other}, nil
+	case p.acceptKeyword("notin"):
+		other, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return Not{In{name, other}}, nil
+	}
+	return nil, fmt.Errorf("%w: variable %q is not a formula (expected =, !=, in, notin, or a predicate) at offset %d",
+		ErrParse, name, t.pos)
+}

@@ -1,0 +1,112 @@
+package mso
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		input string
+		want  string
+	}{
+		{"adj(x,y)", "adj(x,y)"},
+		{"x = y", "x = y"},
+		{"x != y", "~(x = y)"},
+		{"x in X", "x in X"},
+		{"x notin X", "~(x in X)"},
+		{"red(x)", "red(x)"},
+		{"true & false", "true & false"},
+		{"~adj(x,y)", "~adj(x,y)"},
+		{"!adj(x,y)", "~adj(x,y)"},
+		{"adj(a,b) & adj(b,c) & adj(c,a)", "(adj(a,b) & adj(b,c)) & adj(c,a)"},
+		{"adj(a,b) | adj(b,c) & adj(c,a)", "adj(a,b) | (adj(b,c) & adj(c,a))"},
+		{"adj(a,b) -> adj(b,c) -> adj(c,a)", "adj(a,b) -> (adj(b,c) -> adj(c,a))"},
+		{"adj(a,b) <-> adj(b,a)", "adj(a,b) <-> adj(b,a)"},
+		{"exists x:V . adj(x,x)", "exists x:V . adj(x,x)"},
+		{"forall X:VS . exists x:V . x in X", "forall X:VS . exists x:V . x in X"},
+		{"exists e:E, F:ES . e in F", "exists e:E . exists F:ES . e in F"},
+		{"(adj(x,y))", "adj(x,y)"},
+		{"inc(v,e)", "inc(v,e)"},
+	}
+	for _, tc := range cases {
+		f, err := Parse(tc.input)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.input, err)
+		}
+		if got := f.String(); got != tc.want {
+			t.Fatalf("Parse(%q) = %q, want %q", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestParseQuantifierScope(t *testing.T) {
+	// The dot extends as far right as possible.
+	f := MustParse("exists x:V . adj(x,y) & adj(y,x)")
+	ex, ok := f.(Exists)
+	if !ok {
+		t.Fatalf("want Exists at top, got %T", f)
+	}
+	if _, ok := ex.Body.(And); !ok {
+		t.Fatalf("quantifier body should be the conjunction, got %T", ex.Body)
+	}
+	// Parentheses can delimit the body.
+	g := MustParse("(exists x:V . adj(x,y)) & adj(y,y)")
+	if _, ok := g.(And); !ok {
+		t.Fatalf("want And at top, got %T", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"adj(x",
+		"adj(x,)",
+		"adj x y",
+		"exists x . adj(x,x)",   // missing kind
+		"exists x:W . adj(x,x)", // bad kind
+		"exists x:V adj(x,x)",   // missing dot
+		"x",                     // bare variable
+		"adj(x,y) &",            // dangling operator
+		"adj(x,y) adj(y,z)",     // missing operator
+		"<",                     // stray
+		"-",                     // stray
+		"x @ y",                 // bad char
+		"((adj(x,y))",           // unbalanced
+		"forall :V . true",      // missing name
+	}
+	for _, input := range cases {
+		if _, err := Parse(input); err == nil {
+			t.Fatalf("Parse(%q) should fail", input)
+		} else if !errors.Is(err, ErrParse) {
+			t.Fatalf("Parse(%q) error %v should wrap ErrParse", input, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestParsePaperFormulas(t *testing.T) {
+	// Triangle-freeness as in the paper's Section 1.
+	f := MustParse("~ exists x1:V, x2:V, x3:V . adj(x1,x2) & adj(x2,x3) & adj(x3,x1)")
+	if err := Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if QuantifierRank(f) != 3 {
+		t.Fatalf("rank = %d", QuantifierRank(f))
+	}
+	// Acyclicity as in the paper.
+	g := MustParse(`~ exists X:VS . (exists x:V . x in X) &
+		(forall x:V . x in X -> (exists y1:V, y2:V .
+			y1 in X & y2 in X & y1 != y2 & adj(x,y1) & adj(x,y2)))`)
+	if err := Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}

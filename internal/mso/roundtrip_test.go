@@ -1,0 +1,174 @@
+package mso
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomFormula builds a random well-formed formula over the given bound
+// variables (name -> kind), introducing fresh quantifiers as it recurses.
+func randomFormula(r *rand.Rand, depth int, scope map[string]VarKind) Formula {
+	vertexVars := varsOfKind(scope, KindVertex)
+	edgeVars := varsOfKind(scope, KindEdge)
+	vsetVars := varsOfKind(scope, KindVertexSet)
+	esetVars := varsOfKind(scope, KindEdgeSet)
+
+	atoms := []func() (Formula, bool){
+		func() (Formula, bool) { return True{}, true },
+		func() (Formula, bool) { return False{}, true },
+		func() (Formula, bool) {
+			if len(vertexVars) < 1 {
+				return nil, false
+			}
+			return Adj{pick(r, vertexVars), pick(r, vertexVars)}, true
+		},
+		func() (Formula, bool) {
+			if len(vertexVars) < 1 || len(edgeVars) < 1 {
+				return nil, false
+			}
+			return Inc{pick(r, vertexVars), pick(r, edgeVars)}, true
+		},
+		func() (Formula, bool) {
+			if len(vertexVars) < 1 {
+				return nil, false
+			}
+			return Eq{pick(r, vertexVars), pick(r, vertexVars)}, true
+		},
+		func() (Formula, bool) {
+			if len(vertexVars) < 1 || len(vsetVars) < 1 {
+				return nil, false
+			}
+			return In{pick(r, vertexVars), pick(r, vsetVars)}, true
+		},
+		func() (Formula, bool) {
+			if len(edgeVars) < 1 || len(esetVars) < 1 {
+				return nil, false
+			}
+			return In{pick(r, edgeVars), pick(r, esetVars)}, true
+		},
+		func() (Formula, bool) {
+			if len(vertexVars) < 1 {
+				return nil, false
+			}
+			return Label{"red", pick(r, vertexVars)}, true
+		},
+	}
+	if depth <= 0 {
+		for {
+			if f, ok := atoms[r.Intn(len(atoms))](); ok {
+				return f
+			}
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return Not{randomFormula(r, depth-1, scope)}
+	case 1:
+		return And{randomFormula(r, depth-1, scope), randomFormula(r, depth-1, scope)}
+	case 2:
+		return Or{randomFormula(r, depth-1, scope), randomFormula(r, depth-1, scope)}
+	case 3:
+		return Implies{randomFormula(r, depth-1, scope), randomFormula(r, depth-1, scope)}
+	case 4:
+		return Iff{randomFormula(r, depth-1, scope), randomFormula(r, depth-1, scope)}
+	default:
+		kinds := []VarKind{KindVertex, KindEdge, KindVertexSet, KindEdgeSet}
+		kind := kinds[r.Intn(len(kinds))]
+		name := freshName(kind, len(scope))
+		inner := map[string]VarKind{}
+		for k, v := range scope {
+			inner[k] = v
+		}
+		inner[name] = kind
+		body := randomFormula(r, depth-1, inner)
+		if r.Intn(2) == 0 {
+			return Exists{Var: name, Kind: kind, Body: body}
+		}
+		return ForAll{Var: name, Kind: kind, Body: body}
+	}
+}
+
+func varsOfKind(scope map[string]VarKind, kind VarKind) []string {
+	var out []string
+	for name, k := range scope {
+		if k == kind {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+func freshName(kind VarKind, n int) string {
+	prefix := map[VarKind]string{
+		KindVertex: "v", KindEdge: "e", KindVertexSet: "VS_", KindEdgeSet: "ES_",
+	}[kind]
+	return prefix + string(rune('a'+n%26)) + string(rune('0'+n/26%10))
+}
+
+// Property: printing and reparsing any well-formed formula is the identity
+// up to printing, and preserves well-formedness, rank, and size.
+func TestRandomFormulaRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1001))
+	for trial := 0; trial < 200; trial++ {
+		f := randomFormula(r, 1+r.Intn(4), map[string]VarKind{})
+		if err := Check(f, nil); err != nil {
+			t.Fatalf("trial %d: generated formula ill-formed: %v\n%s", trial, err, f)
+		}
+		text := f.String()
+		g, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, text)
+		}
+		if g.String() != text {
+			t.Fatalf("trial %d: round trip changed:\n%s\n%s", trial, text, g.String())
+		}
+		if QuantifierRank(f) != QuantifierRank(g) {
+			t.Fatalf("trial %d: rank changed", trial)
+		}
+		if err := Check(g, nil); err != nil {
+			t.Fatalf("trial %d: reparsed formula ill-formed: %v", trial, err)
+		}
+	}
+}
+
+// Property: evaluating a formula and its reparse agree on a small graph.
+func TestRandomFormulaEvalAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(1002))
+	for trial := 0; trial < 40; trial++ {
+		f := randomFormula(r, 1+r.Intn(3), map[string]VarKind{})
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr := randomSmallGraph(r)
+		ev := NewEvaluator(gr)
+		v1, err1 := ev.Eval(f, nil)
+		v2, err2 := ev.Eval(g, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, err1, err2)
+		}
+		if err1 == nil && v1 != v2 {
+			t.Fatalf("trial %d: eval mismatch on %s", trial, f)
+		}
+	}
+}
+
+func randomSmallGraph(r *rand.Rand) *graph.Graph {
+	n := 2 + r.Intn(4)
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(2) == 0 {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	if r.Intn(2) == 0 {
+		g.SetVertexLabel("red", r.Intn(n))
+	}
+	return g
+}

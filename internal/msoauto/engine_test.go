@@ -1,0 +1,317 @@
+package msoauto_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/mso"
+	"repro/internal/mso/msolib"
+	"repro/internal/msoauto"
+	"repro/internal/regular"
+	"repro/internal/seq"
+	"repro/internal/treedepth"
+	"repro/internal/wterm"
+)
+
+func mustEngine(t *testing.T, f mso.Formula, opts msoauto.Options) *msoauto.Engine {
+	t.Helper()
+	e, err := msoauto.New(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func decideSeq(t *testing.T, g *graph.Graph, p regular.Predicate) bool {
+	t.Helper()
+	run, err := seq.New(g, treedepth.DFSForest(g), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := run.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestEngineClosedFormulasMatchOracle(t *testing.T) {
+	formulas := []struct {
+		name string
+		f    mso.Formula
+	}{
+		{"triangle-free", msolib.TriangleFree()},
+		{"acyclic", msolib.Acyclic()},
+		{"2-colorable", msolib.KColorable(2)},
+		{"has-deg-3", msolib.HasVertexOfDegreeAtLeast(3)},
+		{"connected", msolib.Connected()},
+	}
+	r := rand.New(rand.NewSource(501))
+	for _, tf := range formulas {
+		t.Run(tf.name, func(t *testing.T) {
+			e := mustEngine(t, tf.f, msoauto.Options{})
+			for trial := 0; trial < 8; trial++ {
+				n := 2 + r.Intn(8)
+				g, _ := gen.BoundedTreedepth(n, 2+r.Intn(2), 0.6, r.Int63())
+				got := decideSeq(t, g, e)
+				want, err := mso.NewEvaluator(g).Eval(tf.f, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("trial %d: engine=%v oracle=%v (graph %v)", trial, got, want, g)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		f    mso.Formula
+		g    *graph.Graph
+		want bool
+	}{
+		{"K3 not triangle-free", msolib.TriangleFree(), gen.Complete(3), false},
+		{"P5 triangle-free", msolib.TriangleFree(), gen.Path(5), true},
+		{"C4 bipartite", msolib.KColorable(2), gen.Cycle(4), true},
+		{"C5 not bipartite", msolib.KColorable(2), gen.Cycle(5), false},
+		{"tree acyclic", msolib.Acyclic(), gen.RandomTree(9, 3), true},
+		{"C6 not acyclic", msolib.Acyclic(), gen.Cycle(6), false},
+		{"star has deg 3", msolib.HasVertexOfDegreeAtLeast(3), gen.Star(5), true},
+		{"path lacks deg 3", msolib.HasVertexOfDegreeAtLeast(3), gen.Path(8), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := mustEngine(t, tc.f, msoauto.Options{})
+			if got := decideSeq(t, tc.g, e); got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEngineOptimizationMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(502))
+	e := mustEngine(t, msolib.IndependentSet(), msoauto.Options{
+		FreeSetVar: msolib.FreeSet, FreeSetKind: mso.KindVertexSet,
+	})
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + r.Intn(7)
+		g, _ := gen.BoundedTreedepth(n, 2, 0.6, r.Int63())
+		gen.AssignRandomWeights(g, 10, r.Int63())
+		run, err := seq.New(g, treedepth.DFSForest(g), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run.Optimize(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.NewEvaluator(g).OptimizeSet(msolib.IndependentSet(), msolib.FreeSet, mso.KindVertexSet, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Found || got.Weight != want.Weight {
+			t.Fatalf("trial %d: engine MaxIS=%d oracle=%d", trial, got.Weight, want.Weight)
+		}
+		// Witness check.
+		ok, err := mso.NewEvaluator(g).Eval(msolib.IndependentSet(),
+			mso.Assignment{msolib.FreeSet: mso.VertexSetValue(got.Vertices)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: witness not independent", trial)
+		}
+	}
+}
+
+func TestEngineEdgeSetOptimization(t *testing.T) {
+	r := rand.New(rand.NewSource(503))
+	e := mustEngine(t, msolib.Matching(), msoauto.Options{
+		FreeSetVar: msolib.FreeSet, FreeSetKind: mso.KindEdgeSet,
+	})
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + r.Intn(6)
+		g, _ := gen.BoundedTreedepth(n, 2, 0.5, r.Int63())
+		gen.AssignRandomWeights(g, 10, r.Int63())
+		run, err := seq.New(g, treedepth.DFSForest(g), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run.Optimize(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.NewEvaluator(g).OptimizeSet(msolib.Matching(), msolib.FreeSet, mso.KindEdgeSet, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Found || got.Weight != want.Weight {
+			t.Fatalf("trial %d: engine MaxMatching=%d oracle=%d", trial, got.Weight, want.Weight)
+		}
+	}
+}
+
+func TestEngineCountMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(504))
+	e := mustEngine(t, msolib.IndependentSet(), msoauto.Options{
+		FreeSetVar: msolib.FreeSet, FreeSetKind: mso.KindVertexSet,
+	})
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + r.Intn(7)
+		g, _ := gen.BoundedTreedepth(n, 2, 0.5, r.Int63())
+		run, err := seq.New(g, treedepth.DFSForest(g), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.NewEvaluator(g).CountAssignments(
+			msolib.IndependentSet(), []mso.TypedVar{{Name: msolib.FreeSet, Kind: mso.KindVertexSet}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: engine count=%d oracle=%d", trial, got, want)
+		}
+	}
+}
+
+// Clamping must kick in on wide stars yet preserve answers; this validates
+// the kernelization path explicitly. Formulas without set quantifiers run on
+// every graph; the 2-colorability formula (two set quantifiers, so naive
+// evaluation is exponential in the representative) runs only where threshold
+// 2 shrinks the representative to a handful of vertices.
+func TestEngineClampingSound(t *testing.T) {
+	foFormulas := []struct {
+		name string
+		f    mso.Formula
+		want func(g *graph.Graph) bool
+	}{
+		{"triangle-free", msolib.TriangleFree(), func(*graph.Graph) bool { return true }},
+		{"has-deg-3", msolib.HasVertexOfDegreeAtLeast(3), func(g *graph.Graph) bool { return g.MaxDegree() >= 3 }},
+	}
+	graphs := []*graph.Graph{gen.Star(25), gen.Caterpillar(4, 6), gen.CompleteBipartite(2, 12)}
+	for _, tf := range foFormulas {
+		for gi, g := range graphs {
+			e := mustEngine(t, tf.f, msoauto.Options{Threshold: 4})
+			got := decideSeq(t, g, e)
+			if got != tf.want(g) {
+				t.Fatalf("%s on graph %d: got %v, want %v", tf.name, gi, got, tf.want(g))
+			}
+		}
+	}
+	// MSO with set quantifiers: wide star, aggressive clamping.
+	e := mustEngine(t, msolib.KColorable(2), msoauto.Options{Threshold: 2})
+	if !decideSeq(t, gen.Star(25), e) {
+		t.Fatal("stars are bipartite")
+	}
+	e2 := mustEngine(t, msolib.KColorable(2), msoauto.Options{Threshold: 2})
+	odd := gen.Cycle(5)
+	if decideSeq(t, odd, e2) {
+		t.Fatal("C5 is not bipartite")
+	}
+}
+
+func TestEngineClampedVsExact(t *testing.T) {
+	// On graphs with many identical siblings, a clamped engine must agree
+	// with exact mode.
+	r := rand.New(rand.NewSource(505))
+	f := msolib.TriangleFree()
+	clamped := mustEngine(t, f, msoauto.Options{Threshold: 3})
+	exact := mustEngine(t, f, msoauto.Options{Threshold: -1})
+	for trial := 0; trial < 6; trial++ {
+		g, _ := gen.BoundedTreedepth(10+r.Intn(8), 2, 0.6, r.Int63())
+		if got, want := decideSeq(t, g, clamped), decideSeq(t, g, exact); got != want {
+			t.Fatalf("trial %d: clamped=%v exact=%v", trial, got, want)
+		}
+	}
+}
+
+func TestEngineLabeledFormula(t *testing.T) {
+	e := mustEngine(t, msolib.ProperlyTwoColored(), msoauto.Options{})
+	good := gen.Path(4)
+	good.SetVertexLabel("red", 0)
+	good.SetVertexLabel("blue", 1)
+	good.SetVertexLabel("red", 2)
+	good.SetVertexLabel("blue", 3)
+	if !decideSeq(t, good, e) {
+		t.Fatal("alternating path is properly 2-colored")
+	}
+	bad := gen.Path(4)
+	bad.SetVertexLabel("red", 0)
+	bad.SetVertexLabel("red", 1)
+	bad.SetVertexLabel("blue", 2)
+	bad.SetVertexLabel("blue", 3)
+	if decideSeq(t, bad, e) {
+		t.Fatal("monochromatic edge must be rejected")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := msoauto.New(msolib.IndependentSet(), msoauto.Options{FreeSetVar: msolib.FreeSet, FreeSetKind: mso.KindVertex}); err == nil {
+		t.Fatal("element kind for free set variable should be rejected")
+	}
+	if _, err := msoauto.New(mso.Adj{X: "x", Y: "y"}, msoauto.Options{}); err == nil {
+		t.Fatal("formula with unbound element variables should be rejected")
+	}
+}
+
+func TestEngineClassRoundTrip(t *testing.T) {
+	e := mustEngine(t, msolib.Acyclic(), msoauto.Options{})
+	g, _ := gen.BoundedTreedepth(8, 2, 0.5, 506)
+	f := treedepth.DFSForest(g)
+	run, err := seq.New(g, f, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip some base classes through the wire encoding.
+	d, err := wtermDeriv(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Base(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := e.HomBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bc := range classes {
+		back, err := e.DecodeClass([]byte(bc.Class.Key()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Key() != bc.Class.Key() {
+			t.Fatal("class key round trip changed")
+		}
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	if got := msoauto.DefaultThreshold(mso.True{}); got != 2 {
+		t.Fatalf("threshold(rank 0) = %d, want 2", got)
+	}
+	if got := msoauto.DefaultThreshold(msolib.TriangleFree()); got != 9 {
+		t.Fatalf("threshold(rank 3) = %d, want 9", got)
+	}
+	deep := msolib.KColorable(5) // rank 7 > 6
+	if got := msoauto.DefaultThreshold(deep); got != 64 {
+		t.Fatalf("threshold(deep) = %d, want 64", got)
+	}
+}
+
+func wtermDeriv(g *graph.Graph, f *treedepth.Forest) (*wterm.Derivation, error) {
+	return wterm.NewDerivation(g, f)
+}

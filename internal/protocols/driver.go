@@ -1,0 +1,163 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/regular"
+	"repro/internal/treedepth"
+)
+
+// RunResult is the aggregate outcome of a distributed run.
+type RunResult struct {
+	Stats congest.Stats
+	// TdExceeded is the protocol's "large treedepth" report (at least one
+	// node rejected during Algorithm 2 or verification).
+	TdExceeded bool
+	// Decision / verification verdict.
+	Accepted bool
+	// Optimization outcome.
+	Found         bool
+	Weight        int64
+	Selected      *bitset.Set // vertex indices (SetVertex predicates)
+	SelectedEdges *bitset.Set // edge IDs (SetEdge predicates)
+	// Counting outcome.
+	Count int64
+	// Forest is the elimination tree the protocol built (vertex-indexed),
+	// for inspection and verification.
+	Forest *treedepth.Forest
+	// Outputs are the raw per-vertex outputs.
+	Outputs []Output
+}
+
+// Run executes the full pipeline (Algorithm 2, Lemma 5.3, and the Theorem
+// 6.1 phase for cfg.Mode) on g under the CONGEST simulator.
+func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
+	if cfg.D < 1 {
+		return nil, fmt.Errorf("%w: treedepth parameter d must be >= 1", ErrProtocol)
+	}
+	if cfg.VertexLabelNames == nil {
+		cfg.VertexLabelNames = g.VertexLabelNames()
+	}
+	if cfg.EdgeLabelNames == nil {
+		cfg.EdgeLabelNames = g.EdgeLabelNames()
+	}
+	if len(cfg.VertexLabelNames) > 32 || len(cfg.EdgeLabelNames) > 32 {
+		return nil, fmt.Errorf("%w: at most 32 vertex and edge labels supported", ErrProtocol)
+	}
+	sim, err := congest.NewSimulator(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	nodes := make([]congest.Node, n)
+	stats, err := sim.Run(func(v int) congest.Node {
+		nodes[v] = NewNode(cfg)
+		return nodes[v]
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{Stats: stats, Outputs: make([]Output, n)}
+	ids := sim.IDs()
+	idToVertex := make(map[int]int, n)
+	for v, id := range ids {
+		idToVertex[id] = v
+	}
+	parent := make([]int, n)
+	roots := 0
+	for v := 0; v < n; v++ {
+		out, err := Result(nodes[v])
+		if err != nil {
+			return nil, err
+		}
+		res.Outputs[v] = out
+		if out.Failure != failNone {
+			res.TdExceeded = true
+		}
+		switch {
+		case out.ParentID == -1:
+			parent[v] = -1
+			roots++
+		case out.ParentID < -1:
+			// Never adopted.
+			parent[v] = -1
+			res.TdExceeded = true
+		default:
+			pv, ok := idToVertex[out.ParentID]
+			if !ok {
+				return nil, fmt.Errorf("%w: unknown parent ID %d", ErrProtocol, out.ParentID)
+			}
+			parent[v] = pv
+		}
+	}
+	if roots != 1 {
+		res.TdExceeded = true
+	}
+	res.Forest = treedepth.NewForest(parent)
+	if res.TdExceeded {
+		return res, nil
+	}
+
+	// Collect the root's verdict and per-node selections.
+	for v := 0; v < n; v++ {
+		out := res.Outputs[v]
+		if out.IsRoot {
+			res.Accepted = out.Accepted
+			res.Found = out.Found
+			res.Weight = out.Weight
+			res.Count = out.Count
+		}
+	}
+	if cfg.Mode == ModeOptimize && res.Found {
+		switch cfg.Pred.SetKind() {
+		case regular.SetVertex:
+			res.Selected = bitset.New(n)
+			for v := 0; v < n; v++ {
+				if res.Outputs[v].Selected {
+					res.Selected.Add(v)
+				}
+			}
+		case regular.SetEdge:
+			res.SelectedEdges = bitset.New(g.NumEdges())
+			for v := 0; v < n; v++ {
+				for _, ancestorID := range res.Outputs[v].SelectedEdges {
+					av, ok := idToVertex[ancestorID]
+					if !ok {
+						return nil, fmt.Errorf("%w: unknown ancestor ID %d", ErrProtocol, ancestorID)
+					}
+					eid, ok := g.EdgeBetween(v, av)
+					if !ok {
+						return nil, fmt.Errorf("%w: node selected non-edge {%d,%d}", ErrProtocol, v, av)
+					}
+					res.SelectedEdges.Add(eid)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Decide runs the distributed decision protocol for a closed predicate.
+func Decide(g *graph.Graph, d int, pred regular.Predicate, opts congest.Options) (*RunResult, error) {
+	return Run(g, Config{Pred: pred, Mode: ModeDecide, D: d}, opts)
+}
+
+// Optimize runs the distributed maxφ/minφ protocol with solution selection.
+func Optimize(g *graph.Graph, d int, pred regular.Predicate, maximize bool, opts congest.Options) (*RunResult, error) {
+	return Run(g, Config{Pred: pred, Mode: ModeOptimize, D: d, Maximize: maximize}, opts)
+}
+
+// Count runs the distributed counting protocol.
+func Count(g *graph.Graph, d int, pred regular.Predicate, opts congest.Options) (*RunResult, error) {
+	return Run(g, Config{Pred: pred, Mode: ModeCount, D: d}, opts)
+}
+
+// CheckMarked runs the distributed optmarked protocol: the marked set is
+// given by the MarkLabel vertex/edge labels of g.
+func CheckMarked(g *graph.Graph, d int, pred regular.Predicate, maximize bool, opts congest.Options) (*RunResult, error) {
+	return Run(g, Config{Pred: pred, Mode: ModeCheckMarked, D: d, Maximize: maximize}, opts)
+}

@@ -1,0 +1,641 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/regular"
+)
+
+// Mode selects what the distributed protocol computes.
+type Mode int
+
+// Protocol modes.
+const (
+	ModeDecide Mode = iota + 1
+	ModeOptimize
+	ModeCount
+	ModeCheckMarked
+)
+
+// MarkLabel is the vertex/edge label naming the marked set in
+// ModeCheckMarked (the unary predicate Mark of Section 6).
+const MarkLabel = "mark"
+
+// Failure codes carried by the protocol.
+const (
+	failNone       = 0
+	failTdExceeded = 1
+	failInvalid    = 2
+)
+
+// Config parameterizes the protocol run; it is known to every node up front
+// (it encodes the algorithm, not the input graph).
+type Config struct {
+	Pred     regular.Predicate
+	Mode     Mode
+	D        int  // treedepth parameter d
+	Maximize bool // optimization direction
+	// VertexLabelNames / EdgeLabelNames fix the label vocabulary used on the
+	// wire (part of the formula, hence global knowledge).
+	VertexLabelNames []string
+	EdgeLabelNames   []string
+}
+
+// depthBound is 2^d, the elimination-tree depth bound of Lemma 2.5.
+func (c Config) depthBound() int { return 1 << uint(c.D) }
+
+// elimMsgBytes is the fixed payload size of elimination-phase messages
+// (three u32 fields) plus the stream length prefix.
+const elimMsgBytes = 12 + 4
+
+// node phases.
+const (
+	phaseElim = iota
+	phaseBags
+	phaseUp
+	phaseDown
+	phaseDone
+)
+
+// Output is what a node reports when it halts.
+type Output struct {
+	Failure int
+	// Root-only results.
+	IsRoot   bool
+	Accepted bool  // ModeDecide / ModeCheckMarked verdict
+	Found    bool  // ModeOptimize feasibility
+	Weight   int64 // ModeOptimize optimum
+	Count    int64 // ModeCount result
+	// Per-node results.
+	ParentID      int // elimination-tree parent (-1 for the root)
+	Depth         int
+	Bag           []int // sorted bag IDs (Lemma 5.3)
+	BagEdges      [][2]int
+	Selected      bool  // ModeOptimize, vertex predicates: this node is in S
+	SelectedEdges []int // ModeOptimize, edge predicates: ancestor IDs of selected owned edges
+}
+
+// dpNode is the per-vertex protocol state machine.
+type dpNode struct {
+	cfg Config
+	out Output
+
+	env   *congest.Env
+	phase int
+
+	// Streams, one per port.
+	send []congest.ByteStreamSender
+	recv []congest.ByteStreamReceiver
+
+	// --- elimination phase (Algorithm 2) ---
+	marked     bool
+	parentID   int
+	depth      int
+	childIDs   []int // sorted
+	childPort  map[int]int
+	parentPort int
+	markedNbr  map[int]int // port -> depth of marked neighbor
+	tuple      floodTuple
+
+	// --- bags phase (Lemma 5.3) ---
+	bag            []int // sorted IDs, includes self
+	bagInfo        map[int]bagVertex
+	bagEdges       [][2]int // index pairs into bag (sorted IDs), G[B_u]
+	haveBag        bool
+	peerBags       int // how many neighbor bag-peer messages received
+	peerFail       int
+	mustBeAncestor []int // neighbor IDs that must appear in our own bag
+
+	// --- DP phases ---
+	childTables  map[int]childTable // child ID -> received table
+	stages       []upStage
+	finalOpt     regular.OptTable
+	finalDecide  regular.ClassSet
+	finalCount   regular.CountTable
+	finalMarked  regular.ClassSet // ModeCheckMarked: classes with S fixed to the marked set
+	markedWeight int64
+	sentUp       bool
+	failure      int
+}
+
+type bagVertex struct {
+	weight int64
+	labels uint32 // bitmask into cfg.VertexLabelNames
+}
+
+type childTable struct {
+	failure int
+	entries []tableEntry
+	marked  []tableEntry // ModeCheckMarked: decision table of the marked-set run
+	weight  int64        // ModeCheckMarked: subtree marked weight
+}
+
+type tableEntry struct {
+	key   []byte
+	value int64
+}
+
+type upStage struct {
+	childID int
+	back    map[string]regular.OptBack
+}
+
+type floodTuple struct {
+	depth    int
+	markedID int
+	candID   int
+}
+
+// better reports whether a beats b: deeper marked neighbor first, then
+// smaller marked ID, then smaller candidate ID.
+func (a floodTuple) better(b floodTuple) bool {
+	if a.depth != b.depth {
+		return a.depth > b.depth
+	}
+	if a.markedID != b.markedID {
+		return a.markedID < b.markedID
+	}
+	return a.candID < b.candID
+}
+
+// NewNode builds the protocol node for one vertex.
+func NewNode(cfg Config) congest.Node {
+	return &dpNode{cfg: cfg, parentID: -2, parentPort: -1}
+}
+
+// Result returns the node's output; valid once the simulation has finished.
+func Result(n congest.Node) (Output, error) {
+	d, ok := n.(*dpNode)
+	if !ok {
+		return Output{}, fmt.Errorf("%w: not a protocol node", ErrProtocol)
+	}
+	return d.out, nil
+}
+
+// --- schedule arithmetic (all derived from public knowledge n, B, d) ---
+
+func (n *dpNode) frameBudget() int { return congest.FrameBudgetBytes(n.env.Bandwidth) }
+
+// windowRounds is the number of rounds needed to deliver one elimination
+// message one hop: frames + 1 (send/receive offset).
+func (n *dpNode) windowRounds() int {
+	f := (elimMsgBytes + n.frameBudget() - 1) / n.frameBudget()
+	return f + 1
+}
+
+// budget is min(2^d, n): the flooding and step budgets of Algorithm 2 never
+// need to exceed the component size, and every node knows n.
+func (n *dpNode) budget() int {
+	b := n.cfg.depthBound()
+	if n.env.N < b {
+		b = n.env.N
+	}
+	return b
+}
+
+// hopsPerStep is the flooding budget H = min(2^d, n) (component diameters
+// are below 2^d when td(G) <= d, and always below n).
+func (n *dpNode) hopsPerStep() int { return n.budget() }
+
+// stepRounds = (H hops + 1 announce window) * window.
+func (n *dpNode) stepRounds() int { return (n.hopsPerStep() + 1) * n.windowRounds() }
+
+// elimRounds = D steps, D = min(2^d, n).
+func (n *dpNode) elimRounds() int { return n.budget() * n.stepRounds() }
+
+// --- congest.Node implementation ---
+
+// Init implements congest.Node.
+func (n *dpNode) Init(env *congest.Env) []congest.Outgoing {
+	n.env = env
+	n.send = make([]congest.ByteStreamSender, env.Degree)
+	n.recv = make([]congest.ByteStreamReceiver, env.Degree)
+	n.markedNbr = make(map[int]int)
+	n.childPort = make(map[int]int)
+	n.childTables = make(map[int]childTable)
+	n.bagInfo = make(map[int]bagVertex)
+	n.phase = phaseElim
+	return nil
+}
+
+// Round implements congest.Node.
+func (n *dpNode) Round(env *congest.Env, inbox []congest.Incoming) ([]congest.Outgoing, bool) {
+	n.env = env
+	for _, in := range inbox {
+		n.recv[in.Port].Feed(in.Payload)
+	}
+	round := env.Round
+
+	if n.phase == phaseElim {
+		n.elimRound(round)
+		if round == n.elimRounds() {
+			n.enterBagsPhase()
+		}
+	} else {
+		// Event-driven phases: consume every complete message.
+		for port := 0; port < env.Degree; port++ {
+			for {
+				msg, ok := n.recv[port].Pop()
+				if !ok {
+					break
+				}
+				if err := n.handle(port, msg); err != nil {
+					n.fail(failInvalid)
+				}
+			}
+		}
+		n.progress()
+	}
+
+	out := n.emitFrames()
+	if n.phase == phaseDone && !n.pendingFrames() {
+		n.out.ParentID = n.parentID
+		n.out.Depth = n.depth
+		n.out.Bag = n.bag
+		n.out.BagEdges = n.bagEdges
+		if n.out.Failure == 0 {
+			n.out.Failure = n.failure
+		}
+		return out, true
+	}
+	return out, false
+}
+
+func (n *dpNode) fail(code int) {
+	if code > n.failure {
+		n.failure = code
+	}
+}
+
+func (n *dpNode) emitFrames() []congest.Outgoing {
+	var out []congest.Outgoing
+	budget := n.frameBudget()
+	for port := range n.send {
+		if frame, ok := n.send[port].NextFrame(budget); ok {
+			out = append(out, congest.Outgoing{Port: port, Payload: frame})
+		}
+	}
+	return out
+}
+
+func (n *dpNode) pendingFrames() bool {
+	for port := range n.send {
+		if n.send[port].Pending() {
+			return true
+		}
+	}
+	return false
+}
+
+// --- elimination phase ---
+
+func (n *dpNode) elimRound(round int) {
+	w := n.windowRounds()
+	stepLen := n.stepRounds()
+	inner := (round - 1) % stepLen
+	windowIdx := inner / w
+	windowPos := inner % w
+	isAnnounce := windowIdx == n.hopsPerStep()
+
+	// Consume any complete elimination messages first.
+	for port := 0; port < n.env.Degree; port++ {
+		for {
+			msg, ok := n.recv[port].Pop()
+			if !ok {
+				break
+			}
+			n.handleElimMsg(port, msg)
+		}
+	}
+
+	if windowPos != 0 {
+		return // mid-window: frames flow, nothing new to push
+	}
+
+	if !isAnnounce {
+		if windowIdx == 0 {
+			// Step start: recompute the local tuple from marked neighbors.
+			n.tuple = n.localTuple()
+		}
+		if n.marked {
+			return
+		}
+		// Push the current best tuple to all unmarked neighbors.
+		payload := encodeElim(n.tuple.depth, n.tuple.markedID, n.tuple.candID)
+		for port := 0; port < n.env.Degree; port++ {
+			if _, isMarked := n.markedNbr[port]; !isMarked {
+				n.send[port].Push(payload)
+			}
+		}
+		return
+	}
+
+	// Announce window: the winner adopts itself and announces.
+	if n.marked || n.tuple.candID != n.env.ID {
+		return
+	}
+	if n.tuple.depth == 0 {
+		n.parentID = -1
+		n.depth = 1
+	} else {
+		n.parentID = n.tuple.markedID
+		n.depth = n.tuple.depth + 1
+		port, ok := n.portOfID(n.parentID)
+		if !ok {
+			// The elected parent is not a neighbor: inconsistent flooding
+			// (only possible when td(G) > d).
+			n.fail(failTdExceeded)
+			return
+		}
+		n.parentPort = port
+	}
+	n.marked = true
+	payload := encodeElim(n.depth, n.env.ID, pid(n.parentID))
+	for port := 0; port < n.env.Degree; port++ {
+		n.send[port].Push(payload)
+	}
+}
+
+// pid encodes a possibly-negative parent ID into a u32-safe value.
+func pid(id int) int {
+	if id < 0 {
+		return 0
+	}
+	return id
+}
+
+func (n *dpNode) portOfID(id int) (int, bool) {
+	for port, nid := range n.env.NeighborIDs {
+		if nid == id {
+			return port, true
+		}
+	}
+	return 0, false
+}
+
+// localTuple is this node's candidacy: the deepest marked neighbor (ties by
+// minimum ID) with this node as the adoptee, or the root-election fallback
+// (depth 0) when no neighbor is marked yet.
+func (n *dpNode) localTuple() floodTuple {
+	bestDepth, bestMarked := 0, 0
+	for port, d := range n.markedNbr {
+		id := n.env.NeighborIDs[port]
+		if d > bestDepth || (d == bestDepth && id < bestMarked) {
+			bestDepth, bestMarked = d, id
+		}
+	}
+	return floodTuple{depth: bestDepth, markedID: bestMarked, candID: n.env.ID}
+}
+
+func (n *dpNode) handleElimMsg(port int, msg []byte) {
+	a, b, c, err := decodeElim(msg)
+	if err != nil {
+		n.fail(failInvalid)
+		return
+	}
+	if _, isMarked := n.markedNbr[port]; isMarked {
+		return // late traffic from a marked neighbor: ignore
+	}
+	senderID := n.env.NeighborIDs[port]
+	if b == senderID {
+		// Announcement (id, depth, parentID) encoded as (depth=a, id=b, parent=c).
+		n.markedNbr[port] = a
+		if c == n.env.ID && n.marked {
+			// The sender adopted us as its parent.
+			n.childIDs = append(n.childIDs, senderID)
+			sort.Ints(n.childIDs)
+			n.childPort[senderID] = port
+		}
+		return
+	}
+	// Flood tuple.
+	t := floodTuple{depth: a, markedID: b, candID: c}
+	if !n.marked && t.better(n.tuple) {
+		n.tuple = t
+	}
+}
+
+func encodeElim(a, b, c int) []byte {
+	var w wireWriter
+	w.u32(uint32(a))
+	w.u32(uint32(b))
+	w.u32(uint32(c))
+	return w.buf
+}
+
+func decodeElim(msg []byte) (int, int, int, error) {
+	r := wireReader{buf: msg}
+	a, err := r.u32()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b, err := r.u32()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c, err := r.u32()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return int(a), int(b), int(c), nil
+}
+
+// --- bags phase (Lemma 5.3) ---
+
+func (n *dpNode) enterBagsPhase() {
+	n.phase = phaseBags
+	if !n.marked {
+		// Report large treedepth (Algorithm 2, instruction 22) and tell all
+		// neighbors, so the failure reaches the tree.
+		n.fail(failTdExceeded)
+		n.out.Failure = failTdExceeded
+		var w wireWriter
+		w.u8(tagBagPeer)
+		w.u8(failTdExceeded)
+		w.u32(0)
+		for port := 0; port < n.env.Degree; port++ {
+			n.send[port].Push(w.buf)
+		}
+		n.phase = phaseDone
+		return
+	}
+	if n.depth > n.cfg.depthBound() {
+		n.fail(failTdExceeded)
+	}
+	if n.parentID < 0 {
+		// The root's bag is itself; start the top-down propagation.
+		n.setBag([]int{n.env.ID}, map[int]bagVertex{n.env.ID: {weight: n.env.Weight, labels: n.vertexLabelMask()}}, nil)
+	}
+}
+
+func (n *dpNode) vertexLabelMask() uint32 {
+	var mask uint32
+	for i, name := range n.cfg.VertexLabelNames {
+		if n.env.Labels[name] {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// setBag installs this node's bag and sends (a) the bag to each child and
+// (b) the bag-peer verification message to every neighbor.
+func (n *dpNode) setBag(bag []int, info map[int]bagVertex, parentEdges [][2]int) {
+	n.bag = bag
+	n.bagInfo = info
+	n.haveBag = true
+	// G[B_u] = G[B_parent] plus this node's edges into the bag.
+	n.bagEdges = append([][2]int(nil), parentEdges...)
+	selfIdx := sort.SearchInts(bag, n.env.ID)
+	for port, nid := range n.env.NeighborIDs {
+		_ = port
+		i := sort.SearchInts(bag, nid)
+		if i < len(bag) && bag[i] == nid {
+			lo, hi := selfIdx, i
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			n.bagEdges = append(n.bagEdges, [2]int{lo, hi})
+		}
+	}
+	n.bagEdges = regular.NormalizeEdgePairs(n.bagEdges)
+
+	// Send the child bag to each child: B_child = B_u + child (the child
+	// adds itself), with per-vertex weight and label data.
+	var w wireWriter
+	w.u8(tagBag)
+	w.u32(uint32(len(bag)))
+	for _, id := range bag {
+		w.u32(uint32(id))
+		w.i64(n.bagInfo[id].weight)
+		w.u32(n.bagInfo[id].labels)
+	}
+	w.u32(uint32(len(n.bagEdges)))
+	for _, e := range n.bagEdges {
+		w.u8(uint8(e[0]))
+		w.u8(uint8(e[1]))
+	}
+	for _, childID := range n.childIDs {
+		n.send[n.childPort[childID]].Push(w.buf)
+	}
+
+	// Bag-peer verification to every neighbor.
+	var pw wireWriter
+	pw.u8(tagBagPeer)
+	pw.u8(failNone)
+	pw.u32(uint32(len(bag)))
+	for _, id := range bag {
+		pw.u32(uint32(id))
+	}
+	for port := 0; port < n.env.Degree; port++ {
+		n.send[port].Push(pw.buf)
+	}
+}
+
+func (n *dpNode) handleBagMsg(r *wireReader) error {
+	count, err := r.u32()
+	if err != nil {
+		return err
+	}
+	parentBag := make([]int, 0, count)
+	info := make(map[int]bagVertex, count+1)
+	for i := uint32(0); i < count; i++ {
+		id, err := r.u32()
+		if err != nil {
+			return err
+		}
+		weight, err := r.i64()
+		if err != nil {
+			return err
+		}
+		labels, err := r.u32()
+		if err != nil {
+			return err
+		}
+		parentBag = append(parentBag, int(id))
+		info[int(id)] = bagVertex{weight: weight, labels: labels}
+	}
+	edgeCount, err := r.u32()
+	if err != nil {
+		return err
+	}
+	parentEdgesIdx := make([][2]int, 0, edgeCount)
+	for i := uint32(0); i < edgeCount; i++ {
+		a, err := r.u8()
+		if err != nil {
+			return err
+		}
+		b, err := r.u8()
+		if err != nil {
+			return err
+		}
+		parentEdgesIdx = append(parentEdgesIdx, [2]int{int(a), int(b)})
+	}
+	// Insert self into the sorted bag; remap parent edge indices.
+	bag := append([]int(nil), parentBag...)
+	pos := sort.SearchInts(bag, n.env.ID)
+	bag = append(bag, 0)
+	copy(bag[pos+1:], bag[pos:])
+	bag[pos] = n.env.ID
+	remap := func(i int) int {
+		if i >= pos {
+			return i + 1
+		}
+		return i
+	}
+	parentEdges := make([][2]int, 0, len(parentEdgesIdx))
+	for _, e := range parentEdgesIdx {
+		parentEdges = append(parentEdges, [2]int{remap(e[0]), remap(e[1])})
+	}
+	info[n.env.ID] = bagVertex{weight: n.env.Weight, labels: n.vertexLabelMask()}
+	n.setBag(bag, info, parentEdges)
+	return nil
+}
+
+func (n *dpNode) handleBagPeer(port int, r *wireReader) error {
+	status, err := r.u8()
+	if err != nil {
+		return err
+	}
+	count, err := r.u32()
+	if err != nil {
+		return err
+	}
+	peerBag := make([]int, 0, count)
+	for i := uint32(0); i < count; i++ {
+		id, err := r.u32()
+		if err != nil {
+			return err
+		}
+		peerBag = append(peerBag, int(id))
+	}
+	n.peerBags++
+	if status != failNone {
+		n.peerFail = maxInt(n.peerFail, int(status))
+		return nil
+	}
+	// Elimination check: this neighbor must be an ancestor or a descendant —
+	// equivalently, our ID is in its bag or its ID will be in ours. We defer
+	// the "its ID in ours" half until our bag arrives (checked in progress).
+	nid := n.env.NeighborIDs[port]
+	inPeer := containsSorted(peerBag, n.env.ID)
+	if !inPeer {
+		// Remember: neighbor nid must be in our bag.
+		n.mustBeAncestor = append(n.mustBeAncestor, nid)
+	}
+	return nil
+}
+
+func containsSorted(xs []int, v int) bool {
+	i := sort.SearchInts(xs, v)
+	return i < len(xs) && xs[i] == v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

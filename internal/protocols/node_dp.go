@@ -1,0 +1,651 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// handle dispatches one complete logical message in the event-driven phases.
+func (n *dpNode) handle(port int, msg []byte) error {
+	r := &wireReader{buf: msg}
+	tag, err := r.u8()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagBag:
+		return n.handleBagMsg(r)
+	case tagBagPeer:
+		return n.handleBagPeer(port, r)
+	case tagTable:
+		return n.handleTable(port, r)
+	case tagVerdict:
+		return n.handleVerdict(r)
+	case tagTarget:
+		return n.handleTarget(r)
+	default:
+		return fmt.Errorf("%w: unknown tag %d", ErrProtocol, tag)
+	}
+}
+
+// progress advances the event-driven state machine when its preconditions
+// become true.
+func (n *dpNode) progress() {
+	if n.phase != phaseBags && n.phase != phaseUp {
+		return
+	}
+	if n.phase == phaseBags {
+		if !n.haveBag || n.peerBags < n.env.Degree {
+			return
+		}
+		// Elimination-forest verification: every neighbor must be an
+		// ancestor (in our bag) or a descendant (we are in its bag).
+		if n.peerFail > 0 {
+			n.fail(n.peerFail)
+		}
+		for _, nid := range n.mustBeAncestor {
+			if !containsSorted(n.bag, nid) {
+				n.fail(failInvalid)
+			}
+		}
+		if n.failure == 0 {
+			if err := n.buildBaseTables(); err != nil {
+				n.fail(failInvalid)
+			}
+		}
+		n.phase = phaseUp
+	}
+	n.tryFoldAndSend()
+}
+
+// ownerRank is this node's terminal rank within its (sorted) bag.
+func (n *dpNode) ownerRank() int { return sort.SearchInts(n.bag, n.env.ID) }
+
+// baseGraph materializes this node's edge-owned base graph from purely local
+// knowledge: the bag (IDs, weights, labels) received from the parent and the
+// node's own incident edges into the bag.
+func (n *dpNode) baseGraph() (*wterm.TerminalGraph, error) {
+	k := len(n.bag)
+	local := graph.New(k)
+	for i, id := range n.bag {
+		info := n.bagInfo[id]
+		local.SetVertexWeight(i, info.weight)
+		for bit, name := range n.cfg.VertexLabelNames {
+			if info.labels&(1<<uint(bit)) != 0 {
+				local.SetVertexLabel(name, i)
+			}
+		}
+	}
+	own := n.ownerRank()
+	for port, nid := range n.env.NeighborIDs {
+		i := sort.SearchInts(n.bag, nid)
+		if i >= len(n.bag) || n.bag[i] != nid {
+			continue // not an ancestor: the edge is owned elsewhere
+		}
+		id, err := local.AddEdge(own, i)
+		if err != nil {
+			return nil, err
+		}
+		local.SetEdgeWeight(id, n.env.PortWeight[port])
+		for _, name := range n.cfg.EdgeLabelNames {
+			if n.env.PortLabels[port][name] {
+				local.SetEdgeLabel(name, id)
+			}
+		}
+	}
+	terms := make([]int, k)
+	for i := range terms {
+		terms[i] = i
+	}
+	return &wterm.TerminalGraph{G: local, Terminals: terms, Orig: append([]int(nil), n.bag...)}, nil
+}
+
+// buildBaseTables initializes the DP tables from the base graph.
+func (n *dpNode) buildBaseTables() error {
+	base, err := n.baseGraph()
+	if err != nil {
+		return err
+	}
+	pred := n.cfg.Pred
+	switch n.cfg.Mode {
+	case ModeDecide:
+		n.finalDecide, err = regular.BaseClassSet(pred, base)
+	case ModeOptimize:
+		n.finalOpt, err = regular.BaseOptTable(pred, base, n.ownerRank(), n.cfg.Maximize)
+	case ModeCount:
+		n.finalCount, err = regular.BaseCountTable(pred, base)
+	case ModeCheckMarked:
+		n.finalOpt, err = regular.BaseOptTable(pred, base, n.ownerRank(), n.cfg.Maximize)
+		if err != nil {
+			return err
+		}
+		n.finalMarked, err = n.markedBaseClassSet(base)
+		if err != nil {
+			return err
+		}
+		n.markedWeight = n.localMarkedWeight(base)
+	default:
+		return fmt.Errorf("%w: unknown mode %d", ErrProtocol, n.cfg.Mode)
+	}
+	return err
+}
+
+// markedBaseClassSet filters base classes to those whose selection matches
+// the marked set on the elements owned by this node.
+func (n *dpNode) markedBaseClassSet(base *wterm.TerminalGraph) (regular.ClassSet, error) {
+	pred := n.cfg.Pred
+	classes, err := pred.HomBase(base)
+	if err != nil {
+		return nil, err
+	}
+	own := n.ownerRank()
+	out := make(regular.ClassSet)
+	switch pred.SetKind() {
+	case regular.SetVertex:
+		wantBit := uint64(0)
+		if n.env.Labels[MarkLabel] {
+			wantBit = 1 << uint(own)
+		}
+		for _, bc := range classes {
+			if bc.Sel.VertexMask&(1<<uint(own)) == wantBit {
+				out[bc.Class.Key()] = bc.Class
+			}
+		}
+	case regular.SetEdge:
+		want := n.markedOwnedPairs()
+		for _, bc := range classes {
+			got := regular.NormalizeEdgePairs(append([][2]int(nil), bc.Sel.EdgePairs...))
+			if pairsEqual(got, want) {
+				out[bc.Class.Key()] = bc.Class
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: CheckMarked needs a predicate with a free set variable", ErrProtocol)
+	}
+	return out, nil
+}
+
+// markedOwnedPairs lists this node's owned edges carrying the mark label, as
+// terminal rank pairs.
+func (n *dpNode) markedOwnedPairs() [][2]int {
+	own := n.ownerRank()
+	var pairs [][2]int
+	for port, nid := range n.env.NeighborIDs {
+		i := sort.SearchInts(n.bag, nid)
+		if i >= len(n.bag) || n.bag[i] != nid {
+			continue
+		}
+		if n.env.PortLabels[port][MarkLabel] {
+			lo, hi := own, i
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pairs = append(pairs, [2]int{lo, hi})
+		}
+	}
+	return regular.NormalizeEdgePairs(pairs)
+}
+
+func pairsEqual(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// localMarkedWeight is the marked weight owned by this node.
+func (n *dpNode) localMarkedWeight(base *wterm.TerminalGraph) int64 {
+	switch n.cfg.Pred.SetKind() {
+	case regular.SetVertex:
+		if n.env.Labels[MarkLabel] {
+			return n.env.Weight
+		}
+	case regular.SetEdge:
+		var total int64
+		for port, nid := range n.env.NeighborIDs {
+			if containsSorted(n.bag, nid) && n.env.PortLabels[port][MarkLabel] {
+				total += n.env.PortWeight[port]
+			}
+		}
+		return total
+	}
+	return 0
+}
+
+// handleTable stores a child's table; folding happens in progress once all
+// children have reported.
+func (n *dpNode) handleTable(port int, r *wireReader) error {
+	status, err := r.u8()
+	if err != nil {
+		return err
+	}
+	markedEntries, err := readEntries(r)
+	if err != nil {
+		return err
+	}
+	entries, err := readEntries(r)
+	if err != nil {
+		return err
+	}
+	weight, err := r.i64()
+	if err != nil {
+		return err
+	}
+	childID := n.env.NeighborIDs[port]
+	n.childTables[childID] = childTable{
+		failure: int(status),
+		entries: entries,
+		marked:  markedEntries,
+		weight:  weight,
+	}
+	return nil
+}
+
+func readEntries(r *wireReader) ([]tableEntry, error) {
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tableEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		key, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		value, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tableEntry{key: key, value: value})
+	}
+	return out, nil
+}
+
+func writeEntries(w *wireWriter, entries []tableEntry) {
+	w.u32(uint32(len(entries)))
+	for _, e := range entries {
+		w.bytes(e.key)
+		w.i64(e.value)
+	}
+}
+
+// tryFoldAndSend folds all children (once they have all reported) and sends
+// the node's table to its parent, or — at the root — computes the verdict
+// and starts the downward phase.
+func (n *dpNode) tryFoldAndSend() {
+	if n.phase != phaseUp || n.sentUp {
+		return
+	}
+	if len(n.childTables) < len(n.childIDs) {
+		return
+	}
+	if n.failure == 0 {
+		if err := n.foldChildren(); err != nil {
+			n.fail(failInvalid)
+		}
+	}
+	n.sentUp = true
+	if n.parentID < 0 {
+		n.rootFinish()
+		return
+	}
+	// Serialize the table to the parent.
+	var w wireWriter
+	w.u8(tagTable)
+	w.u8(uint8(n.failure))
+	if n.failure != 0 {
+		writeEntries(&w, nil)
+		writeEntries(&w, nil)
+		w.i64(0)
+	} else {
+		writeEntries(&w, n.markedEntriesOut())
+		writeEntries(&w, n.mainEntriesOut())
+		w.i64(n.markedWeight)
+	}
+	n.send[n.parentPort].Push(w.buf)
+	if n.cfg.Mode == ModeOptimize {
+		n.phase = phaseDown // wait for the target class
+	} else {
+		n.phase = phaseDown // wait for the verdict
+	}
+}
+
+func (n *dpNode) markedEntriesOut() []tableEntry {
+	if n.cfg.Mode != ModeCheckMarked {
+		return nil
+	}
+	entries := make([]tableEntry, 0, len(n.finalMarked))
+	for _, k := range n.finalMarked.Keys() {
+		entries = append(entries, tableEntry{key: []byte(k)})
+	}
+	return entries
+}
+
+func (n *dpNode) mainEntriesOut() []tableEntry {
+	switch n.cfg.Mode {
+	case ModeDecide:
+		entries := make([]tableEntry, 0, len(n.finalDecide))
+		for _, k := range n.finalDecide.Keys() {
+			entries = append(entries, tableEntry{key: []byte(k)})
+		}
+		return entries
+	case ModeOptimize, ModeCheckMarked:
+		entries := make([]tableEntry, 0, len(n.finalOpt))
+		for _, k := range n.finalOpt.Keys() {
+			entries = append(entries, tableEntry{key: []byte(k), value: n.finalOpt[k].Weight})
+		}
+		return entries
+	case ModeCount:
+		entries := make([]tableEntry, 0, len(n.finalCount))
+		for _, k := range n.finalCount.Keys() {
+			entries = append(entries, tableEntry{key: []byte(k), value: n.finalCount[k].Count})
+		}
+		return entries
+	}
+	return nil
+}
+
+// foldChildren folds every child's table into this node's, in increasing
+// child-ID order (Lemma 4.3 / 4.6 / the counting analogue).
+func (n *dpNode) foldChildren() error {
+	pred := n.cfg.Pred
+	for _, childID := range n.childIDs {
+		ct := n.childTables[childID]
+		if ct.failure != 0 {
+			n.fail(ct.failure)
+			return nil
+		}
+		childBag := insertSorted(n.bag, childID)
+		glue, err := wterm.GluingFromBags(n.bag, childBag, n.bag)
+		if err != nil {
+			return err
+		}
+		switch n.cfg.Mode {
+		case ModeDecide:
+			child, err := decodeClassSet(pred, ct.entries)
+			if err != nil {
+				return err
+			}
+			n.finalDecide, err = regular.FoldDecide(pred, glue, n.finalDecide, child)
+			if err != nil {
+				return err
+			}
+		case ModeOptimize:
+			child, err := decodeOptTable(pred, ct.entries)
+			if err != nil {
+				return err
+			}
+			var back map[string]regular.OptBack
+			n.finalOpt, back, err = regular.FoldOpt(pred, glue, n.finalOpt, child, n.cfg.Maximize)
+			if err != nil {
+				return err
+			}
+			n.stages = append(n.stages, upStage{childID: childID, back: back})
+		case ModeCount:
+			child, err := decodeCountTable(pred, ct.entries)
+			if err != nil {
+				return err
+			}
+			n.finalCount, err = regular.FoldCount(pred, glue, n.finalCount, child)
+			if err != nil {
+				return err
+			}
+		case ModeCheckMarked:
+			childMarked, err := decodeClassSet(pred, ct.marked)
+			if err != nil {
+				return err
+			}
+			n.finalMarked, err = regular.FoldDecide(pred, glue, n.finalMarked, childMarked)
+			if err != nil {
+				return err
+			}
+			childOpt, err := decodeOptTable(pred, ct.entries)
+			if err != nil {
+				return err
+			}
+			n.finalOpt, _, err = regular.FoldOpt(pred, glue, n.finalOpt, childOpt, n.cfg.Maximize)
+			if err != nil {
+				return err
+			}
+			n.markedWeight += ct.weight
+		}
+	}
+	return nil
+}
+
+func insertSorted(xs []int, v int) []int {
+	out := make([]int, 0, len(xs)+1)
+	pos := sort.SearchInts(xs, v)
+	out = append(out, xs[:pos]...)
+	out = append(out, v)
+	out = append(out, xs[pos:]...)
+	return out
+}
+
+func decodeClassSet(p regular.Predicate, entries []tableEntry) (regular.ClassSet, error) {
+	out := make(regular.ClassSet, len(entries))
+	for _, e := range entries {
+		c, err := p.DecodeClass(e.key)
+		if err != nil {
+			return nil, err
+		}
+		out[c.Key()] = c
+	}
+	return out, nil
+}
+
+func decodeOptTable(p regular.Predicate, entries []tableEntry) (regular.OptTable, error) {
+	out := make(regular.OptTable, len(entries))
+	for _, e := range entries {
+		c, err := p.DecodeClass(e.key)
+		if err != nil {
+			return nil, err
+		}
+		out[c.Key()] = regular.OptEntry{Class: c, Weight: e.value}
+	}
+	return out, nil
+}
+
+func decodeCountTable(p regular.Predicate, entries []tableEntry) (regular.CountTable, error) {
+	out := make(regular.CountTable, len(entries))
+	for _, e := range entries {
+		c, err := p.DecodeClass(e.key)
+		if err != nil {
+			return nil, err
+		}
+		out[c.Key()] = regular.CountEntry{Class: c, Count: e.value}
+	}
+	return out, nil
+}
+
+// --- root verdict and downward phase ---
+
+func (n *dpNode) rootFinish() {
+	n.out.IsRoot = true
+	pred := n.cfg.Pred
+	switch n.cfg.Mode {
+	case ModeDecide:
+		accepted := false
+		if n.failure == 0 {
+			var err error
+			accepted, err = regular.AnyAccepting(pred, n.finalDecide)
+			if err != nil {
+				n.fail(failInvalid)
+			}
+		}
+		n.out.Accepted = accepted && n.failure == 0
+		n.broadcastVerdict()
+	case ModeCount:
+		var total int64
+		if n.failure == 0 {
+			var err error
+			total, err = regular.TotalAccepting(pred, n.finalCount)
+			if err != nil {
+				n.fail(failInvalid)
+			}
+		}
+		n.out.Count = total
+		n.broadcastVerdict()
+	case ModeCheckMarked:
+		accepted := false
+		if n.failure == 0 {
+			okMarked, err := regular.AnyAccepting(pred, n.finalMarked)
+			if err != nil {
+				n.fail(failInvalid)
+			}
+			best, found, err := regular.BestAccepting(pred, n.finalOpt, n.cfg.Maximize)
+			if err != nil {
+				n.fail(failInvalid)
+			}
+			accepted = okMarked && found && best.Weight == n.markedWeight
+		}
+		n.out.Accepted = accepted && n.failure == 0
+		n.broadcastVerdict()
+	case ModeOptimize:
+		if n.failure != 0 {
+			n.broadcastVerdict()
+			return
+		}
+		best, found, err := regular.BestAccepting(pred, n.finalOpt, n.cfg.Maximize)
+		if err != nil {
+			n.fail(failInvalid)
+			n.broadcastVerdict()
+			return
+		}
+		n.out.Found = found
+		n.out.Weight = best.Weight
+		if !found {
+			n.broadcastVerdict()
+			return
+		}
+		n.applyTarget(best.Class.Key())
+	}
+}
+
+func (n *dpNode) broadcastVerdict() {
+	var w wireWriter
+	w.u8(tagVerdict)
+	w.u8(uint8(n.failure))
+	if n.out.Accepted {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	if n.out.Found {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.i64(n.out.Count)
+	for _, childID := range n.childIDs {
+		n.send[n.childPort[childID]].Push(w.buf)
+	}
+	n.phase = phaseDone
+}
+
+func (n *dpNode) handleVerdict(r *wireReader) error {
+	status, err := r.u8()
+	if err != nil {
+		return err
+	}
+	accepted, err := r.u8()
+	if err != nil {
+		return err
+	}
+	found, err := r.u8()
+	if err != nil {
+		return err
+	}
+	count, err := r.i64()
+	if err != nil {
+		return err
+	}
+	n.fail(int(status))
+	n.out.Accepted = accepted != 0
+	n.out.Found = found != 0
+	n.out.Count = count
+	n.broadcastVerdict() // forward down and finish
+	return nil
+}
+
+// applyTarget installs this node's target class, marks its owned selection,
+// and forwards per-child targets computed by walking the fold stages back.
+func (n *dpNode) applyTarget(key string) {
+	entry, ok := n.finalOpt[key]
+	if !ok {
+		n.fail(failInvalid)
+		n.broadcastVerdict()
+		return
+	}
+	sel, err := n.cfg.Pred.Selection(entry.Class)
+	if err != nil {
+		n.fail(failInvalid)
+		n.broadcastVerdict()
+		return
+	}
+	own := n.ownerRank()
+	switch n.cfg.Pred.SetKind() {
+	case regular.SetVertex:
+		n.out.Selected = sel.VertexMask&(1<<uint(own)) != 0
+	case regular.SetEdge:
+		for _, pair := range sel.EdgePairs {
+			other := pair[0]
+			if other == own {
+				other = pair[1]
+			}
+			if other != own {
+				n.out.SelectedEdges = append(n.out.SelectedEdges, n.bag[other])
+			}
+		}
+		sort.Ints(n.out.SelectedEdges)
+	}
+	// Walk stages backwards to find each child's target class.
+	cur := key
+	targets := make(map[int]string, len(n.stages))
+	for s := len(n.stages) - 1; s >= 0; s-- {
+		st := n.stages[s]
+		b, ok := st.back[cur]
+		if !ok {
+			n.fail(failInvalid)
+			n.broadcastVerdict()
+			return
+		}
+		targets[st.childID] = b.ChildKey
+		cur = b.AccKey
+	}
+	for _, childID := range n.childIDs {
+		var w wireWriter
+		w.u8(tagTarget)
+		w.u8(uint8(n.failure))
+		w.bytes([]byte(targets[childID]))
+		n.send[n.childPort[childID]].Push(w.buf)
+	}
+	n.phase = phaseDone
+}
+
+func (n *dpNode) handleTarget(r *wireReader) error {
+	status, err := r.u8()
+	if err != nil {
+		return err
+	}
+	key, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	if status != failNone {
+		n.fail(int(status))
+		n.broadcastVerdict()
+		return nil
+	}
+	n.applyTarget(string(key))
+	return nil
+}

@@ -1,0 +1,206 @@
+package predicates
+
+import (
+	"fmt"
+
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// Acyclicity is the closed regular predicate "G has no cycle". The class is
+// the connectivity partition of the terminals plus an absorbing cyclic flag;
+// because operands of the edge-owned grammar are edge-disjoint, gluing two
+// blocks that are already connected certifies a cycle.
+type Acyclicity struct{}
+
+var _ regular.Predicate = Acyclicity{}
+
+type acyclicClass struct {
+	partition []uint8
+	cyclic    bool
+}
+
+func (c acyclicClass) Key() string {
+	b := encodePartition(nil, c.partition)
+	if c.cyclic {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// Name implements regular.Predicate.
+func (Acyclicity) Name() string { return "acyclic" }
+
+// SetKind implements regular.Predicate.
+func (Acyclicity) SetKind() regular.SetKind { return regular.SetNone }
+
+// HomBase computes the connectivity partition of the owned star.
+func (Acyclicity) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	n := base.NumTerminals()
+	if err := checkTerminalCountPartition(n); err != nil {
+		return nil, err
+	}
+	part := basePartition(base, nil)
+	return []regular.BaseClass{{Class: acyclicClass{partition: part}}}, nil
+}
+
+// basePartition computes the connectivity partition of a base graph's
+// terminals, treating selected-mask vertices as inactive when skip is
+// non-nil (skip(r) reports rank r inactive).
+func basePartition(base *wterm.TerminalGraph, skip func(r int) bool) []uint8 {
+	n := base.NumTerminals()
+	d := newDSU(n)
+	for _, e := range base.G.Edges() {
+		// Base graphs from wterm.BaseFromBag have terminal rank == local ID.
+		if skip != nil && (skip(e.U) || skip(e.V)) {
+			continue
+		}
+		d.union(e.U, e.V)
+	}
+	part := make([]uint8, n)
+	for r := 0; r < n; r++ {
+		if skip != nil && skip(r) {
+			part[r] = inactiveBlock
+			continue
+		}
+		part[r] = uint8(d.find(r))
+	}
+	return canonicalPartition(part)
+}
+
+// Compose implements ⊙_f via partition gluing with cycle detection.
+func (Acyclicity) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(acyclicClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(acyclicClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	res := gluePartitions(f, a.partition, b.partition)
+	if !res.compatible {
+		return nil, false, nil
+	}
+	return acyclicClass{partition: res.partition, cyclic: a.cyclic || b.cyclic || res.cyclic}, true, nil
+}
+
+// Accepting reports the graph acyclic so far.
+func (Acyclicity) Accepting(c regular.Class) (bool, error) {
+	cc, ok := c.(acyclicClass)
+	if !ok {
+		return false, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return !cc.cyclic, nil
+}
+
+// Selection implements regular.Predicate (closed predicate: empty).
+func (Acyclicity) Selection(regular.Class) (regular.Selection, error) {
+	return regular.Selection{}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (Acyclicity) DecodeClass(data []byte) (regular.Class, error) {
+	part, rest, err := decodePartition(data)
+	if err != nil {
+		return nil, err
+	}
+	flag, _, err := getU8(rest)
+	if err != nil {
+		return nil, err
+	}
+	return acyclicClass{partition: part, cyclic: flag != 0}, nil
+}
+
+// FeedbackVertexSet is the regular predicate φ(S) = "G - S is acyclic" with
+// a free vertex-set variable. Selected terminals are inactive in the
+// connectivity partition; a cycle among unselected vertices prunes the
+// class.
+type FeedbackVertexSet struct{}
+
+var _ regular.Predicate = FeedbackVertexSet{}
+
+type fvsClass struct {
+	sel       uint64
+	partition []uint8
+}
+
+func (c fvsClass) Key() string {
+	return string(encodePartition(putU64(nil, c.sel), c.partition))
+}
+
+// Name implements regular.Predicate.
+func (FeedbackVertexSet) Name() string { return "feedback-vertex-set" }
+
+// SetKind implements regular.Predicate.
+func (FeedbackVertexSet) SetKind() regular.SetKind { return regular.SetVertex }
+
+// HomBase enumerates selections; unselected terminals form the partition of
+// the owned star restricted to unselected endpoints.
+func (FeedbackVertexSet) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	n := base.NumTerminals()
+	if err := checkTerminalCount(n); err != nil {
+		return nil, err
+	}
+	var out []regular.BaseClass
+	err := enumerateMasks(n, func(mask uint64) error {
+		part := basePartition(base, func(r int) bool { return mask&(1<<uint(r)) != 0 })
+		out = append(out, regular.BaseClass{
+			Class: fvsClass{sel: mask, partition: part},
+			Sel:   regular.Selection{VertexMask: mask},
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compose implements ⊙_f: selections agree, partitions glue, cycles prune.
+func (FeedbackVertexSet) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(fvsClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(fvsClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	sel, compatible := resultMask(f, a.sel, b.sel)
+	if !compatible {
+		return nil, false, nil
+	}
+	res := gluePartitions(f, a.partition, b.partition)
+	if !res.compatible || res.cyclic {
+		return nil, false, nil
+	}
+	return fvsClass{sel: sel, partition: res.partition}, true, nil
+}
+
+// Accepting implements regular.Predicate: all surviving classes are acyclic.
+func (FeedbackVertexSet) Accepting(regular.Class) (bool, error) { return true, nil }
+
+// Selection implements regular.Predicate.
+func (FeedbackVertexSet) Selection(c regular.Class) (regular.Selection, error) {
+	cc, ok := c.(fvsClass)
+	if !ok {
+		return regular.Selection{}, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return regular.Selection{VertexMask: cc.sel}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (FeedbackVertexSet) DecodeClass(data []byte) (regular.Class, error) {
+	sel, rest, err := getU64(data)
+	if err != nil {
+		return nil, err
+	}
+	part, _, err := decodePartition(rest)
+	if err != nil {
+		return nil, err
+	}
+	return fvsClass{sel: sel, partition: part}, nil
+}

@@ -1,0 +1,379 @@
+// Package predicates provides hand-compiled regular predicates (Definition
+// 4.1 of the paper) for the classic problems the paper lists: independent
+// set, vertex cover, dominating set, k-colorability, acyclicity, feedback
+// vertex set, connectivity, spanning tree / MST, matching, H-subgraph
+// containment, and triangle counting. Each predicate implements
+// regular.Predicate with compact, explicitly-constructed homomorphism
+// classes; they serve both as efficient special-purpose engines and as the
+// baselines against which the generic MSO engine is validated.
+package predicates
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/wterm"
+)
+
+// ErrBadClass is wrapped by class-decoding and class-type errors.
+var ErrBadClass = errors.New("predicates: bad class")
+
+// maxTerminals bounds terminal counts so selections fit in uint64 masks.
+const maxTerminals = 64
+
+// maxTerminalsPartition bounds terminal counts for predicates whose classes
+// are pure partitions/degree vectors (no uint64 masks): ranks must fit in a
+// byte alongside the inactiveBlock sentinel.
+const maxTerminalsPartition = 200
+
+func checkTerminalCount(n int) error {
+	if n > maxTerminals {
+		return fmt.Errorf("predicates: %d terminals exceeds the %d-terminal limit", n, maxTerminals)
+	}
+	return nil
+}
+
+func checkTerminalCountPartition(n int) error {
+	if n > maxTerminalsPartition {
+		return fmt.Errorf("predicates: %d terminals exceeds the %d-terminal limit", n, maxTerminalsPartition)
+	}
+	return nil
+}
+
+// resultMask maps operand selections through a gluing: result bit r is set
+// iff the corresponding operand-1 or operand-2 terminal is selected. It also
+// reports whether the two selections agree on glued terminals.
+func resultMask(f wterm.Gluing, mask1, mask2 uint64) (uint64, bool) {
+	var out uint64
+	for r, row := range f.Rows {
+		i, j := row[0], row[1]
+		var b1, b2, has1, has2 bool
+		if i != 0 {
+			has1 = true
+			b1 = mask1&(1<<uint(i-1)) != 0
+		}
+		if j != 0 {
+			has2 = true
+			b2 = mask2&(1<<uint(j-1)) != 0
+		}
+		if has1 && has2 && b1 != b2 {
+			return 0, false
+		}
+		if (has1 && b1) || (has2 && b2) {
+			out |= 1 << uint(r)
+		}
+	}
+	return out, true
+}
+
+// orResultMask maps operand bit masks through a gluing, OR-ing glued bits
+// (no agreement requirement; used for monotone state like "dominated").
+func orResultMask(f wterm.Gluing, mask1, mask2 uint64) uint64 {
+	var out uint64
+	for r, row := range f.Rows {
+		if i := row[0]; i != 0 && mask1&(1<<uint(i-1)) != 0 {
+			out |= 1 << uint(r)
+		}
+		if j := row[1]; j != 0 && mask2&(1<<uint(j-1)) != 0 {
+			out |= 1 << uint(r)
+		}
+	}
+	return out
+}
+
+// mapRanks1 returns, for each operand-1 terminal rank (0-based), the result
+// rank (0-based) it maps to, or -1 if forgotten.
+func mapRanks1(f wterm.Gluing) []int {
+	out := make([]int, f.N1)
+	for i := range out {
+		out[i] = -1
+	}
+	for r, row := range f.Rows {
+		if row[0] != 0 {
+			out[row[0]-1] = r
+		}
+	}
+	return out
+}
+
+// mapRanks2 is mapRanks1 for operand 2.
+func mapRanks2(f wterm.Gluing) []int {
+	out := make([]int, f.N2)
+	for i := range out {
+		out[i] = -1
+	}
+	for r, row := range f.Rows {
+		if row[1] != 0 {
+			out[row[1]-1] = r
+		}
+	}
+	return out
+}
+
+// --- disjoint-set union (for connectivity partitions) ---
+
+type dsu struct{ parent []int }
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b and reports whether they were already in
+// the same set (which signals a cycle when used for forest gluing).
+func (d *dsu) union(a, b int) (alreadyJoined bool) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return true
+	}
+	d.parent[ra] = rb
+	return false
+}
+
+// --- canonical partitions over terminal ranks ---
+
+// inactiveBlock marks terminals that do not participate in a partition
+// (e.g. selected vertices in the feedback-vertex-set predicate).
+const inactiveBlock = 0xFF
+
+// canonicalPartition renormalizes block IDs so that each active terminal's
+// block ID is the minimum rank in its block. blocks[i] == inactiveBlock
+// marks inactive terminals.
+func canonicalPartition(blocks []uint8) []uint8 {
+	minOf := map[uint8]uint8{}
+	for i, b := range blocks {
+		if b == inactiveBlock {
+			continue
+		}
+		if cur, ok := minOf[b]; !ok || uint8(i) < cur {
+			minOf[b] = uint8(i)
+		}
+	}
+	out := make([]uint8, len(blocks))
+	for i, b := range blocks {
+		if b == inactiveBlock {
+			out[i] = inactiveBlock
+		} else {
+			out[i] = minOf[b]
+		}
+	}
+	return out
+}
+
+// glueResult is the outcome of merging two connectivity partitions through a
+// gluing.
+type glueResult struct {
+	partition  []uint8 // canonical partition over result ranks
+	cyclic     bool    // two edge-disjoint paths joined the same pair
+	cycleCount int     // how many such closures occurred in this gluing
+	newOrphan  bool    // some component lost its last terminal
+	compatible bool    // shared terminals agree on active/inactive
+}
+
+// gluePartitions merges connectivity partitions p1 (over operand-1 ranks)
+// and p2 (over operand-2 ranks) through f. Because the edge-owned grammar
+// makes operand edge sets disjoint, joining two blocks that are already
+// connected certifies a cycle. A component whose terminals are all forgotten
+// is reported as a new orphan (it can never gain edges again).
+func gluePartitions(f wterm.Gluing, p1, p2 []uint8) glueResult {
+	// Classes arrive over the wire: partitions whose length does not match
+	// the gluing arity are malformed, not a crash.
+	if len(p1) != f.N1 || len(p2) != f.N2 {
+		return glueResult{compatible: false}
+	}
+	// DSU over namespaced blocks: operand-1 block b -> node b, operand-2
+	// block b -> node n1+b, where block IDs are canonical (min member rank).
+	n1, n2 := len(p1), len(p2)
+	d := newDSU(n1 + n2)
+	cycles := 0
+	for _, row := range f.Rows {
+		i, j := row[0], row[1]
+		if i == 0 || j == 0 {
+			continue
+		}
+		a1 := p1[i-1] != inactiveBlock
+		a2 := p2[j-1] != inactiveBlock
+		if a1 != a2 {
+			return glueResult{compatible: false}
+		}
+		if a1 {
+			if d.union(int(p1[i-1]), n1+int(p2[j-1])) {
+				cycles++
+			}
+		}
+	}
+	// Which merged components retain an active result terminal?
+	hasResult := map[int]bool{}
+	res := make([]uint8, len(f.Rows))
+	groupOf := map[int]uint8{}
+	for r, row := range f.Rows {
+		i, j := row[0], row[1]
+		var root int
+		active := false
+		switch {
+		case i != 0 && p1[i-1] != inactiveBlock:
+			root = d.find(int(p1[i-1]))
+			active = true
+		case j != 0 && p2[j-1] != inactiveBlock:
+			root = d.find(n1 + int(p2[j-1]))
+			active = true
+		}
+		if !active {
+			res[r] = inactiveBlock
+			continue
+		}
+		hasResult[root] = true
+		if _, ok := groupOf[root]; !ok {
+			groupOf[root] = uint8(r)
+		}
+		res[r] = groupOf[root]
+	}
+	// Orphans: any active operand terminal whose merged component has no
+	// active result terminal.
+	orphan := false
+	check := func(p []uint8, offset int) {
+		for rank := range p {
+			if p[rank] == inactiveBlock {
+				continue
+			}
+			root := d.find(offset + int(p[rank]))
+			if !hasResult[root] {
+				orphan = true
+			}
+		}
+	}
+	check(p1, 0)
+	check(p2, n1)
+	return glueResult{
+		partition:  canonicalPartition(res),
+		cyclic:     cycles > 0,
+		cycleCount: cycles,
+		newOrphan:  orphan,
+		compatible: true,
+	}
+}
+
+// encodePartition appends a partition to a byte buffer.
+func encodePartition(b []byte, p []uint8) []byte {
+	b = append(b, uint8(len(p)))
+	return append(b, p...)
+}
+
+// decodePartition reads a partition written by encodePartition, validating
+// that every block ID is a rank within the partition (or inactiveBlock):
+// wire data is untrusted.
+func decodePartition(b []byte) ([]uint8, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("%w: truncated partition", ErrBadClass)
+	}
+	n := int(b[0])
+	if len(b) < 1+n {
+		return nil, nil, fmt.Errorf("%w: truncated partition body", ErrBadClass)
+	}
+	out := append([]uint8(nil), b[1:1+n]...)
+	for _, blk := range out {
+		if blk != inactiveBlock && int(blk) >= n {
+			return nil, nil, fmt.Errorf("%w: partition block %d out of range %d", ErrBadClass, blk, n)
+		}
+	}
+	return out, b[1+n:], nil
+}
+
+// mapPairs maps selected rank pairs through an operand rank map (from
+// mapRanks1/mapRanks2), dropping pairs with a forgotten endpoint.
+func mapPairs(ranks []int, pairs [][2]int) [][2]int {
+	var out [][2]int
+	for _, p := range pairs {
+		a, b := ranks[p[0]], ranks[p[1]]
+		if a < 0 || b < 0 {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, [2]int{a, b})
+	}
+	return out
+}
+
+// encodePairs appends a normalized pair list to a byte buffer.
+func encodePairs(b []byte, pairs [][2]int) []byte {
+	b = append(b, uint8(len(pairs)))
+	for _, p := range pairs {
+		b = append(b, uint8(p[0]), uint8(p[1]))
+	}
+	return b
+}
+
+// decodePairs reads a pair list written by encodePairs. Entries are rank
+// pairs bounded by maxTerminals; finer range checks happen where ranks are
+// resolved against a concrete bag.
+func decodePairs(b []byte) ([][2]int, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("%w: truncated pairs", ErrBadClass)
+	}
+	n := int(b[0])
+	if len(b) < 1+2*n {
+		return nil, nil, fmt.Errorf("%w: truncated pairs body", ErrBadClass)
+	}
+	out := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = [2]int{int(b[1+2*i]), int(b[2+2*i])}
+		if out[i][0] >= maxTerminals || out[i][1] >= maxTerminals {
+			return nil, nil, fmt.Errorf("%w: pair rank out of range", ErrBadClass)
+		}
+	}
+	return out, b[1+2*n:], nil
+}
+
+// --- binary encoding helpers ---
+
+func putU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func getU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated u64", ErrBadClass)
+	}
+	return binary.LittleEndian.Uint64(b[:8]), b[8:], nil
+}
+
+func putU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func getU8(b []byte) (uint8, []byte, error) {
+	if len(b) < 1 {
+		return 0, nil, fmt.Errorf("%w: truncated u8", ErrBadClass)
+	}
+	return b[0], b[1:], nil
+}
+
+// selectionFromMask is a convenience for vertex-set predicates.
+func selectionFromMask(mask uint64) (vertexMask uint64) { return mask }
+
+// enumerateMasks calls fn for every subset mask over n elements.
+func enumerateMasks(n int, fn func(mask uint64) error) error {
+	if n >= 63 {
+		return fmt.Errorf("predicates: cannot enumerate 2^%d selections", n)
+	}
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		if err := fn(mask); err != nil {
+			return err
+		}
+	}
+	return nil
+}

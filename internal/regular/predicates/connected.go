@@ -1,0 +1,100 @@
+package predicates
+
+import (
+	"fmt"
+
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// Connectivity is the closed regular predicate "G is connected". The class
+// is the terminal connectivity partition plus an orphan flag: a component
+// whose terminals were all forgotten can never connect to the rest (all its
+// vertices' edges are already present), so the graph is disconnected unless
+// no component is ever orphaned.
+type Connectivity struct{}
+
+var _ regular.Predicate = Connectivity{}
+
+type connClass struct {
+	partition []uint8
+	orphan    bool
+}
+
+func (c connClass) Key() string {
+	b := encodePartition(nil, c.partition)
+	if c.orphan {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// Name implements regular.Predicate.
+func (Connectivity) Name() string { return "connected" }
+
+// SetKind implements regular.Predicate.
+func (Connectivity) SetKind() regular.SetKind { return regular.SetNone }
+
+// HomBase computes the connectivity partition of the owned star.
+func (Connectivity) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	if err := checkTerminalCountPartition(base.NumTerminals()); err != nil {
+		return nil, err
+	}
+	return []regular.BaseClass{{Class: connClass{partition: basePartition(base, nil)}}}, nil
+}
+
+// Compose implements ⊙_f.
+func (Connectivity) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(connClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(connClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	res := gluePartitions(f, a.partition, b.partition)
+	if !res.compatible {
+		return nil, false, nil
+	}
+	return connClass{partition: res.partition, orphan: a.orphan || b.orphan || res.newOrphan}, true, nil
+}
+
+// Accepting requires a single block among the remaining terminals and no
+// orphaned component.
+func (Connectivity) Accepting(c regular.Class) (bool, error) {
+	cc, ok := c.(connClass)
+	if !ok {
+		return false, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	if cc.orphan {
+		return false, nil
+	}
+	blocks := map[uint8]bool{}
+	for _, b := range cc.partition {
+		if b != inactiveBlock {
+			blocks[b] = true
+		}
+	}
+	return len(blocks) <= 1, nil
+}
+
+// Selection implements regular.Predicate (closed predicate: empty).
+func (Connectivity) Selection(regular.Class) (regular.Selection, error) {
+	return regular.Selection{}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (Connectivity) DecodeClass(data []byte) (regular.Class, error) {
+	part, rest, err := decodePartition(data)
+	if err != nil {
+		return nil, err
+	}
+	flag, _, err := getU8(rest)
+	if err != nil {
+		return nil, err
+	}
+	return connClass{partition: part, orphan: flag != 0}, nil
+}

@@ -1,0 +1,162 @@
+package predicates
+
+import (
+	"fmt"
+
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// DominatingSet is the regular predicate φ(S) = "every vertex is in S or
+// adjacent to S" with a free vertex-set variable. Besides the selection, the
+// class tracks which terminals are already dominated; a terminal may only be
+// forgotten once dominated, and the root terminal must be dominated at
+// acceptance. Optionally the predicate restricts domination duty to labeled
+// vertices (the paper's red/blue example): only vertices carrying DominateLabel
+// need to be dominated, and only vertices carrying MemberLabel may be in S.
+type DominatingSet struct {
+	// DominateLabel, when nonempty, restricts the domination requirement to
+	// vertices carrying this label ("red" in the paper's example).
+	DominateLabel string
+	// MemberLabel, when nonempty, restricts membership in S to vertices
+	// carrying this label ("blue" in the paper's example).
+	MemberLabel string
+}
+
+var _ regular.Predicate = DominatingSet{}
+
+type domClass struct {
+	n   uint8
+	sel uint64
+	dom uint64 // dominated-or-exempt terminals
+}
+
+func (c domClass) Key() string {
+	return string(putU64(putU64(putU8(nil, c.n), c.sel), c.dom))
+}
+
+// Name implements regular.Predicate.
+func (p DominatingSet) Name() string {
+	if p.DominateLabel != "" || p.MemberLabel != "" {
+		return fmt.Sprintf("dominating-set(%s<-%s)", p.DominateLabel, p.MemberLabel)
+	}
+	return "dominating-set"
+}
+
+// SetKind implements regular.Predicate.
+func (DominatingSet) SetKind() regular.SetKind { return regular.SetVertex }
+
+// HomBase enumerates selections of the base terminals; the dominated mask is
+// derived from the owned edges (and exemptions from labels).
+func (p DominatingSet) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	n := base.NumTerminals()
+	if err := checkTerminalCount(n); err != nil {
+		return nil, err
+	}
+	mayJoin := uint64(0)
+	exempt := uint64(0)
+	for r := 0; r < n; r++ {
+		v := base.Terminals[r]
+		if p.MemberLabel == "" || base.G.HasVertexLabel(p.MemberLabel, v) {
+			mayJoin |= 1 << uint(r)
+		}
+		if p.DominateLabel != "" && !base.G.HasVertexLabel(p.DominateLabel, v) {
+			exempt |= 1 << uint(r)
+		}
+	}
+	var out []regular.BaseClass
+	err := enumerateMasks(n, func(mask uint64) error {
+		if mask&^mayJoin != 0 {
+			return nil // unlabeled vertex in S
+		}
+		dom := exempt
+		if p.DominateLabel == "" {
+			// In the classic problem, members dominate themselves. In the
+			// paper's labeled variant, a red vertex needs an *adjacent*
+			// member, so self-membership does not count.
+			dom |= mask
+		}
+		for _, e := range base.G.Edges() {
+			if mask&(1<<uint(e.U)) != 0 {
+				dom |= 1 << uint(e.V)
+			}
+			if mask&(1<<uint(e.V)) != 0 {
+				dom |= 1 << uint(e.U)
+			}
+		}
+		out = append(out, regular.BaseClass{
+			Class: domClass{n: uint8(n), sel: mask, dom: dom},
+			Sel:   regular.Selection{VertexMask: mask},
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compose implements ⊙_f: selections agree, dominated masks are OR-ed, and
+// forgotten terminals must already be dominated.
+func (DominatingSet) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(domClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(domClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	sel, compatible := resultMask(f, a.sel, b.sel)
+	if !compatible {
+		return nil, false, nil
+	}
+	dom := orResultMask(f, a.dom, b.dom)
+	for _, r := range f.Forgotten1() {
+		if a.dom&(1<<uint(r-1)) == 0 {
+			return nil, false, nil
+		}
+	}
+	for _, r := range f.Forgotten2() {
+		if b.dom&(1<<uint(r-1)) == 0 {
+			return nil, false, nil
+		}
+	}
+	return domClass{n: uint8(len(f.Rows)), sel: sel, dom: dom}, true, nil
+}
+
+// Accepting requires every remaining terminal to be dominated.
+func (DominatingSet) Accepting(c regular.Class) (bool, error) {
+	cc, ok := c.(domClass)
+	if !ok {
+		return false, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	all := uint64(1)<<uint(cc.n) - 1
+	return cc.dom&all == all, nil
+}
+
+// Selection implements regular.Predicate.
+func (DominatingSet) Selection(c regular.Class) (regular.Selection, error) {
+	cc, ok := c.(domClass)
+	if !ok {
+		return regular.Selection{}, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return regular.Selection{VertexMask: cc.sel}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (DominatingSet) DecodeClass(data []byte) (regular.Class, error) {
+	n, rest, err := getU8(data)
+	if err != nil {
+		return nil, err
+	}
+	sel, rest, err := getU64(rest)
+	if err != nil {
+		return nil, err
+	}
+	dom, _, err := getU64(rest)
+	if err != nil {
+		return nil, err
+	}
+	return domClass{n: n, sel: sel, dom: dom}, nil
+}

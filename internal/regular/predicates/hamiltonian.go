@@ -1,0 +1,209 @@
+package predicates
+
+import (
+	"fmt"
+
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// HamiltonianCycle is the regular predicate φ(S) over edge sets: S is a
+// Hamiltonian cycle — every vertex has exactly two S-edges and (V, S) is a
+// single cycle. Decide answers "is G Hamiltonian?" (via ∃S); Count counts
+// Hamiltonian cycles; with edge weights, Optimize(minimize) solves the
+// bounded-treedepth TSP variant the paper's problem list implies.
+//
+// The class tracks, per bag position, the S-degree so far (0, 1, or 2) and
+// the S-connectivity partition (open path segments), plus a closed flag: the
+// unique moment the cycle closes. Forgotten vertices must have degree
+// exactly 2; a second closure, or degree 3, prunes.
+type HamiltonianCycle struct{}
+
+var _ regular.Predicate = HamiltonianCycle{}
+
+type hamClass struct {
+	deg       []uint8 // per bag position, 0..2
+	partition []uint8
+	closed    bool
+	pairs     [][2]int
+}
+
+func (c hamClass) Key() string {
+	b := append([]byte{uint8(len(c.deg))}, c.deg...)
+	b = encodePartition(b, c.partition)
+	if c.closed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return string(encodePairs(b, c.pairs))
+}
+
+// Name implements regular.Predicate.
+func (HamiltonianCycle) Name() string { return "hamiltonian-cycle" }
+
+// SetKind implements regular.Predicate.
+func (HamiltonianCycle) SetKind() regular.SetKind { return regular.SetEdge }
+
+// HomBase enumerates subsets of the owned edges with all degrees <= 2. Owned
+// edges share the owner vertex, so at most two may be selected.
+func (HamiltonianCycle) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	n := base.NumTerminals()
+	if err := checkTerminalCount(n); err != nil {
+		return nil, err
+	}
+	edges := base.G.Edges()
+	if len(edges) > 62 {
+		return nil, fmt.Errorf("predicates: cannot enumerate 2^%d edge selections", len(edges))
+	}
+	var out []regular.BaseClass
+	for mask := uint64(0); mask < 1<<uint(len(edges)); mask++ {
+		deg := make([]uint8, n)
+		d := newDSU(n)
+		var pairs [][2]int
+		ok := true
+		for i, e := range edges {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			deg[e.U]++
+			deg[e.V]++
+			if deg[e.U] > 2 || deg[e.V] > 2 {
+				ok = false
+				break
+			}
+			d.union(e.U, e.V) // owned edges form a star: never a cycle
+			lo, hi := e.U, e.V
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pairs = append(pairs, [2]int{lo, hi})
+		}
+		if !ok {
+			continue
+		}
+		part := make([]uint8, n)
+		for r := 0; r < n; r++ {
+			part[r] = uint8(d.find(r))
+		}
+		sel := regular.Selection{EdgePairs: regular.NormalizeEdgePairs(pairs)}
+		out = append(out, regular.BaseClass{
+			Class: hamClass{deg: deg, partition: canonicalPartition(part), pairs: sel.EdgePairs},
+			Sel:   sel,
+		})
+	}
+	return out, nil
+}
+
+// Compose implements ⊙_f: degrees add on glued positions (operand edge sets
+// are disjoint), segments merge, at most one closure ever happens, and every
+// forgotten vertex must have degree exactly 2.
+func (HamiltonianCycle) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(hamClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(hamClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	if len(a.deg) != f.N1 || len(b.deg) != f.N2 {
+		return nil, false, nil // malformed wire data
+	}
+	deg := make([]uint8, len(f.Rows))
+	for r, row := range f.Rows {
+		var total uint8
+		if row[0] != 0 {
+			total += a.deg[row[0]-1]
+		}
+		if row[1] != 0 {
+			total += b.deg[row[1]-1]
+		}
+		if total > 2 {
+			return nil, false, nil
+		}
+		deg[r] = total
+	}
+	for _, r := range f.Forgotten1() {
+		if a.deg[r-1] != 2 {
+			return nil, false, nil
+		}
+	}
+	for _, r := range f.Forgotten2() {
+		if b.deg[r-1] != 2 {
+			return nil, false, nil
+		}
+	}
+	res := gluePartitions(f, a.partition, b.partition)
+	if !res.compatible {
+		return nil, false, nil
+	}
+	closed := a.closed || b.closed
+	if res.cycleCount > 0 {
+		if closed || res.cycleCount > 1 {
+			return nil, false, nil // a second closure: two disjoint cycles
+		}
+		closed = true
+	}
+	pairs := append(mapPairs(mapRanks1(f), a.pairs), mapPairs(mapRanks2(f), b.pairs)...)
+	return hamClass{
+		deg:       deg,
+		partition: res.partition,
+		closed:    closed,
+		pairs:     regular.NormalizeEdgePairs(pairs),
+	}, true, nil
+}
+
+// Accepting requires the cycle to have closed and every remaining position
+// to lie on it (degree 2).
+func (HamiltonianCycle) Accepting(c regular.Class) (bool, error) {
+	cc, ok := c.(hamClass)
+	if !ok {
+		return false, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	if !cc.closed {
+		return false, nil
+	}
+	for _, d := range cc.deg {
+		if d != 2 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Selection implements regular.Predicate.
+func (HamiltonianCycle) Selection(c regular.Class) (regular.Selection, error) {
+	cc, ok := c.(hamClass)
+	if !ok {
+		return regular.Selection{}, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return regular.Selection{EdgePairs: cc.pairs}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (HamiltonianCycle) DecodeClass(data []byte) (regular.Class, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("%w: truncated hamiltonian class", ErrBadClass)
+	}
+	n := int(data[0])
+	rest := data[1:]
+	if len(rest) < n {
+		return nil, fmt.Errorf("%w: truncated degree list", ErrBadClass)
+	}
+	deg := append([]uint8(nil), rest[:n]...)
+	rest = rest[n:]
+	part, rest, err := decodePartition(rest)
+	if err != nil {
+		return nil, err
+	}
+	closedByte, rest, err := getU8(rest)
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := decodePairs(rest)
+	if err != nil {
+		return nil, err
+	}
+	return hamClass{deg: deg, partition: part, closed: closedByte != 0, pairs: pairs}, nil
+}

@@ -1,0 +1,144 @@
+package predicates
+
+import (
+	"fmt"
+
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// Matching is the regular predicate φ(S) = "S is a matching" (no two S-edges
+// share an endpoint) with a free edge-set variable; with Perfect set, every
+// vertex must additionally be matched. Maximum-weight matching is
+// Optimize(maximize); counting perfect matchings is Count with Perfect.
+type Matching struct {
+	// Perfect requires every vertex to be covered by S.
+	Perfect bool
+}
+
+var _ regular.Predicate = Matching{}
+
+type matchClass struct {
+	n       uint8
+	matched uint64 // terminals covered by an S-edge so far
+	pairs   [][2]int
+}
+
+func (c matchClass) Key() string {
+	return string(encodePairs(putU64(putU8(nil, c.n), c.matched), c.pairs))
+}
+
+// Name implements regular.Predicate.
+func (p Matching) Name() string {
+	if p.Perfect {
+		return "perfect-matching"
+	}
+	return "matching"
+}
+
+// SetKind implements regular.Predicate.
+func (Matching) SetKind() regular.SetKind { return regular.SetEdge }
+
+// HomBase selects at most one owned edge (all owned edges share the owner
+// vertex, so any two conflict).
+func (Matching) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	n := base.NumTerminals()
+	if err := checkTerminalCount(n); err != nil {
+		return nil, err
+	}
+	out := []regular.BaseClass{{
+		Class: matchClass{n: uint8(n)},
+		Sel:   regular.Selection{},
+	}}
+	for _, e := range base.G.Edges() {
+		lo, hi := e.U, e.V
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pairs := [][2]int{{lo, hi}}
+		out = append(out, regular.BaseClass{
+			Class: matchClass{
+				n:       uint8(n),
+				matched: 1<<uint(e.U) | 1<<uint(e.V),
+				pairs:   pairs,
+			},
+			Sel: regular.Selection{EdgePairs: pairs},
+		})
+	}
+	return out, nil
+}
+
+// Compose implements ⊙_f: a glued terminal matched in both operands means
+// two distinct S-edges share it (operand edge sets are disjoint), which is
+// pruned; with Perfect, forgotten unmatched terminals prune as well.
+func (p Matching) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(matchClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(matchClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	for _, row := range f.Rows {
+		i, j := row[0], row[1]
+		if i != 0 && j != 0 && a.matched&(1<<uint(i-1)) != 0 && b.matched&(1<<uint(j-1)) != 0 {
+			return nil, false, nil
+		}
+	}
+	if p.Perfect {
+		for _, r := range f.Forgotten1() {
+			if a.matched&(1<<uint(r-1)) == 0 {
+				return nil, false, nil
+			}
+		}
+		for _, r := range f.Forgotten2() {
+			if b.matched&(1<<uint(r-1)) == 0 {
+				return nil, false, nil
+			}
+		}
+	}
+	matched := orResultMask(f, a.matched, b.matched)
+	pairs := append(mapPairs(mapRanks1(f), a.pairs), mapPairs(mapRanks2(f), b.pairs)...)
+	return matchClass{n: uint8(len(f.Rows)), matched: matched, pairs: regular.NormalizeEdgePairs(pairs)}, true, nil
+}
+
+// Accepting implements regular.Predicate: with Perfect, the remaining
+// terminals must all be matched.
+func (p Matching) Accepting(c regular.Class) (bool, error) {
+	cc, ok := c.(matchClass)
+	if !ok {
+		return false, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	if !p.Perfect {
+		return true, nil
+	}
+	all := uint64(1)<<uint(cc.n) - 1
+	return cc.matched&all == all, nil
+}
+
+// Selection implements regular.Predicate.
+func (Matching) Selection(c regular.Class) (regular.Selection, error) {
+	cc, ok := c.(matchClass)
+	if !ok {
+		return regular.Selection{}, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return regular.Selection{EdgePairs: cc.pairs}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (Matching) DecodeClass(data []byte) (regular.Class, error) {
+	n, rest, err := getU8(data)
+	if err != nil {
+		return nil, err
+	}
+	matched, rest, err := getU64(rest)
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := decodePairs(rest)
+	if err != nil {
+		return nil, err
+	}
+	return matchClass{n: n, matched: matched, pairs: pairs}, nil
+}

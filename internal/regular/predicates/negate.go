@@ -1,0 +1,21 @@
+package predicates
+
+import "repro/internal/regular"
+
+// Negated wraps a closed predicate, flipping acceptance — e.g. H-freeness
+// is the negation of H-subgraph containment.
+type Negated struct {
+	regular.Predicate
+}
+
+// Negate returns the negation of a closed predicate.
+func Negate(p regular.Predicate) Negated { return Negated{Predicate: p} }
+
+// Name implements regular.Predicate.
+func (n Negated) Name() string { return "not-" + n.Predicate.Name() }
+
+// Accepting flips the wrapped verdict.
+func (n Negated) Accepting(c regular.Class) (bool, error) {
+	v, err := n.Predicate.Accepting(c)
+	return !v, err
+}

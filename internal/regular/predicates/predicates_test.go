@@ -1,0 +1,425 @@
+package predicates_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/mso"
+	"repro/internal/mso/msolib"
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+	"repro/internal/seq"
+	"repro/internal/treedepth"
+	"repro/internal/wterm"
+)
+
+// randomInstance returns a connected random bounded-treedepth graph with
+// weights and its DFS elimination forest.
+func randomInstance(r *rand.Rand, maxN int) (*graph.Graph, *treedepth.Forest) {
+	n := 2 + r.Intn(maxN-1)
+	g, _ := gen.BoundedTreedepth(n, 2+r.Intn(2), 0.6, r.Int63())
+	gen.AssignRandomWeights(g, 10, r.Int63())
+	return g, treedepth.DFSForest(g)
+}
+
+func runner(t *testing.T, g *graph.Graph, f *treedepth.Forest, p regular.Predicate) *seq.Runner {
+	t.Helper()
+	run, err := seq.New(g, f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// --- Decision predicates vs the naive MSO oracle ---
+
+func checkDecision(t *testing.T, seed int64, trials, maxN int, p regular.Predicate, formula mso.Formula) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		g, f := randomInstance(r, maxN)
+		got, err := runner(t, g, f, p).Decide()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := mso.NewEvaluator(g).Eval(formula, nil)
+		if err != nil {
+			t.Fatalf("trial %d: oracle: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: %s = %v, oracle says %v (graph %v)", trial, p.Name(), got, want, g)
+		}
+	}
+}
+
+func TestAcyclicityMatchesOracle(t *testing.T) {
+	checkDecision(t, 101, 25, 10, predicates.Acyclicity{}, msolib.Acyclic())
+}
+
+func TestAcyclicityKnownGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		want bool
+	}{
+		{gen.Path(7), true},
+		{gen.RandomTree(12, 3), true},
+		{gen.Cycle(5), false},
+		{gen.Complete(4), false},
+		{graph.New(1), true},
+	} {
+		got, err := runner(t, tc.g, treedepth.DFSForest(tc.g), predicates.Acyclicity{}).Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("acyclic(%v) = %v, want %v", tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestConnectivityAlwaysTrueOnConnected(t *testing.T) {
+	// The drivers require connected inputs, so the predicate must accept.
+	r := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 20; trial++ {
+		g, f := randomInstance(r, 12)
+		got, err := runner(t, g, f, predicates.Connectivity{}).Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got {
+			t.Fatalf("trial %d: connected graph judged disconnected", trial)
+		}
+	}
+}
+
+func TestKColorabilityMatchesOracle(t *testing.T) {
+	checkDecision(t, 103, 20, 8, predicates.KColorability{K: 2}, msolib.KColorable(2))
+	checkDecision(t, 104, 15, 7, predicates.KColorability{K: 3}, msolib.KColorable(3))
+}
+
+func TestKColorabilityKnownGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		k    int
+		want bool
+	}{
+		{gen.Cycle(4), 2, true},
+		{gen.Cycle(5), 2, false},
+		{gen.Cycle(5), 3, true},
+		{gen.Complete(4), 3, false},
+		{gen.Complete(4), 4, true},
+		{gen.Star(8), 2, true},
+	} {
+		p := predicates.KColorability{K: tc.k}
+		got, err := runner(t, tc.g, treedepth.DFSForest(tc.g), p).Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("%d-colorable(%v) = %v, want %v", tc.k, tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestHSubgraphMatchesOracle(t *testing.T) {
+	patterns := []*graph.Graph{gen.Complete(3), gen.Cycle(4), gen.Path(4), gen.Star(4)}
+	r := rand.New(rand.NewSource(105))
+	for _, h := range patterns {
+		p, err := predicates.NewHSubgraph(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formula := msolib.HSubgraph(h)
+		for trial := 0; trial < 10; trial++ {
+			g, f := randomInstance(r, 9)
+			got, err := runner(t, g, f, p).Decide()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := mso.NewEvaluator(g).Eval(formula, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("pattern %v trial %d: got %v, oracle %v (graph %v)", h, trial, got, want, g)
+			}
+		}
+	}
+}
+
+func TestHSubgraphValidation(t *testing.T) {
+	if _, err := predicates.NewHSubgraph(graph.New(0)); err == nil {
+		t.Fatal("empty pattern should be rejected")
+	}
+	if _, err := predicates.NewHSubgraph(gen.Complete(9)); err == nil {
+		t.Fatal("9-vertex pattern should be rejected")
+	}
+}
+
+func TestHasPerfectMatchingDecision(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		want bool
+	}{
+		{gen.Path(4), true},
+		{gen.Path(3), false},
+		{gen.Star(4), false},
+		{gen.Cycle(6), true},
+		{gen.Complete(4), true},
+	} {
+		got, err := runner(t, tc.g, treedepth.DFSForest(tc.g), predicates.Matching{Perfect: true}).Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("hasPerfectMatching(%v) = %v, want %v", tc.g, got, tc.want)
+		}
+	}
+}
+
+// --- Optimization predicates vs the naive MSO oracle ---
+
+func checkOptimization(t *testing.T, seed int64, trials, maxN int, p regular.Predicate, formula mso.Formula, kind mso.VarKind, maximize bool) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		g, f := randomInstance(r, maxN)
+		got, err := runner(t, g, f, p).Optimize(maximize)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := mso.NewEvaluator(g).OptimizeSet(formula, msolib.FreeSet, kind, maximize)
+		if err != nil {
+			t.Fatalf("trial %d: oracle: %v", trial, err)
+		}
+		if got.Found != want.Found {
+			t.Fatalf("trial %d: %s found=%v, oracle found=%v", trial, p.Name(), got.Found, want.Found)
+		}
+		if got.Found && got.Weight != want.Weight {
+			t.Fatalf("trial %d: %s weight=%d, oracle=%d (graph %v)", trial, p.Name(), got.Weight, want.Weight, g)
+		}
+		// Verify the extracted witness with the oracle.
+		if got.Found {
+			var val mso.Value
+			if kind == mso.KindVertexSet {
+				val = mso.VertexSetValue(got.Vertices)
+			} else {
+				val = mso.EdgeSetValue(got.Edges)
+			}
+			ok, err := mso.NewEvaluator(g).Eval(formula, mso.Assignment{msolib.FreeSet: val})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: %s extracted witness does not satisfy the formula", trial, p.Name())
+			}
+		}
+	}
+}
+
+func TestVertexCoverMatchesOracle(t *testing.T) {
+	checkOptimization(t, 201, 25, 10, predicates.VertexCover{}, msolib.VertexCover(), mso.KindVertexSet, false)
+}
+
+func TestDominatingSetMatchesOracle(t *testing.T) {
+	checkOptimization(t, 202, 25, 10, predicates.DominatingSet{}, msolib.DominatingSet(), mso.KindVertexSet, false)
+}
+
+func TestFeedbackVertexSetMatchesOracle(t *testing.T) {
+	checkOptimization(t, 203, 20, 9, predicates.FeedbackVertexSet{}, msolib.FeedbackVertexSet(), mso.KindVertexSet, false)
+}
+
+func TestSpanningTreeMatchesOracle(t *testing.T) {
+	checkOptimization(t, 204, 15, 8, predicates.SpanningTree{}, msolib.SpanningTree(), mso.KindEdgeSet, false)
+}
+
+func TestMatchingMatchesOracle(t *testing.T) {
+	checkOptimization(t, 205, 20, 9, predicates.Matching{}, msolib.Matching(), mso.KindEdgeSet, true)
+}
+
+func TestMSTAvoidsHeavyEdge(t *testing.T) {
+	g := gen.Cycle(4)
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.ID, 1)
+	}
+	heavy, _ := g.EdgeBetween(3, 0)
+	g.SetEdgeWeight(heavy, 100)
+	res, err := runner(t, g, treedepth.DFSForest(g), predicates.SpanningTree{}).Optimize(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 3 {
+		t.Fatalf("MST = %+v, want weight 3", res)
+	}
+	if res.Edges.Contains(heavy) {
+		t.Fatal("MST should avoid the heavy edge")
+	}
+}
+
+// --- Counting predicates vs oracles ---
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(10)
+		g, _ := gen.BoundedTreedepth(n, 3, 0.7, r.Int63())
+		got, err := runner(t, g, treedepth.DFSForest(g), predicates.Triangles{}).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(0)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				for c := b + 1; c < n; c++ {
+					if g.HasEdge(a, b) && g.HasEdge(b, c) && g.HasEdge(a, c) {
+						want++
+					}
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: triangles = %d, want %d (graph %v)", trial, got, want, g)
+		}
+	}
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		want int64
+	}{
+		{gen.Complete(3), 1},
+		{gen.Complete(4), 4},
+		{gen.Complete(5), 10},
+		{gen.Path(6), 0},
+		{gen.Cycle(5), 0},
+	} {
+		got, err := runner(t, tc.g, treedepth.DFSForest(tc.g), predicates.Triangles{}).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("triangles(%v) = %d, want %d", tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestPerfectMatchingCountMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(302))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + r.Intn(7)
+		g, _ := gen.BoundedTreedepth(n, 3, 0.6, r.Int63())
+		if g.NumEdges() > 16 {
+			continue // keep oracle enumeration fast
+		}
+		got, err := runner(t, g, treedepth.DFSForest(g), predicates.Matching{Perfect: true}).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.NewEvaluator(g).CountAssignments(
+			msolib.PerfectMatching(), []mso.TypedVar{{Name: msolib.FreeSet, Kind: mso.KindEdgeSet}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: perfect matchings = %d, oracle %d", trial, got, want)
+		}
+	}
+}
+
+func TestPerfectMatchingCountC6(t *testing.T) {
+	got, err := runner(t, gen.Cycle(6), treedepth.DFSForest(gen.Cycle(6)), predicates.Matching{Perfect: true}).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("perfect matchings of C6 = %d, want 2", got)
+	}
+}
+
+// --- Labeled domination (the paper's red/blue example) ---
+
+func TestRedBlueDominationMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	p := predicates.DominatingSet{DominateLabel: "red", MemberLabel: "blue"}
+	for trial := 0; trial < 20; trial++ {
+		g, f := randomInstance(r, 9)
+		for v := 0; v < g.NumVertices(); v++ {
+			if r.Intn(2) == 0 {
+				g.SetVertexLabel("red", v)
+			}
+			if r.Intn(2) == 0 {
+				g.SetVertexLabel("blue", v)
+			}
+		}
+		got, err := runner(t, g, f, p).Optimize(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.NewEvaluator(g).OptimizeSet(msolib.RedBlueDominatingSet(), msolib.FreeSet, mso.KindVertexSet, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Found != want.Found || (got.Found && got.Weight != want.Weight) {
+			t.Fatalf("trial %d: red/blue domination (%v,%d) vs oracle (%v,%d)",
+				trial, got.Found, got.Weight, want.Found, want.Weight)
+		}
+	}
+}
+
+// --- Wire round trips ---
+
+func TestClassKeyDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(304))
+	g, f := randomInstance(r, 8)
+	hsub, err := predicates.NewHSubgraph(gen.Complete(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []regular.Predicate{
+		predicates.IndependentSet{},
+		predicates.VertexCover{},
+		predicates.DominatingSet{},
+		predicates.FeedbackVertexSet{},
+		predicates.Acyclicity{},
+		predicates.Connectivity{},
+		predicates.SpanningTree{},
+		predicates.Matching{},
+		predicates.Matching{Perfect: true},
+		predicates.KColorability{K: 3},
+		predicates.Triangles{},
+		hsub,
+	}
+	d, err := wtermDerivation(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		for u := 0; u < g.NumVertices(); u++ {
+			base, err := d.Base(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			classes, err := p.HomBase(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bc := range classes {
+				key := bc.Class.Key()
+				back, err := p.DecodeClass([]byte(key))
+				if err != nil {
+					t.Fatalf("%s: decode: %v", p.Name(), err)
+				}
+				if back.Key() != key {
+					t.Fatalf("%s: key round trip changed", p.Name())
+				}
+			}
+		}
+	}
+}
+
+func wtermDerivation(g *graph.Graph, f *treedepth.Forest) (*wterm.Derivation, error) {
+	return wterm.NewDerivation(g, f)
+}

@@ -1,0 +1,138 @@
+package predicates
+
+import (
+	"fmt"
+
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// SpanningTree is the regular predicate φ(S) = "the edge set S is a spanning
+// tree of G" with a free edge-set variable. With edge weights and
+// minimization this solves MST, one of the paper's headline applications.
+//
+// The class stores the S-connectivity partition of the terminals plus the
+// selected owned edges as terminal rank pairs (the Remark after Definition
+// 4.1). Cycles in (V, S) prune immediately; so do orphans — an S-component
+// that loses its last terminal can never be joined to the rest.
+type SpanningTree struct{}
+
+var _ regular.Predicate = SpanningTree{}
+
+type spanClass struct {
+	partition []uint8
+	pairs     [][2]int
+}
+
+func (c spanClass) Key() string {
+	return string(encodePairs(encodePartition(nil, c.partition), c.pairs))
+}
+
+// Name implements regular.Predicate.
+func (SpanningTree) Name() string { return "spanning-tree" }
+
+// SetKind implements regular.Predicate.
+func (SpanningTree) SetKind() regular.SetKind { return regular.SetEdge }
+
+// HomBase enumerates subsets of the owned edges; the partition reflects
+// S-connectivity within the base.
+func (SpanningTree) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	n := base.NumTerminals()
+	if err := checkTerminalCount(n); err != nil {
+		return nil, err
+	}
+	edges := base.G.Edges()
+	if len(edges) > 62 {
+		return nil, fmt.Errorf("predicates: cannot enumerate 2^%d edge selections", len(edges))
+	}
+	var out []regular.BaseClass
+	for mask := uint64(0); mask < 1<<uint(len(edges)); mask++ {
+		d := newDSU(n)
+		var pairs [][2]int
+		cyclic := false
+		for i, e := range edges {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if d.union(e.U, e.V) {
+				cyclic = true
+				break
+			}
+			lo, hi := e.U, e.V
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pairs = append(pairs, [2]int{lo, hi})
+		}
+		if cyclic {
+			continue
+		}
+		part := make([]uint8, n)
+		for r := 0; r < n; r++ {
+			part[r] = uint8(d.find(r))
+		}
+		sel := regular.Selection{EdgePairs: regular.NormalizeEdgePairs(pairs)}
+		out = append(out, regular.BaseClass{
+			Class: spanClass{partition: canonicalPartition(part), pairs: sel.EdgePairs},
+			Sel:   sel,
+		})
+	}
+	return out, nil
+}
+
+// Compose implements ⊙_f: partitions glue (cycles and orphans prune) and
+// surviving owned pairs map through the gluing.
+func (SpanningTree) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(spanClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(spanClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	res := gluePartitions(f, a.partition, b.partition)
+	if !res.compatible || res.cyclic || res.newOrphan {
+		return nil, false, nil
+	}
+	pairs := append(mapPairs(mapRanks1(f), a.pairs), mapPairs(mapRanks2(f), b.pairs)...)
+	return spanClass{partition: res.partition, pairs: regular.NormalizeEdgePairs(pairs)}, true, nil
+}
+
+// Accepting requires the remaining terminals to lie in one S-component (all
+// disconnection shows up as pruned orphans before the root).
+func (SpanningTree) Accepting(c regular.Class) (bool, error) {
+	cc, ok := c.(spanClass)
+	if !ok {
+		return false, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	blocks := map[uint8]bool{}
+	for _, b := range cc.partition {
+		if b != inactiveBlock {
+			blocks[b] = true
+		}
+	}
+	return len(blocks) <= 1, nil
+}
+
+// Selection implements regular.Predicate.
+func (SpanningTree) Selection(c regular.Class) (regular.Selection, error) {
+	cc, ok := c.(spanClass)
+	if !ok {
+		return regular.Selection{}, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return regular.Selection{EdgePairs: cc.pairs}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (SpanningTree) DecodeClass(data []byte) (regular.Class, error) {
+	part, rest, err := decodePartition(data)
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := decodePairs(rest)
+	if err != nil {
+		return nil, err
+	}
+	return spanClass{partition: part, pairs: pairs}, nil
+}

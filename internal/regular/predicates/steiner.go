@@ -1,0 +1,248 @@
+package predicates
+
+import (
+	"fmt"
+
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// TerminalLabel is the vertex label marking Steiner terminals.
+const TerminalLabel = "terminal"
+
+// SteinerTree is the regular predicate φ(S) over edge sets: (V, S) is
+// acyclic and all vertices labeled with TerminalLabel lie in one
+// S-component. With positive edge weights, Optimize(minimize) computes a
+// minimum Steiner tree — one of the paper's listed applications.
+//
+// The class holds the S-connectivity partition of the bag, a mask of bag
+// positions whose block contains a Steiner terminal (possibly an internal
+// one), and a "sealed" flag set when a terminal-bearing component loses its
+// last bag vertex: from then on no second terminal-bearing component may
+// ever exist.
+type SteinerTree struct{}
+
+var _ regular.Predicate = SteinerTree{}
+
+type steinerClass struct {
+	partition []uint8
+	termMask  uint64 // bag positions whose block contains a terminal
+	sealed    bool
+	pairs     [][2]int // selected owned edges
+}
+
+func (c steinerClass) Key() string {
+	b := encodePartition(nil, c.partition)
+	b = putU64(b, c.termMask)
+	if c.sealed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return string(encodePairs(b, c.pairs))
+}
+
+// Name implements regular.Predicate.
+func (SteinerTree) Name() string { return "steiner-tree" }
+
+// SetKind implements regular.Predicate.
+func (SteinerTree) SetKind() regular.SetKind { return regular.SetEdge }
+
+// HomBase enumerates acyclic subsets of the owned edges.
+func (SteinerTree) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	n := base.NumTerminals()
+	if err := checkTerminalCount(n); err != nil {
+		return nil, err
+	}
+	edges := base.G.Edges()
+	if len(edges) > 62 {
+		return nil, fmt.Errorf("predicates: cannot enumerate 2^%d edge selections", len(edges))
+	}
+	var out []regular.BaseClass
+	for mask := uint64(0); mask < 1<<uint(len(edges)); mask++ {
+		d := newDSU(n)
+		var pairs [][2]int
+		cyclic := false
+		for i, e := range edges {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if d.union(e.U, e.V) {
+				cyclic = true
+				break
+			}
+			lo, hi := e.U, e.V
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pairs = append(pairs, [2]int{lo, hi})
+		}
+		if cyclic {
+			continue
+		}
+		part := make([]uint8, n)
+		for r := 0; r < n; r++ {
+			part[r] = uint8(d.find(r))
+		}
+		part = canonicalPartition(part)
+		// Terminal-bearing blocks: propagate each labeled terminal's block to
+		// every member of that block.
+		var termMask uint64
+		for r := 0; r < n; r++ {
+			if !base.G.HasVertexLabel(TerminalLabel, r) {
+				continue
+			}
+			for s := 0; s < n; s++ {
+				if part[s] == part[r] {
+					termMask |= 1 << uint(s)
+				}
+			}
+		}
+		sel := regular.Selection{EdgePairs: regular.NormalizeEdgePairs(pairs)}
+		out = append(out, regular.BaseClass{
+			Class: steinerClass{partition: part, termMask: termMask, pairs: sel.EdgePairs},
+			Sel:   sel,
+		})
+	}
+	return out, nil
+}
+
+// Compose implements ⊙_f.
+func (SteinerTree) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(steinerClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(steinerClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	if a.sealed && b.sealed {
+		return nil, false, nil // two sealed terminal components can never join
+	}
+	res := gluePartitions(f, a.partition, b.partition)
+	if !res.compatible || res.cyclic {
+		return nil, false, nil
+	}
+	// Propagate terminal-bearing information through the merged blocks: a
+	// result block bears a terminal iff any glued operand position in it did.
+	termMask := orResultMask(f, a.termMask, b.termMask)
+	// Close the mask under the result partition.
+	for r := range res.partition {
+		if termMask&(1<<uint(r)) == 0 {
+			continue
+		}
+		for s := range res.partition {
+			if res.partition[s] == res.partition[r] {
+				termMask |= 1 << uint(s)
+			}
+		}
+	}
+	// Sealing: gluePartitions reports an orphan when a component loses its
+	// last bag position; a Steiner-terminal-bearing orphan seals the tree,
+	// and a second seal (or a seal plus a later open terminal block at
+	// acceptance) is infeasible.
+	sealed := a.sealed || b.sealed
+	if res.newOrphan {
+		orphanBearsTerminal, err := orphanHasTerminal(f, a, b)
+		if err != nil {
+			return nil, false, err
+		}
+		if orphanBearsTerminal {
+			if sealed {
+				return nil, false, nil
+			}
+			sealed = true
+		}
+	}
+	pairs := append(mapPairs(mapRanks1(f), a.pairs), mapPairs(mapRanks2(f), b.pairs)...)
+	return steinerClass{
+		partition: res.partition,
+		termMask:  termMask,
+		sealed:    sealed,
+		pairs:     regular.NormalizeEdgePairs(pairs),
+	}, true, nil
+}
+
+// orphanHasTerminal re-runs the partition merge to determine whether any
+// orphaned merged component contains a terminal-bearing operand position.
+func orphanHasTerminal(f wterm.Gluing, a, b steinerClass) (bool, error) {
+	n1, n2 := len(a.partition), len(b.partition)
+	d := newDSU(n1 + n2)
+	for _, row := range f.Rows {
+		i, j := row[0], row[1]
+		if i != 0 && j != 0 && a.partition[i-1] != inactiveBlock && b.partition[j-1] != inactiveBlock {
+			d.union(int(a.partition[i-1]), n1+int(b.partition[j-1]))
+		}
+	}
+	hasResult := map[int]bool{}
+	for _, row := range f.Rows {
+		i, j := row[0], row[1]
+		if i != 0 && a.partition[i-1] != inactiveBlock {
+			hasResult[d.find(int(a.partition[i-1]))] = true
+		} else if j != 0 && b.partition[j-1] != inactiveBlock {
+			hasResult[d.find(n1+int(b.partition[j-1]))] = true
+		}
+	}
+	for r := 0; r < n1; r++ {
+		if a.termMask&(1<<uint(r)) != 0 && !hasResult[d.find(int(a.partition[r]))] {
+			return true, nil
+		}
+	}
+	for r := 0; r < n2; r++ {
+		if b.termMask&(1<<uint(r)) != 0 && !hasResult[d.find(n1+int(b.partition[r]))] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Accepting requires at most one terminal-bearing component overall: either
+// everything sealed and no open terminal blocks remain, or a single open
+// terminal block.
+func (SteinerTree) Accepting(c regular.Class) (bool, error) {
+	cc, ok := c.(steinerClass)
+	if !ok {
+		return false, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	openBlocks := map[uint8]bool{}
+	for r, blk := range cc.partition {
+		if blk != inactiveBlock && cc.termMask&(1<<uint(r)) != 0 {
+			openBlocks[blk] = true
+		}
+	}
+	if cc.sealed {
+		return len(openBlocks) == 0, nil
+	}
+	return len(openBlocks) <= 1, nil
+}
+
+// Selection implements regular.Predicate.
+func (SteinerTree) Selection(c regular.Class) (regular.Selection, error) {
+	cc, ok := c.(steinerClass)
+	if !ok {
+		return regular.Selection{}, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return regular.Selection{EdgePairs: cc.pairs}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (SteinerTree) DecodeClass(data []byte) (regular.Class, error) {
+	part, rest, err := decodePartition(data)
+	if err != nil {
+		return nil, err
+	}
+	termMask, rest, err := getU64(rest)
+	if err != nil {
+		return nil, err
+	}
+	sealedByte, rest, err := getU8(rest)
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := decodePairs(rest)
+	if err != nil {
+		return nil, err
+	}
+	return steinerClass{partition: part, termMask: termMask, sealed: sealedByte != 0, pairs: pairs}, nil
+}

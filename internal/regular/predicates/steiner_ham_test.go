@@ -1,0 +1,290 @@
+package predicates_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+	"repro/internal/seq"
+	"repro/internal/treedepth"
+)
+
+// bruteEdgeOpt enumerates edge subsets and returns the best weight of a
+// feasible one (found=false if none).
+func bruteEdgeOpt(g *graph.Graph, feasible func(set *bitset.Set) bool, maximize bool) (bool, int64) {
+	m := g.NumEdges()
+	found := false
+	var best int64
+	for mask := uint64(0); mask < 1<<uint(m); mask++ {
+		set := bitset.New(m)
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				set.Add(i)
+			}
+		}
+		if !feasible(set) {
+			continue
+		}
+		var w int64
+		set.ForEach(func(e int) { w += g.EdgeWeight(e) })
+		if !found || (maximize && w > best) || (!maximize && w < best) {
+			found, best = true, w
+		}
+	}
+	return found, best
+}
+
+// isAcyclicEdgeSet reports whether the selected edges contain no cycle.
+func isAcyclicEdgeSet(g *graph.Graph, set *bitset.Set) bool {
+	parent := make([]int, g.NumVertices())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	acyclic := true
+	set.ForEach(func(id int) {
+		e := g.Edge(id)
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			acyclic = false
+			return
+		}
+		parent[ru] = rv
+	})
+	return acyclic
+}
+
+// steinerFeasible: (V,S) acyclic and all labeled terminals S-connected.
+func steinerFeasible(g *graph.Graph, set *bitset.Set) bool {
+	if !isAcyclicEdgeSet(g, set) {
+		return false
+	}
+	parent := make([]int, g.NumVertices())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	set.ForEach(func(id int) {
+		e := g.Edge(id)
+		parent[find(e.U)] = find(e.V)
+	})
+	root := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if !g.HasVertexLabel(predicates.TerminalLabel, v) {
+			continue
+		}
+		if root < 0 {
+			root = find(v)
+		} else if find(v) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// hamiltonianFeasible: every vertex has S-degree exactly 2 and S is a single
+// connected cycle.
+func hamiltonianFeasible(g *graph.Graph, set *bitset.Set) bool {
+	n := g.NumVertices()
+	if set.Count() != n {
+		return false
+	}
+	deg := make([]int, n)
+	set.ForEach(func(id int) {
+		e := g.Edge(id)
+		deg[e.U]++
+		deg[e.V]++
+	})
+	for _, d := range deg {
+		if d != 2 {
+			return false
+		}
+	}
+	// n edges, all degrees 2: a disjoint union of cycles; connected iff one.
+	sub := graph.New(n)
+	set.ForEach(func(id int) {
+		e := g.Edge(id)
+		sub.MustAddEdge(e.U, e.V)
+	})
+	return sub.IsConnected()
+}
+
+func TestSteinerTreeMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(801))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(7)
+		g, _ := gen.BoundedTreedepth(n, 2, 0.5, r.Int63())
+		if g.NumEdges() > 14 {
+			continue
+		}
+		gen.AssignRandomWeights(g, 10, r.Int63())
+		// Random terminal set of 2-3 vertices.
+		numTerm := 2 + r.Intn(2)
+		perm := r.Perm(n)
+		for i := 0; i < numTerm && i < n; i++ {
+			g.SetVertexLabel(predicates.TerminalLabel, perm[i])
+		}
+		run, err := seqRunner(g, predicates.SteinerTree{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run.Optimize(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFound, wantW := bruteEdgeOpt(g, func(s *bitset.Set) bool { return steinerFeasible(g, s) }, false)
+		if got.Found != wantFound || (wantFound && got.Weight != wantW) {
+			t.Fatalf("trial %d: steiner (%v,%d) vs brute (%v,%d) on %v",
+				trial, got.Found, got.Weight, wantFound, wantW, g)
+		}
+		if got.Found && !steinerFeasible(g, got.Edges) {
+			t.Fatalf("trial %d: extracted Steiner set infeasible", trial)
+		}
+	}
+}
+
+func TestSteinerTreeNoTerminals(t *testing.T) {
+	g := gen.Path(5)
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.ID, 1)
+	}
+	run, err := seqRunner(g, predicates.SteinerTree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run.Optimize(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || got.Weight != 0 {
+		t.Fatalf("empty terminal set: want weight 0, got %+v", got)
+	}
+}
+
+func TestHamiltonianCycleDecision(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"C5", gen.Cycle(5), true},
+		{"C8", gen.Cycle(8), true},
+		{"P5", gen.Path(5), false},
+		{"K4", gen.Complete(4), true},
+		{"K5", gen.Complete(5), true},
+		{"star", gen.Star(5), false},
+		{"K23", gen.CompleteBipartite(2, 3), false},
+		{"K33", gen.CompleteBipartite(3, 3), true},
+		{"K1", graph.New(1), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run, err := seqRunner(tc.g, predicates.HamiltonianCycle{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := run.Decide()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("hamiltonian(%v) = %v, want %v", tc.g, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHamiltonianCycleMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(802))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(6)
+		g, _ := gen.BoundedTreedepth(n, 3, 0.7, r.Int63())
+		if g.NumEdges() > 14 {
+			continue
+		}
+		run, err := seqRunner(g, predicates.HamiltonianCycle{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := bruteEdgeOpt(g, func(s *bitset.Set) bool { return hamiltonianFeasible(g, s) }, false)
+		if got != want {
+			t.Fatalf("trial %d: hamiltonian = %v, brute = %v (graph %v)", trial, got, want, g)
+		}
+	}
+}
+
+func TestHamiltonianCycleCount(t *testing.T) {
+	// K4 has 3 Hamiltonian cycles (as edge sets).
+	run, err := seqRunner(gen.Complete(4), predicates.HamiltonianCycle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := run.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("hamiltonian cycles of K4 = %d, want 3", count)
+	}
+	// C6 has exactly one.
+	run, err = seqRunner(gen.Cycle(6), predicates.HamiltonianCycle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err = run.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("hamiltonian cycles of C6 = %d, want 1", count)
+	}
+}
+
+func TestHamiltonianTSPWeighted(t *testing.T) {
+	// K4 with one expensive edge: the cheapest tour avoids it if possible.
+	g := gen.Complete(4)
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.ID, 1)
+	}
+	exp, _ := g.EdgeBetween(0, 1)
+	g.SetEdgeWeight(exp, 100)
+	run, err := seqRunner(g, predicates.HamiltonianCycle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run.Optimize(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || got.Weight != 4 {
+		t.Fatalf("min tour = %+v, want weight 4", got)
+	}
+	if got.Edges.Contains(exp) {
+		t.Fatal("cheapest tour should avoid the expensive edge")
+	}
+}
+
+func seqRunner(g *graph.Graph, p regular.Predicate) (*seq.Runner, error) {
+	return seq.New(g, treedepth.DFSForest(g), p)
+}

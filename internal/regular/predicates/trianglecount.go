@@ -1,0 +1,144 @@
+package predicates
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+func popcount(mask uint64) int { return bits.OnesCount64(mask) }
+
+// Triangles is the regular predicate φ(X) = "X is the vertex set of a
+// triangle" (|X| = 3, all three edges present), designed for the counting
+// protocol: COUNT over accepting classes equals the number of triangles.
+// This is the dynamic-programming exercise suggested at the end of Section 6
+// of the paper.
+//
+// The class tracks the selected terminals, how many selected vertices were
+// already forgotten, and how many edges among selected vertices have been
+// seen (each edge of the graph is introduced exactly once by the edge-owned
+// grammar, so a plain counter is exact).
+type Triangles struct{}
+
+var _ regular.Predicate = Triangles{}
+
+type triClass struct {
+	n        uint8
+	sel      uint64
+	internal uint8 // selected vertices already forgotten (0..3)
+	edges    uint8 // edges seen among selected vertices (0..3)
+}
+
+func (c triClass) Key() string {
+	return string(putU8(putU8(putU64(putU8(nil, c.n), c.sel), c.internal), c.edges))
+}
+
+// Name implements regular.Predicate.
+func (Triangles) Name() string { return "triangles" }
+
+// SetKind implements regular.Predicate.
+func (Triangles) SetKind() regular.SetKind { return regular.SetVertex }
+
+// HomBase enumerates terminal selections with at most 3 selected vertices.
+func (Triangles) HomBase(base *wterm.TerminalGraph) ([]regular.BaseClass, error) {
+	n := base.NumTerminals()
+	if err := checkTerminalCount(n); err != nil {
+		return nil, err
+	}
+	var out []regular.BaseClass
+	err := enumerateMasks(n, func(mask uint64) error {
+		if popcount(mask) > 3 {
+			return nil
+		}
+		edges := uint8(0)
+		for _, e := range base.G.Edges() {
+			if mask&(1<<uint(e.U)) != 0 && mask&(1<<uint(e.V)) != 0 {
+				edges++
+			}
+		}
+		out = append(out, regular.BaseClass{
+			Class: triClass{n: uint8(n), sel: mask, edges: edges},
+			Sel:   regular.Selection{VertexMask: mask},
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compose implements ⊙_f: selections agree on glued terminals, selected
+// sizes and edge counters add, and selected forgotten terminals become
+// internal. States exceeding a triangle's size are pruned.
+func (Triangles) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, bool, error) {
+	a, ok := c1.(triClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c1)
+	}
+	b, ok := c2.(triClass)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %T", ErrBadClass, c2)
+	}
+	sel, compatible := resultMask(f, a.sel, b.sel)
+	if !compatible {
+		return nil, false, nil
+	}
+	internal := a.internal + b.internal
+	for _, r := range f.Forgotten1() {
+		if a.sel&(1<<uint(r-1)) != 0 {
+			internal++
+		}
+	}
+	for _, r := range f.Forgotten2() {
+		if b.sel&(1<<uint(r-1)) != 0 {
+			internal++
+		}
+	}
+	edges := a.edges + b.edges
+	if int(internal)+popcount(sel) > 3 || edges > 3 {
+		return nil, false, nil
+	}
+	return triClass{n: uint8(len(f.Rows)), sel: sel, internal: internal, edges: edges}, true, nil
+}
+
+// Accepting requires exactly 3 selected vertices spanning 3 edges.
+func (Triangles) Accepting(c regular.Class) (bool, error) {
+	cc, ok := c.(triClass)
+	if !ok {
+		return false, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return int(cc.internal)+popcount(cc.sel) == 3 && cc.edges == 3, nil
+}
+
+// Selection implements regular.Predicate.
+func (Triangles) Selection(c regular.Class) (regular.Selection, error) {
+	cc, ok := c.(triClass)
+	if !ok {
+		return regular.Selection{}, fmt.Errorf("%w: %T", ErrBadClass, c)
+	}
+	return regular.Selection{VertexMask: cc.sel}, nil
+}
+
+// DecodeClass implements regular.Predicate.
+func (Triangles) DecodeClass(data []byte) (regular.Class, error) {
+	n, rest, err := getU8(data)
+	if err != nil {
+		return nil, err
+	}
+	sel, rest, err := getU64(rest)
+	if err != nil {
+		return nil, err
+	}
+	internal, rest, err := getU8(rest)
+	if err != nil {
+		return nil, err
+	}
+	edges, _, err := getU8(rest)
+	if err != nil {
+		return nil, err
+	}
+	return triClass{n: n, sel: sel, internal: internal, edges: edges}, nil
+}

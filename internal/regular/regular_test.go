@@ -1,0 +1,246 @@
+package regular_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+	"repro/internal/wterm"
+)
+
+// edgeBase builds the 2-terminal base graph of an edge (owner rank 1).
+func edgeBase(t *testing.T) *wterm.TerminalGraph {
+	t.Helper()
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	g.SetVertexWeight(0, 3)
+	g.SetVertexWeight(1, 5)
+	g.SetEdgeWeight(0, 7)
+	base, err := wterm.BaseFromBag(g, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestNormalizeEdgePairs(t *testing.T) {
+	pairs := [][2]int{{3, 1}, {0, 2}, {1, 3}, {0, 1}}
+	out := regular.NormalizeEdgePairs(pairs)
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 3}}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestBetter(t *testing.T) {
+	if !regular.Better(3, 2, true) || regular.Better(2, 3, true) {
+		t.Fatal("maximize direction wrong")
+	}
+	if !regular.Better(2, 3, false) || regular.Better(3, 2, false) {
+		t.Fatal("minimize direction wrong")
+	}
+	if regular.Better(3, 3, true) || regular.Better(3, 3, false) {
+		t.Fatal("ties should not be better")
+	}
+}
+
+func TestBaseWeightVertexKind(t *testing.T) {
+	base := edgeBase(t)
+	// Only the owner (rank 1, weight 5) counts; ancestors' weights are
+	// charged at their own base graphs.
+	w, err := regular.BaseWeight(base, 1, regular.Selection{VertexMask: 0b11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 5 {
+		t.Fatalf("weight = %d, want 5 (owner only)", w)
+	}
+	w, err = regular.BaseWeight(base, 1, regular.Selection{VertexMask: 0b01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Fatalf("weight = %d, want 0 (only the ancestor selected)", w)
+	}
+}
+
+func TestBaseWeightEdgeKind(t *testing.T) {
+	base := edgeBase(t)
+	w, err := regular.BaseWeight(base, 1, regular.Selection{EdgePairs: [][2]int{{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 7 {
+		t.Fatalf("weight = %d, want 7", w)
+	}
+	if _, err := regular.BaseWeight(base, 1, regular.Selection{EdgePairs: [][2]int{{0, 0}}}); err == nil {
+		t.Fatal("non-edge pair should error")
+	}
+}
+
+func TestClassSetAndTables(t *testing.T) {
+	p := predicates.IndependentSet{}
+	base := edgeBase(t)
+	cs, err := regular.BaseClassSet(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selections over 2 adjacent terminals: {}, {0}, {1} — not {0,1}.
+	if len(cs) != 3 {
+		t.Fatalf("class set size = %d, want 3", len(cs))
+	}
+	keys := cs.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("Keys must be sorted")
+		}
+	}
+	opt, err := regular.BaseOptTable(p, base, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt) != 3 {
+		t.Fatalf("opt table size = %d", len(opt))
+	}
+	cnt, err := regular.BaseCountTable(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, k := range cnt.Keys() {
+		total += cnt[k].Count
+	}
+	if total != 3 {
+		t.Fatalf("count total = %d, want 3", total)
+	}
+}
+
+func TestFoldDecideIdentityGluing(t *testing.T) {
+	p := predicates.IndependentSet{}
+	base := edgeBase(t)
+	cs, err := regular.BaseClassSet(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glue, err := wterm.GluingFromBags([]int{0, 1}, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity self-fold: compatible pairs are exactly the matching
+	// selections, so the size is unchanged.
+	out, err := regular.FoldDecide(p, glue, cs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(cs) {
+		t.Fatalf("fold size = %d, want %d", len(out), len(cs))
+	}
+}
+
+func TestAnyAcceptingAndBest(t *testing.T) {
+	p := predicates.IndependentSet{}
+	base := edgeBase(t)
+	cs, err := regular.BaseClassSet(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := regular.AnyAccepting(p, cs)
+	if err != nil || !ok {
+		t.Fatalf("AnyAccepting = %v, %v", ok, err)
+	}
+	opt, err := regular.BaseOptTable(p, base, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, found, err := regular.BestAccepting(p, opt, true)
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	if best.Weight != 5 { // select the owner
+		t.Fatalf("best = %d, want 5", best.Weight)
+	}
+	worst, found, err := regular.BestAccepting(p, opt, false)
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	if worst.Weight != 0 {
+		t.Fatalf("min best = %d, want 0", worst.Weight)
+	}
+	// Empty table: not found.
+	if _, found, err := regular.BestAccepting(p, regular.OptTable{}, true); err != nil || found {
+		t.Fatal("empty table should be infeasible")
+	}
+}
+
+func TestFoldCountOverflow(t *testing.T) {
+	p := predicates.IndependentSet{}
+	base := edgeBase(t)
+	glue, err := wterm.GluingFromBags([]int{0, 1}, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := regular.BaseCountTable(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate a count near the overflow guard.
+	for k, e := range cnt {
+		e.Count = math.MaxInt64 / 2
+		cnt[k] = e
+	}
+	if _, err := regular.FoldCount(p, glue, cnt, cnt); !errors.Is(err, regular.ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+}
+
+// Property: Better is a strict total order on distinct weights.
+func TestQuickBetterAntisymmetric(t *testing.T) {
+	f := func(a, b int64, maximize bool) bool {
+		if a == b {
+			return !regular.Better(a, b, maximize) && !regular.Better(b, a, maximize)
+		}
+		return regular.Better(a, b, maximize) != regular.Better(b, a, maximize)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NormalizeEdgePairs is idempotent and order-insensitive.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(raw [][2]int) bool {
+		for i := range raw {
+			raw[i][0] &= 0xF
+			raw[i][1] &= 0xF
+			if raw[i][0] < 0 {
+				raw[i][0] = -raw[i][0]
+			}
+			if raw[i][1] < 0 {
+				raw[i][1] = -raw[i][1]
+			}
+		}
+		once := regular.NormalizeEdgePairs(append([][2]int(nil), raw...))
+		twice := regular.NormalizeEdgePairs(append([][2]int(nil), once...))
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

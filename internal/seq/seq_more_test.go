@@ -1,0 +1,140 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/graph/gen"
+	"repro/internal/regular/predicates"
+	"repro/internal/treedepth"
+)
+
+func TestCheckMarkedEdgeKind(t *testing.T) {
+	// C4 with one heavy edge: the light spanning tree is minimal.
+	g := gen.Cycle(4)
+	for _, e := range g.Edges() {
+		g.SetEdgeWeight(e.ID, 1)
+	}
+	heavy, _ := g.EdgeBetween(3, 0)
+	g.SetEdgeWeight(heavy, 100)
+	run, err := New(g, treedepth.DFSForest(g), predicates.SpanningTree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := bitset.New(g.NumEdges())
+	for _, e := range g.Edges() {
+		if e.ID != heavy {
+			light.Add(e.ID)
+		}
+	}
+	ok, err := run.CheckMarked(light, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("the light spanning tree is the MST")
+	}
+
+	// A valid spanning tree including the heavy edge is not minimal.
+	withHeavy := bitset.FromIndices(g.NumEdges(), 0, 1)
+	withHeavy.Add(heavy)
+	ok, err = run.CheckMarked(withHeavy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("a tree containing the heavy edge is not minimal")
+	}
+
+	// Not a spanning tree at all.
+	ok, err = run.CheckMarked(bitset.FromIndices(g.NumEdges(), 0), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("a single edge does not span C4")
+	}
+}
+
+func TestEvaluateMarkedEdgeKind(t *testing.T) {
+	g := gen.Path(3) // edges 0-1, 1-2
+	g.SetEdgeWeight(0, 5)
+	g.SetEdgeWeight(1, 9)
+	run, err := New(g, treedepth.DFSForest(g), predicates.Matching{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single edge is a matching.
+	ok, w, err := run.EvaluateMarked(bitset.FromIndices(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || w != 9 {
+		t.Fatalf("EvaluateMarked = %v, %d; want true, 9", ok, w)
+	}
+	// Both edges share vertex 1: not a matching.
+	ok, _, err = run.EvaluateMarked(bitset.FromIndices(2, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("two incident edges are not a matching")
+	}
+}
+
+// Distributed and sequential CheckMarked must agree on random instances and
+// random marked sets.
+func TestCheckMarkedRandomAgainstDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + r.Intn(7)
+		g, _ := gen.BoundedTreedepth(n, 2, 0.5, r.Int63())
+		for v := 0; v < n; v++ {
+			g.SetVertexWeight(v, 1+r.Int63n(4))
+		}
+		run, err := New(g, treedepth.DFSForest(g), predicates.IndependentSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		marked := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if r.Intn(2) == 0 {
+				marked.Add(v)
+			}
+		}
+		got, err := run.CheckMarked(marked, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Definition: marked is independent and achieves the optimum weight.
+		independent := true
+		for _, e := range g.Edges() {
+			if marked.Contains(e.U) && marked.Contains(e.V) {
+				independent = false
+			}
+		}
+		var markedWeight int64
+		marked.ForEach(func(v int) { markedWeight += g.VertexWeight(v) })
+		opt, err := run.Optimize(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := independent && opt.Found && markedWeight == opt.Weight
+		if got != want {
+			t.Fatalf("trial %d: CheckMarked = %v, want %v (independent=%v weight=%d opt=%d)",
+				trial, got, want, independent, markedWeight, opt.Weight)
+		}
+	}
+}
+
+func TestCheckMarkedRejectsClosedPredicate(t *testing.T) {
+	g := gen.Path(3)
+	run, err := New(g, treedepth.DFSForest(g), predicates.Acyclicity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := run.EvaluateMarked(bitset.New(3)); err == nil {
+		t.Fatal("closed predicates have no marked set to evaluate")
+	}
+}

@@ -1,0 +1,187 @@
+package seq
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/mso"
+	"repro/internal/mso/msolib"
+	"repro/internal/regular/predicates"
+	"repro/internal/treedepth"
+)
+
+func TestNewErrors(t *testing.T) {
+	dis, _ := gen.DisjointUnion(gen.Path(2), gen.Path(2))
+	f := treedepth.DFSForest(dis)
+	if _, err := New(dis, f, predicates.IndependentSet{}); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+	g := gen.Path(3)
+	bad := treedepth.NewForest([]int{-1, -1, 1}) // not an elimination tree of P3
+	if _, err := New(g, bad, predicates.IndependentSet{}); err == nil {
+		t.Fatal("invalid forest should be rejected")
+	}
+}
+
+func TestIndependentSetOptimizeSmall(t *testing.T) {
+	// P5 with unit weights: MaxIS = 3.
+	g := gen.Path(5)
+	for v := 0; v < 5; v++ {
+		g.SetVertexWeight(v, 1)
+	}
+	r, err := New(g, treedepth.DFSForest(g), predicates.IndependentSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Optimize(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Weight != 3 {
+		t.Fatalf("MaxIS(P5) = %+v, want 3", res)
+	}
+	// Extracted set must be an independent set of the right weight.
+	verifyIndependent(t, g, res.Vertices, res.Weight)
+}
+
+func verifyIndependent(t *testing.T, g *graph.Graph, set *bitset.Set, wantWeight int64) {
+	t.Helper()
+	var w int64
+	set.ForEach(func(v int) { w += g.VertexWeight(v) })
+	if w != wantWeight {
+		t.Fatalf("extracted set weight %d != reported %d", w, wantWeight)
+	}
+	for _, e := range g.Edges() {
+		if set.Contains(e.U) && set.Contains(e.V) {
+			t.Fatalf("extracted set is not independent: edge {%d,%d}", e.U, e.V)
+		}
+	}
+}
+
+// Cross-validate against the naive MSO oracle on random bounded-treedepth
+// graphs with random weights.
+func TestIndependentSetMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(9)
+		g, _ := gen.BoundedTreedepth(n, 2+r.Intn(2), 0.6, r.Int63())
+		gen.AssignRandomWeights(g, 20, r.Int63())
+		run, err := New(g, treedepth.DFSForest(g), predicates.IndependentSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run.Optimize(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.NewEvaluator(g).OptimizeSet(msolib.IndependentSet(), msolib.FreeSet, mso.KindVertexSet, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Found || got.Weight != want.Weight {
+			t.Fatalf("trial %d: DP weight %v/%d != oracle %d", trial, got.Found, got.Weight, want.Weight)
+		}
+		verifyIndependent(t, g, got.Vertices, got.Weight)
+	}
+}
+
+func TestIndependentSetCountMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + r.Intn(8)
+		g, _ := gen.BoundedTreedepth(n, 2+r.Intn(2), 0.5, r.Int63())
+		run, err := New(g, treedepth.DFSForest(g), predicates.IndependentSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.NewEvaluator(g).CountAssignments(
+			msolib.IndependentSet(), []mso.TypedVar{{Name: msolib.FreeSet, Kind: mso.KindVertexSet}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: count %d != oracle %d", trial, got, want)
+		}
+	}
+}
+
+func TestIndependentSetDecide(t *testing.T) {
+	// Decision for independent set is trivially true (empty set works); this
+	// exercises the decision plumbing end to end.
+	g := gen.Complete(4)
+	run, err := New(g, treedepth.DFSForest(g), predicates.IndependentSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := run.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("exists-independent-set is always true")
+	}
+	if run.MaxTableSize() == 0 {
+		t.Fatal("table size diagnostic should be positive")
+	}
+}
+
+func TestCheckMarked(t *testing.T) {
+	// P4 unit weights: optimal independent sets have weight 2.
+	g := gen.Path(4)
+	for v := 0; v < 4; v++ {
+		g.SetVertexWeight(v, 1)
+	}
+	run, err := New(g, treedepth.DFSForest(g), predicates.IndependentSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {0,2} is optimal.
+	ok, err := run.CheckMarked(bitset.FromIndices(4, 0, 2), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("{0,2} is a maximum independent set of P4")
+	}
+	// {0} is independent but not optimal.
+	ok, err = run.CheckMarked(bitset.FromIndices(4, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("{0} is not maximum")
+	}
+	// {0,1} is not independent.
+	ok, err = run.CheckMarked(bitset.FromIndices(4, 0, 1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("{0,1} is not independent")
+	}
+}
+
+func TestEvaluateMarkedWeight(t *testing.T) {
+	g := gen.Path(3)
+	g.SetVertexWeight(0, 5)
+	g.SetVertexWeight(2, 7)
+	run, err := New(g, treedepth.DFSForest(g), predicates.IndependentSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, w, err := run.EvaluateMarked(bitset.FromIndices(3, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || w != 12 {
+		t.Fatalf("EvaluateMarked = %v, %d; want true, 12", ok, w)
+	}
+}

@@ -1,0 +1,172 @@
+package treedepth
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// exactLimit bounds the exhaustive-search algorithm; beyond this the state
+// space (all vertex subsets) is impractical.
+const exactLimit = 20
+
+// Exact computes the treedepth of g exactly using the recursive
+// characterization of Lemma 2.2, memoized over vertex subsets. It returns
+// ErrTooLarge for graphs with more than 20 vertices.
+func Exact(g *graph.Graph) (int, error) {
+	td, _, err := exact(g, false)
+	return td, err
+}
+
+// ExactForest computes the treedepth of g and an optimal elimination forest
+// witnessing it. It returns ErrTooLarge for graphs with more than 20
+// vertices.
+func ExactForest(g *graph.Graph) (int, *Forest, error) {
+	return exact(g, true)
+}
+
+func exact(g *graph.Graph, wantForest bool) (int, *Forest, error) {
+	n := g.NumVertices()
+	if n > exactLimit {
+		return 0, nil, fmt.Errorf("%w: n=%d > %d", ErrTooLarge, n, exactLimit)
+	}
+	if n == 0 {
+		return 0, &Forest{Parent: nil}, nil
+	}
+	adj := make([]uint64, n)
+	for _, e := range g.Edges() {
+		adj[e.U] |= 1 << uint(e.V)
+		adj[e.V] |= 1 << uint(e.U)
+	}
+	s := &exactSolver{adj: adj, n: n, memo: make(map[uint64]int), bestRoot: make(map[uint64]int)}
+	full := uint64(1)<<uint(n) - 1
+	td := s.solve(full)
+	if !wantForest {
+		return td, nil, nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	s.reconstruct(full, -1, parent)
+	return td, &Forest{Parent: parent}, nil
+}
+
+type exactSolver struct {
+	adj      []uint64
+	n        int
+	memo     map[uint64]int // mask of a *connected* subgraph -> treedepth
+	bestRoot map[uint64]int // mask -> optimal root vertex
+}
+
+// solve returns td(G[mask]) handling disconnected masks by taking the max
+// over components (Lemma 2.2).
+func (s *exactSolver) solve(mask uint64) int {
+	if mask == 0 {
+		return 0
+	}
+	max := 0
+	for _, comp := range s.components(mask) {
+		if d := s.solveConnected(comp); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func (s *exactSolver) solveConnected(mask uint64) int {
+	if bits.OnesCount64(mask) == 1 {
+		return 1
+	}
+	if d, ok := s.memo[mask]; ok {
+		return d
+	}
+	best := s.n + 1
+	bestV := -1
+	for m := mask; m != 0; m &= m - 1 {
+		v := bits.TrailingZeros64(m)
+		if d := 1 + s.solve(mask&^(1<<uint(v))); d < best {
+			best = d
+			bestV = v
+		}
+	}
+	s.memo[mask] = best
+	s.bestRoot[mask] = bestV
+	return best
+}
+
+// components splits mask into connected components of G[mask].
+func (s *exactSolver) components(mask uint64) []uint64 {
+	var comps []uint64
+	remaining := mask
+	for remaining != 0 {
+		seed := uint64(1) << uint(bits.TrailingZeros64(remaining))
+		comp := seed
+		frontier := seed
+		for frontier != 0 {
+			next := uint64(0)
+			for f := frontier; f != 0; f &= f - 1 {
+				v := bits.TrailingZeros64(f)
+				next |= s.adj[v] & mask &^ comp
+			}
+			comp |= next
+			frontier = next
+		}
+		comps = append(comps, comp)
+		remaining &^= comp
+	}
+	return comps
+}
+
+// reconstruct fills the parent array for the elimination forest of G[mask],
+// attaching component roots below attachTo (-1 for top level).
+func (s *exactSolver) reconstruct(mask uint64, attachTo int, parent []int) {
+	for _, comp := range s.components(mask) {
+		var root int
+		if bits.OnesCount64(comp) == 1 {
+			root = bits.TrailingZeros64(comp)
+		} else {
+			// Ensure the memo entry exists (solve may not have been called on
+			// this exact component during the optimal branch).
+			s.solveConnected(comp)
+			root = s.bestRoot[comp]
+		}
+		parent[root] = attachTo
+		rest := comp &^ (1 << uint(root))
+		if rest != 0 {
+			s.reconstruct(rest, root, parent)
+		}
+	}
+}
+
+// DFSForest returns an elimination forest of g whose edges are all edges of
+// g, built by depth-first search: every non-tree edge of an undirected DFS is
+// a back edge, so the DFS forest is an elimination forest. By Lemma 2.5 its
+// depth is at most 2^td(G). Roots are chosen as the minimum vertex of each
+// component, and neighbors are explored in increasing order, making the
+// construction deterministic.
+func DFSForest(g *graph.Graph) *Forest {
+	n := g.NumVertices()
+	parent := make([]int, n)
+	visited := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var dfs func(u int)
+	dfs = func(u int) {
+		visited[u] = true
+		for _, w := range g.Neighbors(u) {
+			if !visited[w] {
+				parent[w] = u
+				dfs(w)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			dfs(v)
+		}
+	}
+	return &Forest{Parent: parent}
+}

@@ -1,0 +1,177 @@
+// Package treedepth implements elimination forests, exact and heuristic
+// treedepth algorithms, and the canonical tree decomposition of Lemma 2.4 of
+// the paper. These are the sequential counterparts of the distributed
+// constructions in internal/protocols, used as oracles and building blocks.
+package treedepth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrTooLarge is returned by the exact algorithm for graphs beyond its
+// exhaustive-search limit.
+var ErrTooLarge = errors.New("treedepth: graph too large for exact computation")
+
+// Forest is a rooted spanning forest over the vertices of a graph, given by a
+// parent array with parent[root] = -1. A Forest is an elimination forest of G
+// when every edge of G connects a vertex with one of its ancestors.
+type Forest struct {
+	Parent []int
+}
+
+// NewForest wraps a parent array (copied).
+func NewForest(parent []int) *Forest {
+	return &Forest{Parent: append([]int(nil), parent...)}
+}
+
+// NumVertices returns the number of vertices in the forest.
+func (f *Forest) NumVertices() int { return len(f.Parent) }
+
+// Roots returns the roots in increasing order.
+func (f *Forest) Roots() []int {
+	var roots []int
+	for v, p := range f.Parent {
+		if p < 0 {
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}
+
+// Children returns, for each vertex, its children sorted increasingly.
+func (f *Forest) Children() [][]int {
+	ch := make([][]int, len(f.Parent))
+	for v, p := range f.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], v)
+		}
+	}
+	for _, c := range ch {
+		sort.Ints(c)
+	}
+	return ch
+}
+
+// DepthOf returns the depth of v counted in vertices (roots have depth 1).
+func (f *Forest) DepthOf(v int) int {
+	d := 1
+	for f.Parent[v] >= 0 {
+		v = f.Parent[v]
+		d++
+	}
+	return d
+}
+
+// Depth returns the depth of the forest: the maximum number of vertices on a
+// root-to-leaf path (0 for an empty forest).
+func (f *Forest) Depth() int {
+	depth := make([]int, len(f.Parent))
+	max := 0
+	var compute func(v int) int
+	compute = func(v int) int {
+		if depth[v] > 0 {
+			return depth[v]
+		}
+		if f.Parent[v] < 0 {
+			depth[v] = 1
+		} else {
+			depth[v] = compute(f.Parent[v]) + 1
+		}
+		return depth[v]
+	}
+	for v := range f.Parent {
+		if d := compute(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsAncestor reports whether a is an ancestor of v (or equal to v).
+func (f *Forest) IsAncestor(a, v int) bool {
+	for v >= 0 {
+		if v == a {
+			return true
+		}
+		v = f.Parent[v]
+	}
+	return false
+}
+
+// PathToRoot returns v, parent(v), ..., root — i.e. v and all its ancestors.
+func (f *Forest) PathToRoot(v int) []int {
+	var path []int
+	for v >= 0 {
+		path = append(path, v)
+		v = f.Parent[v]
+	}
+	return path
+}
+
+// Validate checks structural sanity: parents in range, no cycles.
+func (f *Forest) Validate() error {
+	n := len(f.Parent)
+	for v, p := range f.Parent {
+		if p >= n || p == v {
+			return fmt.Errorf("treedepth: invalid parent %d of vertex %d", p, v)
+		}
+	}
+	// Cycle detection by walking to root with a step budget.
+	for v := range f.Parent {
+		steps := 0
+		for u := v; u >= 0; u = f.Parent[u] {
+			if steps++; steps > n {
+				return fmt.Errorf("treedepth: cycle through vertex %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyElimination checks that f is an elimination forest of g: structurally
+// valid, same vertex count, and every edge of g joins a vertex to one of its
+// ancestors. Additionally, vertices in different trees must be in different
+// components (implied by the edge condition).
+func (f *Forest) VerifyElimination(g *graph.Graph) error {
+	if len(f.Parent) != g.NumVertices() {
+		return fmt.Errorf("treedepth: forest has %d vertices, graph has %d", len(f.Parent), g.NumVertices())
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if !f.IsAncestor(e.U, e.V) && !f.IsAncestor(e.V, e.U) {
+			return fmt.Errorf("treedepth: edge {%d,%d} is not ancestor-descendant", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// SubtreeVertices returns, for every vertex u, the sorted vertices of the
+// subtree rooted at u (including u).
+func (f *Forest) SubtreeVertices() [][]int {
+	n := len(f.Parent)
+	out := make([][]int, n)
+	ch := f.Children()
+	var collect func(u int) []int
+	collect = func(u int) []int {
+		if out[u] != nil {
+			return out[u]
+		}
+		vs := []int{u}
+		for _, c := range ch[u] {
+			vs = append(vs, collect(c)...)
+		}
+		sort.Ints(vs)
+		out[u] = vs
+		return vs
+	}
+	for v := 0; v < n; v++ {
+		collect(v)
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package treedepth
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func TestForestBasics(t *testing.T) {
+	// Tree: 0 <- 1 <- 2, 0 <- 3; root 0. Plus separate root 4.
+	f := NewForest([]int{-1, 0, 1, 0, -1})
+	if got := f.Roots(); len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("Roots = %v", got)
+	}
+	ch := f.Children()
+	if len(ch[0]) != 2 || ch[0][0] != 1 || ch[0][1] != 3 {
+		t.Fatalf("Children(0) = %v", ch[0])
+	}
+	if f.DepthOf(2) != 3 || f.DepthOf(0) != 1 || f.DepthOf(4) != 1 {
+		t.Fatal("DepthOf wrong")
+	}
+	if f.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", f.Depth())
+	}
+	if !f.IsAncestor(0, 2) || !f.IsAncestor(2, 2) || f.IsAncestor(3, 2) || f.IsAncestor(2, 0) {
+		t.Fatal("IsAncestor wrong")
+	}
+	p := f.PathToRoot(2)
+	if len(p) != 3 || p[0] != 2 || p[1] != 1 || p[2] != 0 {
+		t.Fatalf("PathToRoot = %v", p)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestValidateErrors(t *testing.T) {
+	if err := NewForest([]int{1, 0}).Validate(); err == nil {
+		t.Fatal("cycle should fail validation")
+	}
+	if err := NewForest([]int{5}).Validate(); err == nil {
+		t.Fatal("out-of-range parent should fail validation")
+	}
+	if err := NewForest([]int{0}).Validate(); err == nil {
+		t.Fatal("self-parent should fail validation")
+	}
+}
+
+func TestVerifyElimination(t *testing.T) {
+	g := gen.Path(4) // 0-1-2-3
+	// Valid elimination tree of P4 with depth 3: root 1, children 0 and 2, 2->3.
+	good := NewForest([]int{1, -1, 1, 2})
+	if err := good.VerifyElimination(g); err != nil {
+		t.Fatal(err)
+	}
+	// Bad: 0 and 2 siblings under 1, 3 under 0 -> edge {2,3} not ancestor-related.
+	bad := NewForest([]int{1, -1, 1, 0})
+	if err := bad.VerifyElimination(g); err == nil {
+		t.Fatal("expected elimination violation")
+	}
+	// Wrong size.
+	if err := good.VerifyElimination(gen.Path(5)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestSubtreeVertices(t *testing.T) {
+	f := NewForest([]int{-1, 0, 1, 0})
+	sub := f.SubtreeVertices()
+	if len(sub[0]) != 4 {
+		t.Fatalf("subtree(0) = %v", sub[0])
+	}
+	if len(sub[1]) != 2 || sub[1][0] != 1 || sub[1][1] != 2 {
+		t.Fatalf("subtree(1) = %v", sub[1])
+	}
+	if len(sub[3]) != 1 {
+		t.Fatalf("subtree(3) = %v", sub[3])
+	}
+}
+
+func pathTD(n int) int {
+	// td(P_n) = ceil(log2(n+1)).
+	return int(math.Ceil(math.Log2(float64(n + 1))))
+}
+
+func TestExactKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K1", graph.New(1), 1},
+		{"P2", gen.Path(2), 2},
+		{"P3", gen.Path(3), 2},
+		{"P4", gen.Path(4), 3},
+		{"P7", gen.Path(7), 3},
+		{"P8", gen.Path(8), 4},
+		{"P15", gen.Path(15), 4},
+		{"K4", gen.Complete(4), 4},
+		{"K6", gen.Complete(6), 6},
+		{"star6", gen.Star(6), 2},
+		{"C3", gen.Cycle(3), 3},
+		{"C4", gen.Cycle(4), 3},
+		{"empty3", graph.New(3), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Exact(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("Exact = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExactPathFormula(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		got, err := Exact(gen.Path(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := pathTD(n); got != want {
+			t.Fatalf("td(P%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestExactDisconnected(t *testing.T) {
+	g, _ := gen.DisjointUnion(gen.Complete(4), gen.Path(3))
+	got, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("td(K4 + P3) = %d, want 4", got)
+	}
+}
+
+func TestExactTooLarge(t *testing.T) {
+	if _, err := Exact(gen.Path(21)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactForestWitness(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(9)
+		g := gen.RandomGNP(n, 0.4, r.Int63())
+		td, f, err := ExactForest(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.VerifyElimination(g); err != nil {
+			t.Fatalf("trial %d: %v (graph %v)", trial, err, g)
+		}
+		if d := f.Depth(); d != td {
+			t.Fatalf("trial %d: forest depth %d != treedepth %d", trial, d, td)
+		}
+	}
+}
+
+func TestDFSForestValidAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(10)
+		g := gen.RandomGNP(n, 0.35, r.Int63())
+		f := DFSForest(g)
+		if err := f.VerifyElimination(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		td, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := f.Depth(); d > 1<<uint(td) {
+			t.Fatalf("trial %d: DFS depth %d exceeds 2^td = %d", trial, d, 1<<uint(td))
+		}
+	}
+}
+
+func TestDFSForestDeterministic(t *testing.T) {
+	g := gen.RandomGNP(12, 0.3, 99)
+	a := DFSForest(g)
+	b := DFSForest(g)
+	for v := range a.Parent {
+		if a.Parent[v] != b.Parent[v] {
+			t.Fatal("DFSForest must be deterministic")
+		}
+	}
+}
+
+func TestCanonicalDecomposition(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(10)
+		g := gen.RandomGNP(n, 0.35, r.Int63())
+		f := DFSForest(g)
+		dec := CanonicalDecomposition(f)
+		if err := dec.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if dec.Width() != f.Depth()-1 {
+			t.Fatalf("trial %d: width %d != depth-1 %d", trial, dec.Width(), f.Depth()-1)
+		}
+	}
+}
+
+func TestDecompositionVerifyErrors(t *testing.T) {
+	g := gen.Path(3)
+	// Vertex 2 in no bag.
+	d := &Decomposition{Parent: []int{-1, 0}, Bags: [][]int{{0}, {0, 1}}}
+	if err := d.Verify(g); err == nil {
+		t.Fatal("expected missing-vertex error")
+	}
+	// Edge {1,2} in no bag.
+	d = &Decomposition{Parent: []int{-1, 0, 1}, Bags: [][]int{{0}, {0, 1}, {2}}}
+	if err := d.Verify(g); err == nil {
+		t.Fatal("expected missing-edge error")
+	}
+	// Vertex 0 in two disconnected bags.
+	d = &Decomposition{Parent: []int{-1, 0, 1}, Bags: [][]int{{0, 1}, {1, 2}, {0, 2}}}
+	if err := d.Verify(g); err == nil {
+		t.Fatal("expected connectivity error")
+	}
+	// Bag vertex out of range.
+	d = &Decomposition{Parent: []int{-1}, Bags: [][]int{{0, 7}}}
+	if err := d.Verify(g); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestCanonicalDecompositionOnTree(t *testing.T) {
+	g := gen.CompleteBinaryTree(3) // 7 vertices
+	td, f, err := ExactForest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td != 3 {
+		t.Fatalf("td(complete binary tree, 3 levels) = %d, want 3", td)
+	}
+	dec := CanonicalDecomposition(f)
+	if err := dec.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Width() != 2 {
+		t.Fatalf("width = %d, want 2", dec.Width())
+	}
+}

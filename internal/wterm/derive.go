@@ -1,0 +1,97 @@
+package wterm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/treedepth"
+)
+
+// Derivation describes how the subtree graph G_u of every elimination-tree
+// node is built from base graphs by composition: at node u with children
+// v_1..v_q (sorted), start from the edge-owned base graph of u and fold each
+// child's subtree graph in with the gluing f_(B_u, B_{v_i}); the child's own
+// vertex v_i is forgotten by that gluing. This is the composition sequence of
+// Equations (1)–(2) of the paper, reassociated so that each base graph
+// appears exactly once.
+type Derivation struct {
+	G      *graph.Graph
+	Forest *treedepth.Forest
+	// Bags[u] is the sorted bag (u plus ancestors) of every vertex.
+	Bags [][]int
+	// Order is a post-order listing of the vertices (children before
+	// parents), usable to drive bottom-up dynamic programming.
+	Order []int
+}
+
+// NewDerivation validates the elimination forest against g and precomputes
+// bags and a post-order traversal.
+func NewDerivation(g *graph.Graph, f *treedepth.Forest) (*Derivation, error) {
+	if err := f.VerifyElimination(g); err != nil {
+		return nil, fmt.Errorf("wterm: %w", err)
+	}
+	n := g.NumVertices()
+	bags := make([][]int, n)
+	for u := 0; u < n; u++ {
+		bag := f.PathToRoot(u)
+		sort.Ints(bag)
+		bags[u] = bag
+	}
+	children := f.Children()
+	order := make([]int, 0, n)
+	var post func(u int)
+	post = func(u int) {
+		for _, c := range children[u] {
+			post(c)
+		}
+		order = append(order, u)
+	}
+	for _, r := range f.Roots() {
+		post(r)
+	}
+	return &Derivation{G: g, Forest: f, Bags: bags, Order: order}, nil
+}
+
+// Base returns the edge-owned base graph of node u.
+func (d *Derivation) Base(u int) (*TerminalGraph, error) {
+	return BaseFromBag(d.G, d.Bags[u], u)
+}
+
+// FoldGluing returns the gluing used to fold child v's subtree graph into
+// the accumulator at node u: operand 1 has bag B_u, operand 2 has bag B_v,
+// and the result keeps B_u (forgetting v).
+func (d *Derivation) FoldGluing(u, v int) (Gluing, error) {
+	return GluingFromBags(d.Bags[u], d.Bags[v], d.Bags[u])
+}
+
+// SubtreeGraph materializes G_u by actually composing terminal graphs
+// bottom-up. It is exponential in nothing but linear in subtree size, yet
+// materializes real graphs, so it is intended for tests and for the generic
+// MSO engine's representatives rather than for large-scale runs.
+func (d *Derivation) SubtreeGraph(u int) (*TerminalGraph, error) {
+	children := d.Forest.Children()
+	var build func(u int) (*TerminalGraph, error)
+	build = func(u int) (*TerminalGraph, error) {
+		acc, err := d.Base(u)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range children[u] {
+			sub, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			m, err := d.FoldGluing(u, c)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = Compose(m, acc, sub)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+	return build(u)
+}

@@ -1,0 +1,311 @@
+// Package wterm implements w-terminal graphs and their composition (gluing)
+// operations, following Section 3 of the paper (Borie–Parker–Tovey grammar).
+//
+// A w-terminal graph is a graph with an ordered list of at most w
+// distinguished terminal vertices. A composition f(G1, G2) makes disjoint
+// copies of G1 and G2 and identifies some terminals of G1 with some terminals
+// of G2 according to a gluing matrix m(f); operand terminals not mapped to
+// any result terminal are "forgotten" (they become internal vertices).
+//
+// The library uses the grammar in its "edge-owned" form: when a graph of
+// treedepth d is derived from an elimination tree, the base graph of vertex u
+// contributes only the edges from u to its ancestors (u is the unique deepest
+// vertex of its bag), so every edge of G is introduced by exactly one base
+// graph. This is the same derivation compressed differently and keeps
+// dynamic-programming weight/count accounting free of inclusion–exclusion
+// corrections.
+package wterm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrGluing is wrapped by all composition errors.
+var ErrGluing = errors.New("wterm: invalid gluing")
+
+// TerminalGraph is a w-terminal graph: a graph over local vertex IDs plus an
+// ordered terminal list (local IDs). Orig optionally maps local IDs back to
+// the vertex IDs of an ambient graph (nil when not applicable).
+type TerminalGraph struct {
+	G         *graph.Graph
+	Terminals []int
+	Orig      []int
+}
+
+// NumTerminals returns τ(G), the number of terminals.
+func (t *TerminalGraph) NumTerminals() int { return len(t.Terminals) }
+
+// Validate checks that terminals are distinct, in range, and at most the
+// vertex count.
+func (t *TerminalGraph) Validate() error {
+	seen := map[int]bool{}
+	for _, v := range t.Terminals {
+		if v < 0 || v >= t.G.NumVertices() {
+			return fmt.Errorf("%w: terminal %d out of range", ErrGluing, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("%w: duplicate terminal %d", ErrGluing, v)
+		}
+		seen[v] = true
+	}
+	if t.Orig != nil && len(t.Orig) != t.G.NumVertices() {
+		return fmt.Errorf("%w: Orig has %d entries for %d vertices", ErrGluing, len(t.Orig), t.G.NumVertices())
+	}
+	return nil
+}
+
+// Gluing is the matrix m(f) of a binary composition: Rows[r] = (i, j) states
+// that the r-th terminal of the result is the i-th terminal of operand 1
+// and/or the j-th terminal of operand 2 (1-based; 0 means "not from this
+// operand"). N1 and N2 are the operand terminal counts τ(G1), τ(G2); operand
+// terminals referenced by no row are forgotten.
+type Gluing struct {
+	Rows   [][2]int
+	N1, N2 int
+}
+
+// Validate checks matrix well-formedness: entries in range, each operand
+// terminal used at most once, and no row with both entries zero (the paper
+// notes fresh result terminals never occur in this construction).
+func (m Gluing) Validate() error {
+	used1 := map[int]bool{}
+	used2 := map[int]bool{}
+	for r, row := range m.Rows {
+		i, j := row[0], row[1]
+		if i < 0 || i > m.N1 || j < 0 || j > m.N2 {
+			return fmt.Errorf("%w: row %d entries (%d,%d) out of range (N1=%d, N2=%d)", ErrGluing, r, i, j, m.N1, m.N2)
+		}
+		if i == 0 && j == 0 {
+			return fmt.Errorf("%w: row %d introduces a fresh terminal", ErrGluing, r)
+		}
+		if i != 0 {
+			if used1[i] {
+				return fmt.Errorf("%w: operand-1 terminal %d used twice", ErrGluing, i)
+			}
+			used1[i] = true
+		}
+		if j != 0 {
+			if used2[j] {
+				return fmt.Errorf("%w: operand-2 terminal %d used twice", ErrGluing, j)
+			}
+			used2[j] = true
+		}
+	}
+	return nil
+}
+
+// Forgotten1 returns the 1-based ranks of operand-1 terminals that are
+// forgotten by the composition, in increasing order.
+func (m Gluing) Forgotten1() []int { return m.forgotten(0, m.N1) }
+
+// Forgotten2 returns the 1-based ranks of operand-2 terminals that are
+// forgotten by the composition, in increasing order.
+func (m Gluing) Forgotten2() []int { return m.forgotten(1, m.N2) }
+
+func (m Gluing) forgotten(col, n int) []int {
+	used := make([]bool, n+1)
+	for _, row := range m.Rows {
+		if row[col] != 0 {
+			used[row[col]] = true
+		}
+	}
+	var out []int
+	for i := 1; i <= n; i++ {
+		if !used[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SharedRows returns the result ranks whose terminal is glued from both
+// operands (both matrix entries nonzero).
+func (m Gluing) SharedRows() []int {
+	var out []int
+	for r, row := range m.Rows {
+		if row[0] != 0 && row[1] != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string identity for the gluing, usable as a map
+// key (the number of distinct gluings is bounded in terms of w alone).
+func (m Gluing) Key() string {
+	b := make([]byte, 0, 8+4*len(m.Rows))
+	b = append(b, byte(m.N1), byte(m.N2))
+	for _, row := range m.Rows {
+		b = append(b, byte(row[0]), byte(row[1]))
+	}
+	return string(b)
+}
+
+// GluingFromBags builds the gluing used throughout the elimination-tree
+// derivation: operands carry bags (sorted original vertex IDs) bag1 and bag2,
+// and the result keeps exactly the vertices of resultBag, identifying equal
+// vertex IDs. Every result vertex must occur in at least one operand bag.
+func GluingFromBags(bag1, bag2, resultBag []int) (Gluing, error) {
+	rank := func(bag []int, v int) int {
+		i := sort.SearchInts(bag, v)
+		if i < len(bag) && bag[i] == v {
+			return i + 1
+		}
+		return 0
+	}
+	m := Gluing{Rows: make([][2]int, len(resultBag)), N1: len(bag1), N2: len(bag2)}
+	for r, v := range resultBag {
+		i, j := rank(bag1, v), rank(bag2, v)
+		if i == 0 && j == 0 {
+			return Gluing{}, fmt.Errorf("%w: result vertex %d in neither operand bag", ErrGluing, v)
+		}
+		m.Rows[r] = [2]int{i, j}
+	}
+	if err := m.Validate(); err != nil {
+		return Gluing{}, err
+	}
+	return m, nil
+}
+
+// Compose applies the composition described by m to g1 and g2: disjoint
+// copies are made, operand terminals mapped to the same row are identified,
+// and the result's terminals follow the rows of m. Vertex labels and weights
+// are carried over (for glued pairs, operand 1 wins; in elimination-tree
+// derivations both sides describe the same original vertex). Edges from both
+// operands are kept; a duplicate edge between two glued terminals is an
+// error under the edge-owned grammar.
+func Compose(m Gluing, g1, g2 *TerminalGraph) (*TerminalGraph, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N1 != g1.NumTerminals() || m.N2 != g2.NumTerminals() {
+		return nil, fmt.Errorf("%w: matrix is (%d,%d) but operands have (%d,%d) terminals",
+			ErrGluing, m.N1, m.N2, g1.NumTerminals(), g2.NumTerminals())
+	}
+	n1, n2 := g1.G.NumVertices(), g2.G.NumVertices()
+	// Map operand-2 vertices into the result: glued terminals collapse onto
+	// their operand-1 partner; everything else shifts after operand 1.
+	map2 := make([]int, n2)
+	for i := range map2 {
+		map2[i] = -1
+	}
+	for _, row := range m.Rows {
+		if row[0] != 0 && row[1] != 0 {
+			map2[g2.Terminals[row[1]-1]] = g1.Terminals[row[0]-1]
+		}
+	}
+	next := n1
+	for v := 0; v < n2; v++ {
+		if map2[v] < 0 {
+			map2[v] = next
+			next++
+		}
+	}
+	out := graph.New(next)
+	copyInto := func(tg *TerminalGraph, vmap func(int) int) error {
+		for _, e := range tg.G.Edges() {
+			u, v := vmap(e.U), vmap(e.V)
+			id, err := out.AddEdge(u, v)
+			if err != nil {
+				return fmt.Errorf("%w: duplicate edge {%d,%d} across operands (edge-owned grammar violated): %v",
+					ErrGluing, u, v, err)
+			}
+			out.SetEdgeWeight(id, tg.G.EdgeWeight(e.ID))
+			for _, label := range tg.G.EdgeLabelNames() {
+				if tg.G.HasEdgeLabel(label, e.ID) {
+					out.SetEdgeLabel(label, id)
+				}
+			}
+		}
+		for v := 0; v < tg.G.NumVertices(); v++ {
+			w := vmap(v)
+			if out.VertexWeight(w) == 0 {
+				out.SetVertexWeight(w, tg.G.VertexWeight(v))
+			}
+			for _, label := range tg.G.VertexLabelNames() {
+				if tg.G.HasVertexLabel(label, v) {
+					out.SetVertexLabel(label, w)
+				}
+			}
+		}
+		return nil
+	}
+	if err := copyInto(g1, func(v int) int { return v }); err != nil {
+		return nil, err
+	}
+	if err := copyInto(g2, func(v int) int { return map2[v] }); err != nil {
+		return nil, err
+	}
+	terms := make([]int, len(m.Rows))
+	for r, row := range m.Rows {
+		if row[0] != 0 {
+			terms[r] = g1.Terminals[row[0]-1]
+		} else {
+			terms[r] = map2[g2.Terminals[row[1]-1]]
+		}
+	}
+	var orig []int
+	if g1.Orig != nil && g2.Orig != nil {
+		orig = make([]int, next)
+		copy(orig, g1.Orig)
+		for v := 0; v < n2; v++ {
+			orig[map2[v]] = g2.Orig[v]
+		}
+	}
+	return &TerminalGraph{G: out, Terminals: terms, Orig: orig}, nil
+}
+
+// BaseFromBag builds the edge-owned base graph of vertex owner within the
+// ambient graph g: local vertices are the (sorted) bag, every bag vertex is a
+// terminal in sorted order, and the edges are exactly the g-edges between
+// owner and the other bag vertices. Labels and weights are restricted from g.
+func BaseFromBag(g *graph.Graph, bag []int, owner int) (*TerminalGraph, error) {
+	sorted := append([]int(nil), bag...)
+	sort.Ints(sorted)
+	idx := make(map[int]int, len(sorted))
+	for i, v := range sorted {
+		if v < 0 || v >= g.NumVertices() {
+			return nil, fmt.Errorf("%w: bag vertex %d out of range", ErrGluing, v)
+		}
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("%w: duplicate bag vertex %d", ErrGluing, v)
+		}
+		idx[v] = i
+	}
+	ownerLocal, ok := idx[owner]
+	if !ok {
+		return nil, fmt.Errorf("%w: owner %d not in bag %v", ErrGluing, owner, bag)
+	}
+	local := graph.New(len(sorted))
+	for i, v := range sorted {
+		local.SetVertexWeight(i, g.VertexWeight(v))
+		for _, label := range g.VertexLabelNames() {
+			if g.HasVertexLabel(label, v) {
+				local.SetVertexLabel(label, i)
+			}
+		}
+	}
+	for i, v := range sorted {
+		if v == owner {
+			continue
+		}
+		if eid, ok := g.EdgeBetween(owner, v); ok {
+			id := local.MustAddEdge(ownerLocal, i)
+			local.SetEdgeWeight(id, g.EdgeWeight(eid))
+			for _, label := range g.EdgeLabelNames() {
+				if g.HasEdgeLabel(label, eid) {
+					local.SetEdgeLabel(label, id)
+				}
+			}
+		}
+	}
+	terms := make([]int, len(sorted))
+	for i := range sorted {
+		terms[i] = i
+	}
+	return &TerminalGraph{G: local, Terminals: terms, Orig: sorted}, nil
+}

@@ -1,0 +1,289 @@
+package wterm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/treedepth"
+)
+
+func TestGluingValidate(t *testing.T) {
+	good := Gluing{Rows: [][2]int{{1, 1}, {2, 0}}, N1: 2, N2: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Gluing{
+		{Rows: [][2]int{{3, 0}}, N1: 2, N2: 1},         // out of range
+		{Rows: [][2]int{{0, 0}}, N1: 1, N2: 1},         // fresh terminal
+		{Rows: [][2]int{{1, 0}, {1, 0}}, N1: 2, N2: 1}, // reused operand-1 terminal
+		{Rows: [][2]int{{1, 1}, {2, 1}}, N1: 2, N2: 2}, // reused operand-2 terminal
+		{Rows: [][2]int{{-1, 0}}, N1: 1, N2: 1},        // negative
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestGluingForgottenShared(t *testing.T) {
+	m := Gluing{Rows: [][2]int{{1, 2}, {0, 3}}, N1: 3, N2: 3}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f1 := m.Forgotten1()
+	if len(f1) != 2 || f1[0] != 2 || f1[1] != 3 {
+		t.Fatalf("Forgotten1 = %v", f1)
+	}
+	f2 := m.Forgotten2()
+	if len(f2) != 1 || f2[0] != 1 {
+		t.Fatalf("Forgotten2 = %v", f2)
+	}
+	sh := m.SharedRows()
+	if len(sh) != 1 || sh[0] != 0 {
+		t.Fatalf("SharedRows = %v", sh)
+	}
+	if m.Key() == (Gluing{Rows: [][2]int{{1, 2}, {0, 2}}, N1: 3, N2: 3}).Key() {
+		t.Fatal("different gluings must have different keys")
+	}
+}
+
+func TestGluingFromBags(t *testing.T) {
+	m, err := GluingFromBags([]int{2, 5}, []int{2, 5, 7}, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows) != 2 || m.Rows[0] != [2]int{1, 1} || m.Rows[1] != [2]int{2, 2} {
+		t.Fatalf("Rows = %v", m.Rows)
+	}
+	if f := m.Forgotten2(); len(f) != 1 || f[0] != 3 {
+		t.Fatalf("Forgotten2 = %v", f)
+	}
+	if _, err := GluingFromBags([]int{1}, []int{2}, []int{3}); err == nil {
+		t.Fatal("vertex in neither bag should fail")
+	}
+}
+
+// Paper Figure 2: paths as 2-terminal recursive graphs.
+func TestComposePaperFigure2(t *testing.T) {
+	// Edge a-b with terminals (a=1st, b=2nd).
+	edge := func() *TerminalGraph {
+		g := graph.New(2)
+		g.MustAddEdge(0, 1)
+		return &TerminalGraph{G: g, Terminals: []int{0, 1}}
+	}
+	// m(f) = ((2,1),(0,2)): result 1st terminal = op1's 2nd = op2's 1st;
+	// result 2nd terminal = op2's 2nd. Op1's 1st terminal forgotten.
+	m := Gluing{Rows: [][2]int{{2, 1}, {0, 2}}, N1: 2, N2: 2}
+	p3, err := Compose(m, edge(), edge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.G.NumVertices() != 3 || p3.G.NumEdges() != 2 {
+		t.Fatalf("compose gave %v", p3.G)
+	}
+	if p3.G.Diameter() != 2 {
+		t.Fatal("result should be P3")
+	}
+	// Compose again to get P4.
+	p4, err := Compose(m, p3, edge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.G.NumVertices() != 4 || p4.G.NumEdges() != 3 || p4.G.Diameter() != 3 {
+		t.Fatalf("second compose gave %v", p4.G)
+	}
+	// Terminals are the path endpoints... the 1st terminal of P4 is internal
+	// actually; check terminals are distinct and valid.
+	if err := p4.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComposeCarriesLabelsAndWeights(t *testing.T) {
+	g1 := graph.New(2)
+	g1.MustAddEdge(0, 1)
+	g1.SetVertexLabel("red", 0)
+	g1.SetVertexWeight(1, 7)
+	g1.SetEdgeWeight(0, 3)
+	g1.SetEdgeLabel("mark", 0)
+	t1 := &TerminalGraph{G: g1, Terminals: []int{1}}
+	g2 := graph.New(2)
+	g2.MustAddEdge(0, 1)
+	g2.SetVertexWeight(0, 7) // same glued vertex, same weight
+	g2.SetVertexLabel("blue", 1)
+	t2 := &TerminalGraph{G: g2, Terminals: []int{0}}
+	m := Gluing{Rows: [][2]int{{1, 1}}, N1: 1, N2: 1}
+	out, err := Compose(m, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.G.NumVertices() != 3 || out.G.NumEdges() != 2 {
+		t.Fatalf("compose gave %v", out.G)
+	}
+	if !out.G.HasVertexLabel("red", 0) {
+		t.Fatal("lost op1 vertex label")
+	}
+	if out.G.VertexWeight(out.Terminals[0]) != 7 {
+		t.Fatal("lost glued vertex weight")
+	}
+	eid, _ := out.G.EdgeBetween(0, 1)
+	if out.G.EdgeWeight(eid) != 3 || !out.G.HasEdgeLabel("mark", eid) {
+		t.Fatal("lost edge weight/label")
+	}
+	blueFound := false
+	for v := 0; v < 3; v++ {
+		if out.G.HasVertexLabel("blue", v) {
+			blueFound = true
+		}
+	}
+	if !blueFound {
+		t.Fatal("lost op2 vertex label")
+	}
+}
+
+func TestComposeRejectsDuplicateEdge(t *testing.T) {
+	// Both operands own the edge between the two glued terminals.
+	mk := func() *TerminalGraph {
+		g := graph.New(2)
+		g.MustAddEdge(0, 1)
+		return &TerminalGraph{G: g, Terminals: []int{0, 1}}
+	}
+	m := Gluing{Rows: [][2]int{{1, 1}, {2, 2}}, N1: 2, N2: 2}
+	if _, err := Compose(m, mk(), mk()); err == nil {
+		t.Fatal("duplicate edge should be rejected under the edge-owned grammar")
+	}
+}
+
+func TestComposeArityMismatch(t *testing.T) {
+	g := graph.New(1)
+	t1 := &TerminalGraph{G: g, Terminals: []int{0}}
+	m := Gluing{Rows: [][2]int{{1, 1}}, N1: 2, N2: 1}
+	if _, err := Compose(m, t1, t1); err == nil {
+		t.Fatal("terminal count mismatch should fail")
+	}
+}
+
+func TestBaseFromBag(t *testing.T) {
+	g := gen.Complete(4)
+	g.SetVertexWeight(2, 5)
+	g.SetVertexLabel("red", 3)
+	base, err := BaseFromBag(g, []int{3, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bag sorted: [1 2 3]; owner 3 is local 2; edges 3-1 and 3-2 only.
+	if base.G.NumVertices() != 3 || base.G.NumEdges() != 2 {
+		t.Fatalf("base = %v", base.G)
+	}
+	if !base.G.HasEdge(2, 0) || !base.G.HasEdge(2, 1) || base.G.HasEdge(0, 1) {
+		t.Fatal("owned edges wrong (1-2 is not owned by 3)")
+	}
+	if base.G.VertexWeight(1) != 5 || !base.G.HasVertexLabel("red", 2) {
+		t.Fatal("weights/labels not restricted")
+	}
+	if len(base.Orig) != 3 || base.Orig[0] != 1 || base.Orig[2] != 3 {
+		t.Fatalf("Orig = %v", base.Orig)
+	}
+	if _, err := BaseFromBag(g, []int{0, 1}, 2); err == nil {
+		t.Fatal("owner outside bag should fail")
+	}
+	if _, err := BaseFromBag(g, []int{0, 0}, 0); err == nil {
+		t.Fatal("duplicate bag vertex should fail")
+	}
+}
+
+// The central grammar property: composing all edge-owned base graphs along
+// the elimination tree reconstructs exactly the original graph.
+func TestDerivationReconstructs(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(14)
+		g, _ := gen.BoundedTreedepth(n, 2+r.Intn(3), 0.5, r.Int63())
+		gen.AssignRandomWeights(g, 50, r.Int63())
+		f := treedepth.DFSForest(g)
+		d, err := NewDerivation(g, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots := f.Roots()
+		if len(roots) != 1 {
+			t.Fatal("connected graph should have one root")
+		}
+		full, err := d.SubtreeGraph(roots[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.G.NumVertices() != n || full.G.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: reconstruction has n=%d m=%d, want n=%d m=%d",
+				trial, full.G.NumVertices(), full.G.NumEdges(), n, g.NumEdges())
+		}
+		// Check edges and weights via the Orig mapping.
+		for _, e := range full.G.Edges() {
+			ou, ov := full.Orig[e.U], full.Orig[e.V]
+			gid, ok := g.EdgeBetween(ou, ov)
+			if !ok {
+				t.Fatalf("trial %d: spurious edge {%d,%d}", trial, ou, ov)
+			}
+			if g.EdgeWeight(gid) != full.G.EdgeWeight(e.ID) {
+				t.Fatalf("trial %d: edge weight mismatch", trial)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if full.G.VertexWeight(v) != g.VertexWeight(full.Orig[v]) {
+				t.Fatalf("trial %d: vertex weight mismatch", trial)
+			}
+		}
+		// Root terminals = root bag = {root}.
+		if full.NumTerminals() != 1 || full.Orig[full.Terminals[0]] != roots[0] {
+			t.Fatalf("trial %d: root terminals wrong", trial)
+		}
+	}
+}
+
+func TestDerivationPostOrder(t *testing.T) {
+	g := gen.Path(6)
+	f := treedepth.DFSForest(g)
+	d, err := NewDerivation(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, u := range d.Order {
+		pos[u] = i
+	}
+	if len(pos) != 6 {
+		t.Fatalf("Order = %v", d.Order)
+	}
+	for v, p := range f.Parent {
+		if p >= 0 && pos[v] > pos[p] {
+			t.Fatalf("child %d after parent %d in post-order", v, p)
+		}
+	}
+	// Bags are sorted and contain self.
+	for u := 0; u < 6; u++ {
+		if !sort.IntsAreSorted(d.Bags[u]) {
+			t.Fatalf("bag %v not sorted", d.Bags[u])
+		}
+		found := false
+		for _, v := range d.Bags[u] {
+			if v == u {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("bag of %d misses itself", u)
+		}
+	}
+}
+
+func TestDerivationRejectsBadForest(t *testing.T) {
+	g := gen.Path(4)
+	bad := treedepth.NewForest([]int{1, -1, 1, 0}) // edge {2,3} not ancestor-related
+	if _, err := NewDerivation(g, bad); err == nil {
+		t.Fatal("invalid elimination forest should be rejected")
+	}
+}
