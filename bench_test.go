@@ -42,6 +42,7 @@ func BenchmarkT4Counting(b *testing.B)          { benchExperiment(b, "T4") }
 func BenchmarkT5OptMarked(b *testing.B)         { benchExperiment(b, "T5") }
 func BenchmarkT6HFreeExpansion(b *testing.B)    { benchExperiment(b, "T6") }
 func BenchmarkT7GenericVsCompiled(b *testing.B) { benchExperiment(b, "T7") }
+func BenchmarkT8PhaseBreakdown(b *testing.B)    { benchExperiment(b, "T8") }
 func BenchmarkF1MessageWidth(b *testing.B)      { benchExperiment(b, "F1") }
 func BenchmarkF2BaselineCrossover(b *testing.B) { benchExperiment(b, "F2") }
 func BenchmarkF3ElimTree(b *testing.B)          { benchExperiment(b, "F3") }
@@ -92,6 +93,29 @@ func BenchmarkDistributedDecideAcyclic(b *testing.B) {
 		}
 		if res.TdExceeded {
 			b.Fatal("unexpected treedepth report")
+		}
+	}
+}
+
+// BenchmarkDistributedDecideAcyclicTraced is the traced twin of
+// BenchmarkDistributedDecideAcyclic: the delta between the two is the full
+// cost of metrics tracing, and BenchmarkDistributedDecideAcyclic itself
+// guards the nil-tracer path against regressions.
+func BenchmarkDistributedDecideAcyclicTraced(b *testing.B) {
+	g, _ := gen.BoundedTreedepth(256, 3, 0.2, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m congest.MetricsTracer
+		res, err := protocols.Decide(g, 3, predicates.Acyclicity{}, congest.Options{Tracer: &m})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TdExceeded {
+			b.Fatal("unexpected treedepth report")
+		}
+		if len(m.PerKind()) == 0 {
+			b.Fatal("tracer captured nothing")
 		}
 	}
 }

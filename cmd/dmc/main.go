@@ -7,11 +7,21 @@
 //
 // It prints the verdict/optimum/count, the CONGEST round count, message
 // totals, and the maximum message width.
+//
+// With -trace, dmc additionally streams a round-level NDJSON event log of
+// the CONGEST simulation (see congest.NDJSONTracer for the format), which
+// cmd/trace summarizes into a per-phase round/bit table:
+//
+//	gengraph -family bounded-td -n 64 -d 3 | dmc -problem acyclic -d 3 -trace - | trace
+//
+// When -trace is "-" the event log goes to stdout and the human-readable
+// report moves to stderr, so the two streams can be piped independently.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/congest"
@@ -35,6 +45,7 @@ func run() error {
 	seed := flag.Int64("seed", 0, "adversarial ID permutation seed (0 = identity)")
 	list := flag.Bool("list", false, "list registered problems and exit")
 	sequential := flag.Bool("seq", false, "run the sequential Algorithm 1 instead of the CONGEST protocol")
+	tracePath := flag.String("trace", "", "write an NDJSON round-level trace here ('-' = stdout, report moves to stderr)")
 	flag.Parse()
 
 	if *list {
@@ -47,6 +58,28 @@ func run() error {
 	g, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
+	}
+
+	// The human-readable report goes to stdout, unless the trace stream
+	// claims stdout for piping into cmd/trace.
+	report := io.Writer(os.Stdout)
+	var tracer *congest.NDJSONTracer
+	if *tracePath != "" {
+		if *sequential {
+			return fmt.Errorf("-trace applies to the CONGEST run, not -seq")
+		}
+		sink := io.Writer(os.Stdout)
+		if *tracePath == "-" {
+			report = os.Stderr
+		} else {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sink = f
+		}
+		tracer = congest.NewNDJSONTracer(sink)
 	}
 
 	var prob core.Problem
@@ -72,27 +105,36 @@ func run() error {
 		return fmt.Errorf("need -problem or -formula (or -list)")
 	}
 
-	fmt.Printf("graph: n=%d m=%d diam=%d\n", g.NumVertices(), g.NumEdges(), g.Diameter())
-	fmt.Printf("problem: %s (d=%d)\n", prob.Name, *d)
+	fmt.Fprintf(report, "graph: n=%d m=%d diam=%d\n", g.NumVertices(), g.NumEdges(), g.Diameter())
+	fmt.Fprintf(report, "problem: %s (d=%d)\n", prob.Name, *d)
 
 	if *sequential {
 		sol, err := core.SolveSequential(g, prob)
 		if err != nil {
 			return err
 		}
-		printSolution(prob, sol)
+		printSolution(report, prob, sol)
 		return nil
 	}
-	sol, err := core.SolveDistributed(g, prob, *d, congest.Options{IDSeed: *seed})
+	opts := congest.Options{IDSeed: *seed}
+	if tracer != nil {
+		opts.Tracer = tracer
+	}
+	sol, err := core.SolveDistributed(g, prob, *d, opts)
+	if tracer != nil {
+		if ferr := tracer.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return err
 	}
 	if sol.TdExceeded {
-		fmt.Printf("result: LARGE TREEDEPTH (td(G) > %d); rerun with a larger -d\n", *d)
+		fmt.Fprintf(report, "result: LARGE TREEDEPTH (td(G) > %d); rerun with a larger -d\n", *d)
 		return nil
 	}
-	printSolution(prob, sol)
-	fmt.Printf("congest: rounds=%d messages=%d bits=%d maxMsgBits=%d bandwidth=%d\n",
+	printSolution(report, prob, sol)
+	fmt.Fprintf(report, "congest: rounds=%d messages=%d bits=%d maxMsgBits=%d bandwidth=%d\n",
 		sol.Stats.Rounds, sol.Stats.Messages, sol.Stats.Bits, sol.Stats.MaxMsgBits, sol.Stats.Bandwidth)
 	return nil
 }
@@ -109,17 +151,17 @@ func loadGraph(path string) (*graph.Graph, error) {
 	return graph.ReadEdgeList(f)
 }
 
-func printSolution(prob core.Problem, sol *core.Solution) {
+func printSolution(w io.Writer, prob core.Problem, sol *core.Solution) {
 	switch prob.Kind {
 	case core.KindDecision:
-		fmt.Printf("result: accepted=%v\n", sol.Accepted)
+		fmt.Fprintf(w, "result: accepted=%v\n", sol.Accepted)
 	case core.KindOptimization:
 		if !sol.Found {
-			fmt.Println("result: infeasible")
+			fmt.Fprintln(w, "result: infeasible")
 			return
 		}
-		fmt.Printf("result: optimum weight=%d selected=%v\n", sol.Weight, sol.Selected)
+		fmt.Fprintf(w, "result: optimum weight=%d selected=%v\n", sol.Weight, sol.Selected)
 	case core.KindCounting:
-		fmt.Printf("result: count=%d\n", sol.Count)
+		fmt.Fprintf(w, "result: count=%d\n", sol.Count)
 	}
 }

@@ -1,0 +1,135 @@
+// Command trace summarizes an NDJSON trace captured with dmc -trace (or any
+// congest.NDJSONTracer stream) into a per-phase round/bit table:
+//
+//	gengraph -family bounded-td -n 64 -d 3 | dmc -problem acyclic -d 3 -trace - | trace
+//	dmc -graph net.g -problem mst -d 3 -trace run.ndjson && trace -in run.ndjson
+//
+// Each row is one message kind (protocol phase): the rounds it spans, the
+// number of rounds it was actually active in, its message and bit totals,
+// its largest message, and its share of all bits. The footer reports the
+// aggregate statistics and the network's bandwidth utilization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/congest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "-", "NDJSON trace file ('-' = stdin)")
+	perRound := flag.Bool("rounds", false, "also print the per-round histogram")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var m congest.MetricsTracer
+	events, err := congest.ReadTrace(r, &m)
+	if err != nil {
+		return err
+	}
+	if events == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	info, stats := m.Info(), m.Stats()
+	fmt.Printf("trace: n=%d m=%d bandwidth=%d bits/edge/round, %d events\n\n",
+		info.N, info.Edges, info.Bandwidth, events)
+
+	writeTable(os.Stdout, []string{"phase", "rounds", "active", "messages", "bits", "maxMsgBits", "bits%"}, kindRows(&m, stats))
+
+	if *perRound {
+		fmt.Println()
+		rows := make([][]string, 0, len(m.PerRound()))
+		for _, rm := range m.PerRound() {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", rm.Round),
+				fmt.Sprintf("%d", rm.Messages),
+				fmt.Sprintf("%d", rm.Bits),
+				fmt.Sprintf("%d", rm.Active),
+				fmt.Sprintf("%d", rm.Halted),
+			})
+		}
+		writeTable(os.Stdout, []string{"round", "messages", "bits", "active", "halted"}, rows)
+	}
+
+	fmt.Printf("\ntotal: rounds=%d messages=%d bits=%d maxMsgBits=%d haltedNodes=%d utilization=%.2f%%\n",
+		stats.Rounds, stats.Messages, stats.Bits, stats.MaxMsgBits, stats.HaltedNodes, 100*m.Utilization())
+	return nil
+}
+
+func kindRows(m *congest.MetricsTracer, stats congest.Stats) [][]string {
+	var rows [][]string
+	for _, k := range m.PerKind() {
+		name := k.Kind
+		if name == "" {
+			name = "(untagged)"
+		}
+		share := 0.0
+		if stats.Bits > 0 {
+			share = 100 * float64(k.Bits) / float64(stats.Bits)
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d-%d", k.FirstRound, k.LastRound),
+			fmt.Sprintf("%d", k.Rounds),
+			fmt.Sprintf("%d", k.Messages),
+			fmt.Sprintf("%d", k.Bits),
+			fmt.Sprintf("%d", k.MaxMsgBits),
+			fmt.Sprintf("%.1f", share),
+		})
+	}
+	return rows
+}
+
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}

@@ -62,9 +62,13 @@ type verifierNode struct {
 	done     bool
 }
 
+// KindCertificate tags the one-shot certificate exchange in traces.
+const KindCertificate = "certificate"
+
 // Init implements congest.Node: push the certificate to every neighbor.
 func (n *verifierNode) Init(env *congest.Env) []congest.Outgoing {
 	n.env = env
+	env.Tag(KindCertificate)
 	n.send = make([]congest.ByteStreamSender, env.Degree)
 	n.recv = make([]congest.ByteStreamReceiver, env.Degree)
 	payload := encodeCertificate(n.cert)

@@ -90,7 +90,19 @@ type Env struct {
 	// PortWeight and PortLabels carry local edge inputs per port.
 	PortWeight []int64
 	PortLabels []map[string]bool
+
+	// kind is the node's current message tag, set via Tag. It is read by
+	// the simulator's (serial) delivery loop only.
+	kind string
 }
+
+// Tag labels all messages this node sends from now on with the given
+// protocol-defined kind, until retagged. Tags are observability metadata
+// only: they cost no bandwidth, carry no information between nodes, and are
+// ignored entirely unless a Tracer is installed. Protocols typically tag at
+// phase transitions ("elim", "bag", "table", ...), which gives per-phase
+// round/bit breakdowns in the captured trace.
+func (e *Env) Tag(kind string) { e.kind = kind }
 
 // Stats aggregates the cost of a simulation.
 type Stats struct {
@@ -125,6 +137,10 @@ type Options struct {
 	// sequential execution: nodes share no state and messages are delivered
 	// in vertex order either way.
 	Parallel bool
+	// Tracer observes the run at round and message granularity (nil
+	// disables tracing at no measurable cost). Hooks run on the delivery
+	// loop, serially, in both execution modes.
+	Tracer Tracer
 }
 
 // Bandwidth computes the per-edge budget in bits for an n-node network.
@@ -147,11 +163,12 @@ func (o Options) bandwidth(n int) int {
 
 // Simulator runs a Node program on every vertex of a graph.
 type Simulator struct {
-	g       *graph.Graph
-	opts    Options
-	ids     []int // vertex -> ID
-	ports   [][]int
-	portsOf []map[int]int // vertex -> neighbor vertex -> port
+	g        *graph.Graph
+	opts     Options
+	ids      []int       // vertex -> ID
+	idVertex map[int]int // ID -> vertex
+	ports    [][]int
+	portsOf  []map[int]int // vertex -> neighbor vertex -> port
 }
 
 // NewSimulator prepares a simulation over the given connected graph.
@@ -174,6 +191,10 @@ func NewSimulator(g *graph.Graph, opts Options) (*Simulator, error) {
 			ids[v] = perm[v] + 1
 		}
 	}
+	idVertex := make(map[int]int, n)
+	for v, id := range ids {
+		idVertex[id] = v
+	}
 	ports := make([][]int, n)
 	portsOf := make([]map[int]int, n)
 	for v := 0; v < n; v++ {
@@ -184,18 +205,17 @@ func NewSimulator(g *graph.Graph, opts Options) (*Simulator, error) {
 			portsOf[v][w] = p
 		}
 	}
-	return &Simulator{g: g, opts: opts, ids: ids, ports: ports, portsOf: portsOf}, nil
+	return &Simulator{g: g, opts: opts, ids: ids, idVertex: idVertex, ports: ports, portsOf: portsOf}, nil
 }
 
 // IDs returns a copy of the vertex -> identifier assignment.
 func (s *Simulator) IDs() []int { return append([]int(nil), s.ids...) }
 
-// VertexOfID returns the vertex with the given identifier, or -1.
+// VertexOfID returns the vertex with the given identifier, or -1. The
+// lookup is O(1): the ID -> vertex index is built once in NewSimulator.
 func (s *Simulator) VertexOfID(id int) int {
-	for v, vid := range s.ids {
-		if vid == id {
-			return v
-		}
+	if v, ok := s.idVertex[id]; ok {
+		return v
 	}
 	return -1
 }
@@ -252,6 +272,8 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 	}
 
 	stats := Stats{Bandwidth: bandwidth}
+	trace := traceSink{t: s.opts.Tracer}
+	trace.runStart(RunInfo{N: n, Edges: s.g.NumEdges(), Bandwidth: bandwidth})
 	var faults *rand.Rand
 	if s.opts.CorruptProb > 0 {
 		faults = rand.New(rand.NewSource(s.opts.CorruptSeed))
@@ -261,6 +283,7 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 	// outboxes[v] = messages sent by v this round; inboxes built per round.
 	inboxes := make([][]Incoming, n)
 
+	curRound := 0
 	deliver := func(v int, out []Outgoing) error {
 		for _, o := range out {
 			targets := []int{o.Port}
@@ -288,11 +311,18 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 					i := faults.Intn(len(payload))
 					payload[i] ^= 1 << uint(faults.Intn(8))
 				}
-				inboxes[w] = append(inboxes[w], Incoming{Port: s.portsOf[w][v], Payload: payload})
+				recvPort := s.portsOf[w][v]
+				inboxes[w] = append(inboxes[w], Incoming{Port: recvPort, Payload: payload})
 				stats.Messages++
 				stats.Bits += int64(sizeBits)
 				if sizeBits > stats.MaxMsgBits {
 					stats.MaxMsgBits = sizeBits
+				}
+				if trace.enabled() {
+					trace.send(SendEvent{
+						Round: curRound, FromID: s.ids[v], ToID: s.ids[w],
+						Port: recvPort, SizeBits: sizeBits, Kind: envs[v].kind,
+					})
 				}
 			}
 		}
@@ -300,21 +330,27 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 	}
 
 	// Init phase (round 0).
+	trace.roundStart(0)
 	for v := 0; v < n; v++ {
 		envs[v].Round = 0
 		out := nodes[v].Init(envs[v])
 		if err := deliver(v, out); err != nil {
+			trace.runEnd(stats)
 			return stats, err
 		}
 	}
+	trace.roundEnd(0, n, 0)
 
 	outs := make([][]Outgoing, n)
 	dones := make([]bool, n)
 	for round := 1; haltedCount < n; round++ {
 		if round > limit {
+			trace.runEnd(stats)
 			return stats, fmt.Errorf("%w: %d rounds", ErrRoundLimit, limit)
 		}
 		stats.Rounds = round
+		curRound = round
+		trace.roundStart(round)
 		current := inboxes
 		inboxes = make([][]Incoming, n)
 		step := func(v int) {
@@ -350,15 +386,19 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 				continue
 			}
 			if err := deliver(v, outs[v]); err != nil {
+				trace.runEnd(stats)
 				return stats, err
 			}
 			outs[v] = nil
 			if dones[v] {
 				halted[v] = true
 				haltedCount++
+				trace.nodeHalted(round, s.ids[v])
 			}
 		}
+		trace.roundEnd(round, n-haltedCount, haltedCount)
 	}
 	stats.HaltedNodes = haltedCount
+	trace.runEnd(stats)
 	return stats, nil
 }

@@ -1,0 +1,74 @@
+package congest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadTrace replays an NDJSON event stream into the given tracer (typically
+// a *MetricsTracer), returning the number of events consumed. Blank lines
+// are skipped; unknown event types are an error so that format drift is
+// caught early.
+func ReadTrace(r io.Reader, into Tracer) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	events, lineNo := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var raw struct {
+			Ev    string `json:"ev"`
+			Round int    `json:"round"`
+			N     int    `json:"n"`
+			Edges int    `json:"edges"`
+			BW    int    `json:"bandwidth"`
+			From  int    `json:"from"`
+			To    int    `json:"to"`
+			Port  int    `json:"port"`
+			Bits  int64  `json:"bits"`
+			Kind  string `json:"kind"`
+			ID    int    `json:"id"`
+			Act   int    `json:"active"`
+			Hal   int    `json:"halted"`
+			Rnds  int    `json:"rounds"`
+			Msgs  int64  `json:"messages"`
+			MaxMB int    `json:"maxMsgBits"`
+			HaltN int    `json:"haltedNodes"`
+		}
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return events, fmt.Errorf("congest: trace line %d: %w", lineNo, err)
+		}
+		switch raw.Ev {
+		case "run_start":
+			into.RunStart(RunInfo{N: raw.N, Edges: raw.Edges, Bandwidth: raw.BW})
+		case "round_start":
+			into.RoundStart(raw.Round)
+		case "send":
+			into.Send(SendEvent{
+				Round: raw.Round, FromID: raw.From, ToID: raw.To,
+				Port: raw.Port, SizeBits: int(raw.Bits), Kind: raw.Kind,
+			})
+		case "halt":
+			into.NodeHalted(raw.Round, raw.ID)
+		case "round_end":
+			into.RoundEnd(raw.Round, raw.Act, raw.Hal)
+		case "run_end":
+			into.RunEnd(Stats{
+				Rounds: raw.Rnds, Messages: raw.Msgs, Bits: raw.Bits,
+				MaxMsgBits: raw.MaxMB, Bandwidth: raw.BW, HaltedNodes: raw.HaltN,
+			})
+		default:
+			return events, fmt.Errorf("congest: trace line %d: unknown event %q", lineNo, raw.Ev)
+		}
+		events++
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("congest: trace read: %w", err)
+	}
+	return events, nil
+}

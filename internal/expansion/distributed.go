@@ -51,8 +51,12 @@ type peelNode struct {
 	maxIter   int
 }
 
+// KindPeel tags the peel announcements in traces.
+const KindPeel = "peel"
+
 // Init implements congest.Node.
 func (p *peelNode) Init(env *congest.Env) []congest.Outgoing {
+	env.Tag(KindPeel)
 	p.remDeg = env.Degree
 	p.layer = -1
 	// ceil(log2 n) + slack iterations; stragglers get the last layer, which

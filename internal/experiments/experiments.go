@@ -98,6 +98,7 @@ func All() []Experiment {
 		{"T5", T5OptMarked},
 		{"T6", T6HFreeExpansion},
 		{"T7", T7GenericVsCompiled},
+		{"T8", T8PhaseBreakdown},
 		{"F1", F1MessageWidth},
 		{"F2", F2BaselineCrossover},
 		{"F3", F3ElimTree},

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzGraphIO drives the edge-list reader with arbitrary input. Invariants:
+// the reader never panics, and every accepted graph survives a
+// write -> read round trip with an identical canonical key.
+func FuzzGraphIO(f *testing.F) {
+	seeds := []string{
+		"n 1\n",
+		"n 3\ne 0 1\ne 1 2\n",
+		"n 4\ne 0 1\ne 1 2\ne 2 3\ne 3 0\nvl red 0\nvl red 2\nvw 1 -7\n",
+		"n 2\ne 0 1\nel mark 0\new 0 42\n",
+		"# comment\nn 5\ne 0 4\n\ne 1 4\nvl terminal 0\nvl terminal 1\n",
+		"n 3\ne 0 1\nvw 2 9223372036854775807\n",
+		// Near-miss inputs that must be rejected cleanly.
+		"e 0 1\n",
+		"n 2\ne 0 0\n",
+		"n 2\ne 0 1\ne 0 1\n",
+		"n 2\nvw 5 1\n",
+		"n 2\nvl red -1\n",
+		"n 2\nel mark 0\n",
+		"n x\n",
+		"n 2\nzz 1 2\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if declaredVerticesTooLarge(data, 1<<16) {
+			return // avoid fuzzing into multi-gigabyte allocations
+		}
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to be rejected without panic
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write failed on accepted graph: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reader rejected its own writer's output: %v\n%s", err, buf.String())
+		}
+		if k1, k2 := CanonicalKey(g), CanonicalKey(g2); k1 != k2 {
+			t.Fatalf("round trip changed the graph:\n before: %s\n  after: %s\nwire:\n%s", k1, k2, buf.String())
+		}
+	})
+}
+
+// declaredVerticesTooLarge reports whether any "n <count>" record declares
+// more than maxN vertices; such inputs are valid but would make the fuzzer
+// spend its budget on allocation, not parsing.
+func declaredVerticesTooLarge(data []byte, maxN int) bool {
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) >= 2 && fields[0] == "n" {
+			if v, err := strconv.Atoi(fields[1]); err == nil && v > maxN {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -93,6 +93,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, err
 			}
+			if v < 0 || v >= g.NumVertices() {
+				return nil, fmt.Errorf("graph: line %d: vertex %d out of range", lineNo, v)
+			}
 			g.SetVertexLabel(fields[1], v)
 		case "el":
 			if len(fields) < 3 {
@@ -110,6 +113,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			v, err := atoiField(fields, 1, lineNo)
 			if err != nil {
 				return nil, err
+			}
+			if v < 0 || v >= g.NumVertices() {
+				return nil, fmt.Errorf("graph: line %d: vertex %d out of range", lineNo, v)
 			}
 			wt, err := atoi64Field(fields, 2, lineNo)
 			if err != nil {

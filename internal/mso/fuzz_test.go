@@ -1,0 +1,60 @@
+package mso
+
+import "testing"
+
+// FuzzParseMSO drives the MSO parser with arbitrary input. Invariants:
+// the parser never panics, and every accepted formula survives a
+// print -> parse -> print round trip unchanged (printing is a fixed point
+// after one iteration).
+func FuzzParseMSO(f *testing.F) {
+	seeds := []string{
+		"true",
+		"false",
+		"~ true",
+		"exists x:V . adj(x,x)",
+		"forall x:V, y:V . adj(x,y) -> adj(y,x)",
+		"~ exists x:V,y:V,z:V . adj(x,y) & adj(y,z) & adj(z,x)",
+		"exists S:VS . forall x:V . x in S | ~ (x in S)",
+		"exists e:E, x:V . inc(x,e) & red(x)",
+		"exists x:V, y:V . x != y & (x = y <-> false)",
+		"forall F:ES . exists e:E . e notin F | e in F",
+		"(true -> false) <-> ~ true",
+		"exists x:V . exists y:V . mark(x) & adj(x, y)",
+		"exists x:V . ((red(x) | blue(x)) & ~ (red(x) & blue(x)))",
+		"forall x:V . forall S:VS . x in S -> exists y:V . y in S",
+		// Near-miss inputs that must be rejected cleanly.
+		"exists x . adj(x,x)",
+		"adj(x",
+		"exists x:V",
+		"x in",
+		"((true)",
+		"tr ue",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return // keep deeply nested inputs from blowing the stack budget
+		}
+		formula, err := Parse(input)
+		if err != nil {
+			return // rejected inputs only need to be rejected without panic
+		}
+		printed := formula.String()
+		reparsed, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own printing %q: %v", input, printed, err)
+		}
+		if got := reparsed.String(); got != printed {
+			t.Fatalf("printing not a fixed point:\n input: %q\n first: %q\nsecond: %q", input, printed, got)
+		}
+		// Well-formedness must also survive the round trip: if the original
+		// checks closed, so must the reparse.
+		errOrig := Check(formula, nil)
+		errRe := Check(reparsed, nil)
+		if (errOrig == nil) != (errRe == nil) {
+			t.Fatalf("well-formedness changed across round trip of %q: %v vs %v", input, errOrig, errRe)
+		}
+	})
+}

@@ -83,6 +83,7 @@ func (b *baselineNode) Init(env *congest.Env) []congest.Outgoing {
 	b.send = make([]congest.ByteStreamSender, env.Degree)
 	b.recv = make([]congest.ByteStreamReceiver, env.Degree)
 	b.parentPort = -1
+	env.Tag(KindBFS)
 	// Local edges, owned by the smaller-ID endpoint to avoid duplication.
 	for port, nid := range env.NeighborIDs {
 		if env.ID < nid {
@@ -232,6 +233,7 @@ func (b *baselineNode) progress() {
 		b.solveAtRoot()
 		return
 	}
+	b.env.Tag(KindCollect)
 	var w wireWriter
 	w.u8(tagCollect)
 	w.u32(uint32(len(b.edges)))
@@ -275,6 +277,7 @@ func (b *baselineNode) solveAtRoot() {
 }
 
 func (b *baselineNode) forwardAnswer() {
+	b.env.Tag(KindAnswer)
 	payload := []byte{tagAnswer, 0}
 	if b.out.Accepted {
 		payload[1] = 1

@@ -160,6 +160,24 @@ func (a floodTuple) better(b floodTuple) bool {
 	return a.candID < b.candID
 }
 
+// Message kinds reported through congest.Env.Tag, one per protocol phase:
+// the Algorithm 2 elimination flood, the Lemma 5.3 bag propagation, the
+// bottom-up DP tables, and the two downward finishes. The tag is sticky, so
+// frames that drain a phase's stream over later rounds keep that phase's
+// kind in the trace.
+const (
+	KindElim    = "elim"    // Algorithm 2 flooding + adoption announcements
+	KindBag     = "bag"     // canonical-bag top-down propagation + peer checks
+	KindTable   = "table"   // child -> parent DP tables
+	KindVerdict = "verdict" // root -> leaves decision/count verdict
+	KindTarget  = "target"  // root -> leaves OPT target classes
+
+	// Collect-at-root baseline kinds.
+	KindBFS     = "bfs"     // BFS tree construction
+	KindCollect = "collect" // edge lists shipped up the BFS tree
+	KindAnswer  = "answer"  // root's verdict broadcast down
+)
+
 // NewNode builds the protocol node for one vertex.
 func NewNode(cfg Config) congest.Node {
 	return &dpNode{cfg: cfg, parentID: -2, parentPort: -1}
@@ -217,6 +235,7 @@ func (n *dpNode) Init(env *congest.Env) []congest.Outgoing {
 	n.childTables = make(map[int]childTable)
 	n.bagInfo = make(map[int]bagVertex)
 	n.phase = phaseElim
+	env.Tag(KindElim)
 	return nil
 }
 
@@ -451,6 +470,7 @@ func (n *dpNode) enterBagsPhase() {
 		// neighbors, so the failure reaches the tree.
 		n.fail(failTdExceeded)
 		n.out.Failure = failTdExceeded
+		n.env.Tag(KindBag)
 		var w wireWriter
 		w.u8(tagBagPeer)
 		w.u8(failTdExceeded)
@@ -486,6 +506,7 @@ func (n *dpNode) setBag(bag []int, info map[int]bagVertex, parentEdges [][2]int)
 	n.bag = bag
 	n.bagInfo = info
 	n.haveBag = true
+	n.env.Tag(KindBag)
 	// G[B_u] = G[B_parent] plus this node's edges into the bag.
 	n.bagEdges = append([][2]int(nil), parentEdges...)
 	selfIdx := sort.SearchInts(bag, n.env.ID)

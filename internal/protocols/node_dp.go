@@ -299,6 +299,7 @@ func (n *dpNode) tryFoldAndSend() {
 		return
 	}
 	// Serialize the table to the parent.
+	n.env.Tag(KindTable)
 	var w wireWriter
 	w.u8(tagTable)
 	w.u8(uint8(n.failure))
@@ -532,6 +533,7 @@ func (n *dpNode) rootFinish() {
 }
 
 func (n *dpNode) broadcastVerdict() {
+	n.env.Tag(KindVerdict)
 	var w wireWriter
 	w.u8(tagVerdict)
 	w.u8(uint8(n.failure))
@@ -622,6 +624,7 @@ func (n *dpNode) applyTarget(key string) {
 		targets[st.childID] = b.ChildKey
 		cur = b.AccKey
 	}
+	n.env.Tag(KindTarget)
 	for _, childID := range n.childIDs {
 		var w wireWriter
 		w.u8(tagTarget)
