@@ -46,6 +46,7 @@ func BenchmarkT8PhaseBreakdown(b *testing.B)    { benchExperiment(b, "T8") }
 func BenchmarkF1MessageWidth(b *testing.B)      { benchExperiment(b, "F1") }
 func BenchmarkF2BaselineCrossover(b *testing.B) { benchExperiment(b, "F2") }
 func BenchmarkF3ElimTree(b *testing.B)          { benchExperiment(b, "F3") }
+func BenchmarkS1EngineScaling(b *testing.B)     { benchExperiment(b, "S1") }
 
 // --- Micro-benchmarks: the building blocks. ---
 

@@ -6,9 +6,18 @@
 //	bench -quick         # smaller sweeps (the test-suite configuration)
 //	bench -only T1,F2    # a subset
 //	bench -csv           # machine-readable output
+//
+// The S1 engine-scaling scenario can additionally serialize its report:
+//
+//	bench -only S1 -scaling-out BENCH_congest.json
+//
+// The sweep runs once; the table and the JSON document come from the same
+// measurements, and the command exits nonzero if any parallel run diverges
+// from its sequential twin.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +38,27 @@ func run() error {
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	csv := flag.Bool("csv", false, "CSV output")
+	scalingOut := flag.String("scaling-out", "", "write the S1 scaling report as JSON to this path")
 	flag.Parse()
+
+	// When the JSON report is requested, run the S1 sweep exactly once and
+	// reuse the measurements for both outputs.
+	var scalingRep *experiments.ScalingReport
+	if *scalingOut != "" {
+		rep, err := experiments.ScalingSweep(*quick)
+		if err != nil {
+			return err
+		}
+		scalingRep = rep
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*scalingOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *scalingOut)
+	}
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -46,7 +75,13 @@ func run() error {
 	}
 	for _, e := range selected {
 		start := time.Now()
-		tab, err := e.Run(*quick)
+		var tab *experiments.Table
+		var err error
+		if e.ID == "S1" && scalingRep != nil {
+			tab = experiments.ScalingTable(scalingRep)
+		} else {
+			tab, err = e.Run(*quick)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

@@ -46,6 +46,8 @@ func run() error {
 	list := flag.Bool("list", false, "list registered problems and exit")
 	sequential := flag.Bool("seq", false, "run the sequential Algorithm 1 instead of the CONGEST protocol")
 	tracePath := flag.String("trace", "", "write an NDJSON round-level trace here ('-' = stdout, report moves to stderr)")
+	parallel := flag.Bool("parallel", false, "execute node programs on the worker pool (bit-identical to sequential)")
+	workers := flag.Int("workers", 0, "worker-pool size with -parallel (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -116,7 +118,7 @@ func run() error {
 		printSolution(report, prob, sol)
 		return nil
 	}
-	opts := congest.Options{IDSeed: *seed}
+	opts := congest.Options{IDSeed: *seed, Parallel: *parallel, Workers: *workers}
 	if tracer != nil {
 		opts.Tracer = tracer
 	}

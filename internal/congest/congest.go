@@ -10,18 +10,23 @@ package congest
 
 import (
 	"errors"
-	"fmt"
 	"math/bits"
 	"math/rand"
-	"sort"
-	"sync"
+	"runtime"
 
 	"repro/internal/graph"
 )
 
-// ErrMessageTooLarge is returned when a node sends a message exceeding the
-// per-edge per-round bandwidth.
+// ErrMessageTooLarge is returned when a node sends a single message
+// exceeding the per-edge per-round bandwidth.
 var ErrMessageTooLarge = errors.New("congest: message exceeds bandwidth")
+
+// ErrBandwidthExceeded is returned when the messages a node sends on one
+// port in one round are individually within budget but together exceed the
+// per-edge per-round bandwidth. The CONGEST cap is a property of the edge,
+// not of any single message: k messages of B bits each on one port would
+// push k*B bits over an edge that carries at most B per round.
+var ErrBandwidthExceeded = errors.New("congest: per-edge bandwidth exceeded")
 
 // ErrRoundLimit is returned when a protocol exceeds the configured maximum
 // number of rounds without halting.
@@ -37,7 +42,12 @@ const DefaultRoundLimit = 1 << 20
 type Message []byte
 
 // Incoming pairs a received message with the port (neighbor index) it
-// arrived on.
+// arrived on. An inbox is ordered by Port, and messages that share a port
+// arrive in the order they were sent (delivery order is a documented
+// guarantee, not an accident of the engine). Payload memory is owned by the
+// simulator and is valid only for the duration of the Round call that
+// receives it; nodes that keep bytes across rounds must copy them
+// (ByteStreamReceiver.Feed already does).
 type Incoming struct {
 	Port    int
 	Payload Message
@@ -132,25 +142,37 @@ type Options struct {
 	// seeds the fault source.
 	CorruptProb float64
 	CorruptSeed int64
-	// Parallel executes node programs concurrently within each round (one
-	// goroutine per node, joined before delivery). Results are identical to
-	// sequential execution: nodes share no state and messages are delivered
-	// in vertex order either way.
+	// Parallel executes node programs concurrently within each round on a
+	// persistent sharded worker pool (workers are spawned once per run, and
+	// vertices are partitioned into contiguous shards with per-shard active
+	// lists). Results are bit-identical to sequential execution: nodes share
+	// no state, shards are contiguous vertex ranges, and delivery merges
+	// shard outputs in deterministic vertex order either way.
 	Parallel bool
+	// Workers is the worker-pool size used when Parallel is set; 0 means
+	// GOMAXPROCS. The value never affects results, only scheduling.
+	Workers int
 	// Tracer observes the run at round and message granularity (nil
 	// disables tracing at no measurable cost). Hooks run on the delivery
-	// loop, serially, in both execution modes.
+	// loop, serially and in sender-vertex order, in both execution modes:
+	// when a Tracer is installed (or CorruptProb is nonzero) the engine
+	// routes messages on its serial path so event order and the fault
+	// stream stay deterministic, while node programs still execute on the
+	// worker pool.
 	Tracer Tracer
 }
 
-// Bandwidth computes the per-edge budget in bits for an n-node network.
-// The result is floored at 8 bits so that byte-aligned frames always fit.
+// bandwidth computes the per-edge budget B = factor * ceil(log2 n) bits for
+// an n-node network (with ceil(log2 n) floored at 1 so single-node networks
+// get a budget). The result is floored at 8 bits so that byte-aligned
+// frames always fit.
 func (o Options) bandwidth(n int) int {
 	factor := o.BandwidthFactor
 	if factor == 0 {
 		factor = DefaultBandwidthFactor
 	}
-	logn := bits.Len(uint(n))
+	// bits.Len(n-1) is exactly ceil(log2 n) for n >= 1.
+	logn := bits.Len(uint(n - 1))
 	if logn < 1 {
 		logn = 1
 	}
@@ -159,6 +181,14 @@ func (o Options) bandwidth(n int) int {
 		b = 8
 	}
 	return b
+}
+
+// workerCount resolves Options.Workers against GOMAXPROCS.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Simulator runs a Node program on every vertex of a graph.
@@ -224,13 +254,15 @@ func (s *Simulator) VertexOfID(id int) int {
 // nodes halt. factory receives the vertex index and must return a fresh Node
 // (the vertex index is for instantiation only; protocols must not use it as
 // knowledge — all runtime information flows through Env and messages).
+//
+// The run is simulated by a sharded engine (see engine.go): vertices are
+// partitioned into contiguous shards, node programs execute shard-by-shard
+// (on a persistent worker pool when Options.Parallel is set), and delivery
+// is sharded by receiver with a deterministic merge in sender-vertex order,
+// so sequential and parallel runs are bit-identical.
 func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 	n := s.g.NumVertices()
 	bandwidth := s.opts.bandwidth(n)
-	limit := s.opts.RoundLimit
-	if limit == 0 {
-		limit = DefaultRoundLimit
-	}
 
 	nodes := make([]Node, n)
 	envs := make([]*Env, n)
@@ -271,134 +303,6 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 		}
 	}
 
-	stats := Stats{Bandwidth: bandwidth}
-	trace := traceSink{t: s.opts.Tracer}
-	trace.runStart(RunInfo{N: n, Edges: s.g.NumEdges(), Bandwidth: bandwidth})
-	var faults *rand.Rand
-	if s.opts.CorruptProb > 0 {
-		faults = rand.New(rand.NewSource(s.opts.CorruptSeed))
-	}
-	halted := make([]bool, n)
-	haltedCount := 0
-	// outboxes[v] = messages sent by v this round; inboxes built per round.
-	inboxes := make([][]Incoming, n)
-
-	curRound := 0
-	deliver := func(v int, out []Outgoing) error {
-		for _, o := range out {
-			targets := []int{o.Port}
-			if o.Port == -1 {
-				targets = targets[:0]
-				for p := range s.ports[v] {
-					targets = append(targets, p)
-				}
-			}
-			for _, p := range targets {
-				if p < 0 || p >= len(s.ports[v]) {
-					return fmt.Errorf("congest: node %d sent to invalid port %d", s.ids[v], p)
-				}
-				sizeBits := 8 * len(o.Payload)
-				if !s.opts.Unbounded && sizeBits > bandwidth {
-					return fmt.Errorf("%w: %d bits > %d-bit budget (node %d, port %d)",
-						ErrMessageTooLarge, sizeBits, bandwidth, s.ids[v], p)
-				}
-				w := s.ports[v][p]
-				if halted[w] {
-					continue
-				}
-				payload := append(Message(nil), o.Payload...)
-				if faults != nil && len(payload) > 0 && faults.Float64() < s.opts.CorruptProb {
-					i := faults.Intn(len(payload))
-					payload[i] ^= 1 << uint(faults.Intn(8))
-				}
-				recvPort := s.portsOf[w][v]
-				inboxes[w] = append(inboxes[w], Incoming{Port: recvPort, Payload: payload})
-				stats.Messages++
-				stats.Bits += int64(sizeBits)
-				if sizeBits > stats.MaxMsgBits {
-					stats.MaxMsgBits = sizeBits
-				}
-				if trace.enabled() {
-					trace.send(SendEvent{
-						Round: curRound, FromID: s.ids[v], ToID: s.ids[w],
-						Port: recvPort, SizeBits: sizeBits, Kind: envs[v].kind,
-					})
-				}
-			}
-		}
-		return nil
-	}
-
-	// Init phase (round 0).
-	trace.roundStart(0)
-	for v := 0; v < n; v++ {
-		envs[v].Round = 0
-		out := nodes[v].Init(envs[v])
-		if err := deliver(v, out); err != nil {
-			trace.runEnd(stats)
-			return stats, err
-		}
-	}
-	trace.roundEnd(0, n, 0)
-
-	outs := make([][]Outgoing, n)
-	dones := make([]bool, n)
-	for round := 1; haltedCount < n; round++ {
-		if round > limit {
-			trace.runEnd(stats)
-			return stats, fmt.Errorf("%w: %d rounds", ErrRoundLimit, limit)
-		}
-		stats.Rounds = round
-		curRound = round
-		trace.roundStart(round)
-		current := inboxes
-		inboxes = make([][]Incoming, n)
-		step := func(v int) {
-			envs[v].Round = round
-			inbox := current[v]
-			sort.Slice(inbox, func(i, j int) bool { return inbox[i].Port < inbox[j].Port })
-			outs[v], dones[v] = nodes[v].Round(envs[v], inbox)
-		}
-		if s.opts.Parallel {
-			var wg sync.WaitGroup
-			for v := 0; v < n; v++ {
-				if halted[v] {
-					continue
-				}
-				wg.Add(1)
-				go func(v int) {
-					defer wg.Done()
-					step(v)
-				}(v)
-			}
-			wg.Wait()
-		} else {
-			for v := 0; v < n; v++ {
-				if !halted[v] {
-					step(v)
-				}
-			}
-		}
-		// Delivery is serial and in vertex order in both modes, so the two
-		// execution modes are indistinguishable to the protocol.
-		for v := 0; v < n; v++ {
-			if halted[v] {
-				continue
-			}
-			if err := deliver(v, outs[v]); err != nil {
-				trace.runEnd(stats)
-				return stats, err
-			}
-			outs[v] = nil
-			if dones[v] {
-				halted[v] = true
-				haltedCount++
-				trace.nodeHalted(round, s.ids[v])
-			}
-		}
-		trace.roundEnd(round, n-haltedCount, haltedCount)
-	}
-	stats.HaltedNodes = haltedCount
-	trace.runEnd(stats)
-	return stats, nil
+	e := newEngine(s, nodes, envs, bandwidth)
+	return e.run()
 }

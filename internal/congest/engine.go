@@ -1,0 +1,580 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// This file is the simulator's execution engine: a sharded pipeline that
+// runs node programs and routes their messages round by round.
+//
+// Vertices are partitioned into contiguous shards. Each round proceeds in
+// phases separated by barriers:
+//
+//  1. compute:  every shard runs Round() for its active (non-halted)
+//     vertices and records their outboxes.
+//  2. route:    sender shards validate outboxes (port range, single-message
+//     size, and the aggregate per-(sender, port) bandwidth cap), copy
+//     payloads into a per-shard arena, and bucket them by receiver shard;
+//     receiver shards then merge their buckets in sender-shard order —
+//     which, because shards are contiguous vertex ranges, is exactly
+//     global sender-vertex order. Sequential and parallel execution are
+//     therefore bit-identical, for any worker or shard count.
+//  3. halt:     newly halted vertices are removed from the active lists, so
+//     late rounds touch only the vertices still running.
+//
+// When Options.Parallel is set the per-shard phases execute on a persistent
+// worker pool (spawned once per run, not per round); otherwise they run
+// inline on the same code path. When a Tracer is installed or fault
+// injection is active, routing falls back to a single serial pass in
+// sender-vertex order so that trace events and the corruption RNG observe
+// the exact, documented delivery order (node programs still run sharded).
+//
+// Hot-path allocations are avoided by reusing inboxes and payload arenas:
+// both are double-buffered by round parity, because messages delivered in
+// round r are read by node programs in round r+1 while round r+1's sends
+// are being written.
+
+// routed is one validated message en route to a receiver vertex.
+type routed struct {
+	from    int32 // sender vertex
+	to      int32 // receiver vertex
+	port    int32 // receiver port
+	payload Message
+}
+
+// shard owns a contiguous vertex range [lo, hi) and all per-shard scratch.
+type shard struct {
+	lo, hi int
+	// active lists the shard's non-halted vertices in ascending order.
+	active []int32
+	// routes[t] buffers messages from this (sender) shard to receiver
+	// shard t, in sender-vertex order; reused across rounds.
+	routes [][]routed
+	// arena holds payload copies, double-buffered by round parity: slices
+	// handed out for round r stay valid while round r+1 writes the other
+	// half. Reallocation on growth is safe — previously handed-out slices
+	// keep pointing at the old backing array.
+	arena [2][]byte
+	// portBits/touched implement the aggregate per-(sender, port) bandwidth
+	// accounting; portBits is degree-indexed scratch reset via touched
+	// after each sender.
+	portBits []int
+	touched  []int
+	// Per-round accumulators, folded into Stats after each route phase.
+	messages   int64
+	bits       int64
+	maxMsgBits int
+	haltedNow  int
+	// First validation error in this shard (lowest sender vertex wins).
+	err  error
+	errV int
+}
+
+// workerPool runs numbered tasks on a fixed set of goroutines spawned once.
+type workerPool struct {
+	tasks chan int
+	fn    func(int)
+	wg    sync.WaitGroup
+}
+
+func newWorkerPool(workers, queue int) *workerPool {
+	p := &workerPool{tasks: make(chan int, queue)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for idx := range p.tasks {
+				p.fn(idx)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// forEach runs fn(0..nTasks-1) on the pool and waits for completion. The
+// assignment to p.fn is safe: workers only read it after receiving from the
+// channel, and the previous batch has fully drained (wg.Wait) before the
+// next assignment.
+func (p *workerPool) forEach(nTasks int, fn func(int)) {
+	p.fn = fn
+	p.wg.Add(nTasks)
+	for i := 0; i < nTasks; i++ {
+		p.tasks <- i
+	}
+	p.wg.Wait()
+}
+
+func (p *workerPool) close() { close(p.tasks) }
+
+type engine struct {
+	s         *Simulator
+	n         int
+	bandwidth int
+	limit     int
+	unbounded bool
+
+	nodes []Node
+	envs  []*Env
+
+	halted      []bool
+	dones       []bool
+	haltedCount int
+	outs        [][]Outgoing
+
+	// inboxes is double-buffered by round parity: delivery in round r fills
+	// inboxes[r%2], which node programs read (and truncate) in round r+1.
+	inboxes [2][][]Incoming
+
+	shards    []*shard
+	shardSize int
+	pool      *workerPool // nil when running inline
+
+	round  int
+	stats  Stats
+	trace  traceSink
+	faults *rand.Rand
+
+	// Phase closures, allocated once so the round loop allocates nothing.
+	computeFn  func(int)
+	senderFn   func(int)
+	receiverFn func(int)
+	compactFn  func(int)
+}
+
+func newEngine(s *Simulator, nodes []Node, envs []*Env, bandwidth int) *engine {
+	n := len(nodes)
+	limit := s.opts.RoundLimit
+	if limit == 0 {
+		limit = DefaultRoundLimit
+	}
+	e := &engine{
+		s:         s,
+		n:         n,
+		bandwidth: bandwidth,
+		limit:     limit,
+		unbounded: s.opts.Unbounded,
+		nodes:     nodes,
+		envs:      envs,
+		halted:    make([]bool, n),
+		dones:     make([]bool, n),
+		outs:      make([][]Outgoing, n),
+		trace:     traceSink{t: s.opts.Tracer},
+	}
+	e.inboxes[0] = make([][]Incoming, n)
+	e.inboxes[1] = make([][]Incoming, n)
+	if s.opts.CorruptProb > 0 {
+		e.faults = rand.New(rand.NewSource(s.opts.CorruptSeed))
+	}
+
+	// Shard layout. The shard count is independent of the execution mode
+	// (results never depend on it), sized for load balance at roughly 4
+	// shards per worker with a floor of 16 vertices per shard.
+	workers := 1
+	if s.opts.Parallel {
+		workers = s.opts.workerCount()
+	}
+	nShards := 4 * workers
+	if cap := (n + 15) / 16; nShards > cap {
+		nShards = cap
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	e.shardSize = (n + nShards - 1) / nShards
+	nShards = (n + e.shardSize - 1) / e.shardSize
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := len(s.ports[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	e.shards = make([]*shard, nShards)
+	for i := range e.shards {
+		lo := i * e.shardSize
+		hi := lo + e.shardSize
+		if hi > n {
+			hi = n
+		}
+		sh := &shard{lo: lo, hi: hi, routes: make([][]routed, nShards), portBits: make([]int, maxDeg)}
+		sh.active = make([]int32, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			sh.active = append(sh.active, int32(v))
+		}
+		e.shards[i] = sh
+	}
+	if s.opts.Parallel && workers > 1 && nShards > 1 {
+		if workers > nShards {
+			workers = nShards
+		}
+		e.pool = newWorkerPool(workers, nShards)
+	}
+	e.computeFn = e.computeShard
+	e.senderFn = e.senderShard
+	e.receiverFn = e.receiverShard
+	e.compactFn = e.compactShard
+	return e
+}
+
+// forEach dispatches one task per shard, on the pool or inline.
+func (e *engine) forEach(fn func(int)) {
+	if e.pool != nil {
+		e.pool.forEach(len(e.shards), fn)
+		return
+	}
+	for i := range e.shards {
+		fn(i)
+	}
+}
+
+func (e *engine) shardOf(v int32) int { return int(v) / e.shardSize }
+
+// serialRoute reports whether routing must happen in one serial pass:
+// tracers observe sends in sender-vertex order, and the fault RNG must be
+// consumed in that same order to stay deterministic.
+func (e *engine) serialRoute() bool { return e.trace.enabled() || e.faults != nil }
+
+// run drives the simulation to completion.
+func (e *engine) run() (Stats, error) {
+	if e.pool != nil {
+		defer e.pool.close()
+	}
+	e.stats = Stats{Bandwidth: e.bandwidth}
+	e.trace.runStart(RunInfo{N: e.n, Edges: e.s.g.NumEdges(), Bandwidth: e.bandwidth})
+
+	// Init phase (round 0): always serial, like the delivery contract.
+	e.trace.roundStart(0)
+	for v := 0; v < e.n; v++ {
+		e.envs[v].Round = 0
+		out := e.nodes[v].Init(e.envs[v])
+		if err := e.deliverSerial(int32(v), out); err != nil {
+			e.trace.runEnd(e.stats)
+			return e.stats, err
+		}
+	}
+	e.trace.roundEnd(0, e.n, 0)
+
+	for round := 1; e.haltedCount < e.n; round++ {
+		if round > e.limit {
+			e.trace.runEnd(e.stats)
+			return e.stats, fmt.Errorf("%w: %d rounds", ErrRoundLimit, e.limit)
+		}
+		e.stats.Rounds = round
+		e.round = round
+		e.trace.roundStart(round)
+
+		e.forEach(e.computeFn)
+
+		if e.serialRoute() {
+			if err := e.routeSerialPass(); err != nil {
+				e.trace.runEnd(e.stats)
+				return e.stats, err
+			}
+		} else {
+			e.forEach(e.senderFn)
+			if err := e.firstError(); err != nil {
+				e.foldStats()
+				e.trace.runEnd(e.stats)
+				return e.stats, err
+			}
+			e.forEach(e.receiverFn)
+			e.foldStats()
+		}
+
+		e.forEach(e.compactFn)
+		for _, sh := range e.shards {
+			e.haltedCount += sh.haltedNow
+			sh.haltedNow = 0
+		}
+		e.trace.roundEnd(round, e.n-e.haltedCount, e.haltedCount)
+	}
+	e.stats.HaltedNodes = e.haltedCount
+	e.trace.runEnd(e.stats)
+	return e.stats, nil
+}
+
+// computeShard runs the node programs of one shard's active vertices.
+func (e *engine) computeShard(si int) {
+	sh := e.shards[si]
+	readGen := (e.round + 1) & 1 // == (round-1)&1: filled two phases ago
+	inboxes := e.inboxes[readGen]
+	for _, v := range sh.active {
+		env := e.envs[v]
+		env.Round = e.round
+		inbox := inboxes[v]
+		sortInbox(inbox)
+		e.outs[v], e.dones[v] = e.nodes[v].Round(env, inbox)
+		// The inbox buffer is refilled by next round's delivery; truncate
+		// now that the node has consumed it.
+		inboxes[v] = inbox[:0]
+	}
+}
+
+// sortInbox orders an inbox by Port, stably: messages sharing a port keep
+// their send order. Inboxes are small (at most one entry per neighbor per
+// sent message), so insertion sort covers the common case without the
+// closure allocation of sort.SliceStable.
+func sortInbox(inbox []Incoming) {
+	if len(inbox) < 2 {
+		return
+	}
+	if len(inbox) <= 24 {
+		for i := 1; i < len(inbox); i++ {
+			for j := i; j > 0 && inbox[j].Port < inbox[j-1].Port; j-- {
+				inbox[j], inbox[j-1] = inbox[j-1], inbox[j]
+			}
+		}
+		return
+	}
+	sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].Port < inbox[j].Port })
+}
+
+// checkedSize validates one message from v on port p against the per-edge
+// budget: the single-message cap first (ErrMessageTooLarge, as before), then
+// the aggregate per-(sender, port) per-round cap (ErrBandwidthExceeded).
+// portBits must be v's zeroed scratch; touched collects dirtied ports.
+func (e *engine) checkedSize(v int32, p int, payloadLen int, portBits []int, touched *[]int) (int, error) {
+	sizeBits := 8 * payloadLen
+	if e.unbounded {
+		return sizeBits, nil
+	}
+	if sizeBits > e.bandwidth {
+		return 0, fmt.Errorf("%w: %d bits > %d-bit budget (node %d, port %d)",
+			ErrMessageTooLarge, sizeBits, e.bandwidth, e.s.ids[v], p)
+	}
+	if portBits[p] == 0 {
+		*touched = append(*touched, p)
+	}
+	portBits[p] += sizeBits
+	if portBits[p] > e.bandwidth {
+		return 0, fmt.Errorf("%w: %d bits in one round > %d-bit budget (node %d, port %d)",
+			ErrBandwidthExceeded, portBits[p], e.bandwidth, e.s.ids[v], p)
+	}
+	return sizeBits, nil
+}
+
+func resetPortBits(portBits []int, touched *[]int) {
+	for _, p := range *touched {
+		portBits[p] = 0
+	}
+	*touched = (*touched)[:0]
+}
+
+// senderShard expands, validates, and buckets one sender shard's outboxes.
+// Payloads are copied into the shard's arena for the current round parity;
+// the copies handed to receivers stay valid through the next compute phase.
+func (e *engine) senderShard(si int) {
+	sh := e.shards[si]
+	gen := e.round & 1
+	arena := sh.arena[gen][:0]
+	for t := range sh.routes {
+		sh.routes[t] = sh.routes[t][:0]
+	}
+	for _, v := range sh.active {
+		out := e.outs[v]
+		if len(out) == 0 {
+			continue
+		}
+		e.outs[v] = nil
+		ports := e.s.ports[v]
+		for _, o := range out {
+			lo, hi := o.Port, o.Port+1
+			if o.Port == -1 {
+				lo, hi = 0, len(ports)
+			}
+			for p := lo; p < hi; p++ {
+				if p < 0 || p >= len(ports) {
+					if sh.err == nil {
+						sh.err = fmt.Errorf("congest: node %d sent to invalid port %d", e.s.ids[v], p)
+						sh.errV = int(v)
+					}
+					resetPortBits(sh.portBits, &sh.touched)
+					sh.arena[gen] = arena
+					return
+				}
+				if _, err := e.checkedSize(v, p, len(o.Payload), sh.portBits, &sh.touched); err != nil {
+					if sh.err == nil {
+						sh.err = err
+						sh.errV = int(v)
+					}
+					resetPortBits(sh.portBits, &sh.touched)
+					sh.arena[gen] = arena
+					return
+				}
+				w := e.s.ports[v][p]
+				start := len(arena)
+				arena = append(arena, o.Payload...)
+				payload := Message(arena[start:len(arena):len(arena)])
+				sh.routes[e.shardOf(int32(w))] = append(sh.routes[e.shardOf(int32(w))], routed{
+					from: v, to: int32(w), port: int32(e.s.portsOf[w][int(v)]), payload: payload,
+				})
+			}
+		}
+		resetPortBits(sh.portBits, &sh.touched)
+	}
+	sh.arena[gen] = arena
+}
+
+// receiverShard merges the routed messages destined for one receiver shard,
+// scanning sender shards in index order — global sender-vertex order, the
+// same order the serial path delivers in. The drop rule reproduces the
+// serial pass exactly: a message is dropped if the receiver halted in an
+// earlier round, or halts this round and precedes the sender in vertex
+// order (the serial pass marks halts in that order, mid-delivery).
+func (e *engine) receiverShard(ti int) {
+	sh := e.shards[ti]
+	gen := e.round & 1
+	inboxes := e.inboxes[gen]
+	for _, src := range e.shards {
+		for _, m := range src.routes[ti] {
+			if e.halted[m.to] || (e.dones[m.to] && m.to < m.from) {
+				continue
+			}
+			inboxes[m.to] = append(inboxes[m.to], Incoming{Port: int(m.port), Payload: m.payload})
+			sizeBits := 8 * len(m.payload)
+			sh.messages++
+			sh.bits += int64(sizeBits)
+			if sizeBits > sh.maxMsgBits {
+				sh.maxMsgBits = sizeBits
+			}
+		}
+	}
+}
+
+// firstError returns the recorded validation error with the lowest sender
+// vertex, matching what the serial pass would have hit first.
+func (e *engine) firstError() error {
+	var err error
+	best := e.n
+	for _, sh := range e.shards {
+		if sh.err != nil && sh.errV < best {
+			best, err = sh.errV, sh.err
+		}
+	}
+	return err
+}
+
+// foldStats folds the receiver shards' per-round counters into Stats.
+func (e *engine) foldStats() {
+	for _, sh := range e.shards {
+		e.stats.Messages += sh.messages
+		e.stats.Bits += sh.bits
+		if sh.maxMsgBits > e.stats.MaxMsgBits {
+			e.stats.MaxMsgBits = sh.maxMsgBits
+		}
+		sh.messages, sh.bits, sh.maxMsgBits = 0, 0, 0
+	}
+}
+
+// routeSerialPass is the deterministic serial route: sender-vertex order,
+// with halts marked inline (so later senders observe them), trace events
+// emitted in delivery order, and the fault RNG consumed in that same order.
+func (e *engine) routeSerialPass() error {
+	gen := e.round & 1
+	for _, sh := range e.shards {
+		// Reclaim this parity's arena: its payloads were consumed by the
+		// compute phase one round ago.
+		sh.arena[gen] = sh.arena[gen][:0]
+	}
+	for _, sh := range e.shards {
+		for _, v := range sh.active {
+			out := e.outs[v]
+			e.outs[v] = nil
+			if err := e.deliverSerial(v, out); err != nil {
+				return err
+			}
+			if e.dones[v] {
+				e.halted[v] = true
+				sh.haltedNow++
+				e.trace.nodeHalted(e.round, e.s.ids[v])
+			}
+		}
+	}
+	return nil
+}
+
+// deliverSerial validates and delivers one sender's outbox in order. Shared
+// by the Init phase and the serial route.
+func (e *engine) deliverSerial(v int32, out []Outgoing) error {
+	if len(out) == 0 {
+		return nil
+	}
+	sh := e.shards[e.shardOf(v)]
+	gen := e.round & 1
+	arena := sh.arena[gen]
+	inboxes := e.inboxes[gen]
+	defer resetPortBits(sh.portBits, &sh.touched)
+	for _, o := range out {
+		ports := e.s.ports[v]
+		lo, hi := o.Port, o.Port+1
+		if o.Port == -1 {
+			lo, hi = 0, len(ports)
+		}
+		for p := lo; p < hi; p++ {
+			if p < 0 || p >= len(ports) {
+				sh.arena[gen] = arena
+				return fmt.Errorf("congest: node %d sent to invalid port %d", e.s.ids[v], p)
+			}
+			sizeBits, err := e.checkedSize(v, p, len(o.Payload), sh.portBits, &sh.touched)
+			if err != nil {
+				sh.arena[gen] = arena
+				return err
+			}
+			w := ports[p]
+			if e.halted[w] {
+				continue
+			}
+			start := len(arena)
+			arena = append(arena, o.Payload...)
+			payload := Message(arena[start:len(arena):len(arena)])
+			if e.faults != nil && len(payload) > 0 && e.faults.Float64() < e.s.opts.CorruptProb {
+				i := e.faults.Intn(len(payload))
+				payload[i] ^= 1 << uint(e.faults.Intn(8))
+			}
+			recvPort := e.s.portsOf[w][int(v)]
+			inboxes[w] = append(inboxes[w], Incoming{Port: recvPort, Payload: payload})
+			e.stats.Messages++
+			e.stats.Bits += int64(sizeBits)
+			if sizeBits > e.stats.MaxMsgBits {
+				e.stats.MaxMsgBits = sizeBits
+			}
+			if e.trace.enabled() {
+				e.trace.send(SendEvent{
+					Round: e.round, FromID: e.s.ids[v], ToID: e.s.ids[w],
+					Port: recvPort, SizeBits: sizeBits, Kind: e.envs[v].kind,
+				})
+			}
+		}
+	}
+	sh.arena[gen] = arena
+	return nil
+}
+
+// compactShard marks this shard's newly halted vertices and removes them
+// from the active list (the serial route has already marked and counted its
+// halts; re-marking is guarded by the halted flag).
+func (e *engine) compactShard(si int) {
+	sh := e.shards[si]
+	changed := false
+	for _, v := range sh.active {
+		if e.halted[v] {
+			changed = true // marked by the serial route
+		} else if e.dones[v] {
+			e.halted[v] = true
+			sh.haltedNow++
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	k := 0
+	for _, v := range sh.active {
+		if !e.halted[v] {
+			sh.active[k] = v
+			k++
+		}
+	}
+	sh.active = sh.active[:k]
+}

@@ -1,0 +1,82 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+// heartbeatNode is the scaling-benchmark workload: every node broadcasts a
+// 2-byte value each round for a fixed number of rounds, then halts. The
+// per-round work is O(deg), so total simulator work is Θ(rounds * m) and the
+// benchmark isolates engine overhead (scheduling, delivery, allocation)
+// rather than protocol logic.
+type heartbeatNode struct {
+	rounds int
+	max    int
+	acc    int
+}
+
+func (h *heartbeatNode) Init(env *Env) []Outgoing {
+	return []Outgoing{Broadcast(encodeID(env.ID & 0xFFFF))}
+}
+
+func (h *heartbeatNode) Round(env *Env, inbox []Incoming) ([]Outgoing, bool) {
+	for _, in := range inbox {
+		h.acc += decodeID(in.Payload)
+	}
+	h.rounds++
+	if h.rounds >= h.max {
+		return nil, true
+	}
+	return []Outgoing{Broadcast(encodeID(h.acc & 0xFFFF))}, false
+}
+
+func scalingGraph(family string, n int) *graph.Graph {
+	switch family {
+	case "path":
+		return gen.Path(n)
+	case "tree":
+		return gen.RandomTree(n, 7)
+	case "gnp":
+		// Expected degree ~8; spine keeps it connected at any n.
+		g := gen.RandomGNP(n, 8/float64(n), 11)
+		for v := 1; v < n; v++ {
+			if _, ok := g.EdgeBetween(v-1, v); !ok {
+				g.MustAddEdge(v-1, v)
+			}
+		}
+		return g
+	default:
+		panic("unknown family " + family)
+	}
+}
+
+func benchScaling(b *testing.B, family string, n int, parallel bool) {
+	g := scalingGraph(family, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSimulator(g, Options{Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(func(int) Node { return &heartbeatNode{max: 8} }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaling(b *testing.B) {
+	for _, family := range []string{"path", "tree", "gnp"} {
+		for _, n := range []int{10000, 100000} {
+			for _, mode := range []string{"seq", "par"} {
+				b.Run(fmt.Sprintf("%s/n=%d/%s", family, n, mode), func(b *testing.B) {
+					benchScaling(b, family, n, mode == "par")
+				})
+			}
+		}
+	}
+}

@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"F1", F1MessageWidth},
 		{"F2", F2BaselineCrossover},
 		{"F3", F3ElimTree},
+		{"S1", S1Scaling},
 	}
 }
 

@@ -245,3 +245,53 @@ func TestDisjointUnion(t *testing.T) {
 		t.Fatal("union should have 2 components")
 	}
 }
+
+func TestSparseGNP(t *testing.T) {
+	// Deterministic for a fixed seed.
+	a := SparseGNP(500, 0.02, 7)
+	b := SparseGNP(500, 0.02, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("not deterministic: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	for _, e := range a.Edges() {
+		if _, ok := b.EdgeBetween(e.U, e.V); !ok {
+			t.Fatalf("edge sets differ for identical seeds")
+		}
+	}
+
+	// Edge count concentrates around p * n(n-1)/2. With n=2000, p=4/n the
+	// expectation is ~3998 and the standard deviation ~63; allow 6 sigma.
+	n := 2000
+	g := SparseGNP(n, 4/float64(n), 11)
+	want := 4 / float64(n) * float64(n) * float64(n-1) / 2
+	if m := float64(g.NumEdges()); m < want-380 || m > want+380 {
+		t.Fatalf("edge count %v far from expectation %v", m, want)
+	}
+
+	// Degenerate parameters.
+	if g := SparseGNP(5, 0, 1); g.NumEdges() != 0 {
+		t.Fatal("p=0 must produce no edges")
+	}
+	if g := SparseGNP(5, 1, 1); g.NumEdges() != 10 {
+		t.Fatalf("p=1 must produce the complete graph, got %d edges", g.NumEdges())
+	}
+	if g := SparseGNP(1, 0.5, 1); g.NumEdges() != 0 {
+		t.Fatal("single vertex has no edges")
+	}
+}
+
+func TestConnectedSparseGNP(t *testing.T) {
+	g := ConnectedSparseGNP(3000, 2/3000.0, 5)
+	if !g.IsConnected() {
+		t.Fatal("spine must make the graph connected")
+	}
+	// The spine never duplicates existing edges.
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges() {
+		k := [2]int{e.U, e.V}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", k)
+		}
+		seen[k] = true
+	}
+}
