@@ -1,0 +1,186 @@
+// Command dmclint runs the dmclint static-analysis suite (internal/analysis)
+// over the module: maporder, detsource, framing, and runerr, which together
+// machine-check the simulator's determinism, framing, and error-handling
+// invariants (DESIGN.md, "Statically enforced invariants").
+//
+// Usage:
+//
+//	go run ./cmd/dmclint ./...
+//	go run ./cmd/dmclint -json ./internal/protocols
+//
+// Diagnostics print as file:line:col: dmclint/<analyzer>: message, or as a
+// JSON array of {file, line, col, analyzer, message} objects with -json.
+// The exit status is 1 when any diagnostic is reported, 2 on usage or load
+// errors, and 0 on a clean tree. Suppress individual findings with a
+// preceding //lint:ignore dmclint/<analyzer> reason comment.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dmclint [-json] [packages]\n\n"+
+			"Packages are import paths, module-relative directories, or ./... for the\n"+
+			"whole module (the default).\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmclint:", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(root, modPath)
+
+	paths, err := resolvePatterns(loader, root, modPath, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmclint:", err)
+		os.Exit(2)
+	}
+
+	var all []jsonDiagnostic
+	failed := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmclint: %v\n", err)
+			os.Exit(2)
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			failed = true
+			pos := pkg.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			all = append(all, jsonDiagnostic{
+				File: file, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "dmclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(w, "%s:%d:%d: dmclint/%s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmclint:", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and reads the module path.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module directive", filepath.Join(dir, "go.mod"))
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns expands command-line package patterns into import paths.
+func resolvePatterns(loader *analysis.Loader, root, modPath string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "all":
+			pkgs, err := loader.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkgs {
+				add(p)
+			}
+		case strings.HasPrefix(arg, modPath):
+			add(arg)
+		default:
+			rel := strings.TrimPrefix(strings.TrimPrefix(arg, "./"), "/")
+			rel = strings.TrimSuffix(rel, "/")
+			if rel == "." || rel == "" {
+				add(modPath)
+				continue
+			}
+			add(modPath + "/" + filepath.ToSlash(rel))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// dmclint analyzer suite that machine-checks the simulator's determinism,
+// framing, and error-handling invariants (see DESIGN.md, "Statically
+// enforced invariants").
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built purely on the standard library's
+// go/ast, go/parser, and go/types, so the module stays dependency-free:
+// packages are parsed and type-checked by the Loader in load.go, with
+// standard-library imports resolved through go/importer's source importer.
+//
+// The Theorem 6.1 protocols certify only if every node program is a
+// deterministic function of its inbox, and the engine's sequential/parallel
+// bit-identity contract holds only if nothing in the deterministic core
+// consumes ambient entropy (map iteration order, wall-clock time, global
+// RNGs, the environment). These analyzers turn those review-time rules into
+// build-time failures.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DeterministicPkgs lists the packages whose code must be a deterministic
+// function of explicit inputs: the node programs, the simulator engine, the
+// table algebra, and the sequential reference oracle. Subpackages inherit
+// the constraint (prefix match).
+var DeterministicPkgs = []string{
+	"repro/internal/protocols",
+	"repro/internal/congest",
+	"repro/internal/regular",
+	"repro/internal/seq",
+}
+
+// IsDeterministicPkg reports whether the import path belongs to the
+// deterministic core (exact match or subpackage of a DeterministicPkgs
+// entry).
+func IsDeterministicPkg(path string) bool {
+	for _, p := range DeterministicPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one named check. Run inspects the package in the Pass and
+// reports findings through pass.Reportf.
+type Analyzer struct {
+	Name string // short name, reported as dmclint/<Name>
+	Doc  string // one-line description of the guarded invariant
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full dmclint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, DetSource, Framing, RunErr}
+}
+
+// RunAnalyzers runs the given analyzers over one loaded package, applies
+// //lint:ignore suppressions, and returns the surviving diagnostics sorted
+// by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = applySuppressions(pkg, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// exprString renders an expression compactly for diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// pkgPathOf returns the declaring package path of an object, or "".
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// calleeObject resolves the called function or method of a call expression,
+// looking through parentheses. Returns nil for calls through function
+// values, built-ins, and type conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.Func.
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// isPackageSelector reports whether the call's function is a selector on the
+// package named by path (e.g. time.Now with path "time"), returning the
+// selected name.
+func isPackageSelector(info *types.Info, call *ast.CallExpr, path string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	if pkgName.Imported().Path() != path {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// namedTypeIn reports whether t (or its pointer elem) is the named type
+// pkgPath.name.
+func namedTypeIn(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	return pkgPathOf(obj) == pkgPath || obj.Pkg() == nil
+}
+
+// returnsError reports whether the call's result tuple contains an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

@@ -1,0 +1,111 @@
+// Package analysistest runs dmclint analyzers over golden fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture sources
+// live under testdata/src/<importpath>/, and every line that should produce
+// a diagnostic carries a trailing comment
+//
+//	// want "regexp"
+//
+// whose regexp must match the diagnostic message. Diagnostics without a
+// matching want, and wants without a matching diagnostic, fail the test.
+// Suppressions (//lint:ignore dmclint/<name> reason) are applied before
+// matching, so suppression fixtures simply carry no want comments.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling package's testdata/src
+// fixture root.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("analysistest: getwd: %v", err)
+	}
+	return filepath.Join(wd, "testdata", "src")
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads each fixture package and checks the analyzer's diagnostics
+// against the // want comments in its files.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(srcRoot, "")
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !matchWant(wants, pos, d.Message) {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &want{file: pos.Filename, line: pos.Line, pattern: pat})
+			}
+		}
+	}
+	return out
+}
+
+func matchWant(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

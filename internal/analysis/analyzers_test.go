@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its golden fixture package plus example.com/nondet,
+// which sits outside the deterministic packages and must stay silent for the
+// package-gated analyzers. Suppression fixtures (//lint:ignore with a
+// reason) are inline in each fixture: the suppressed lines carry no want
+// comment, so an unapplied suppression fails the test as an unexpected
+// diagnostic.
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.MapOrder,
+		"repro/internal/protocols/maporderfix",
+		"example.com/nondet")
+}
+
+func TestDetSource(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.DetSource,
+		"repro/internal/congest/detsrcfix",
+		"example.com/nondet")
+}
+
+func TestFraming(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Framing,
+		"repro/internal/protocols/framingfix")
+}
+
+func TestRunErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.RunErr,
+		"repro/runerrfix")
+}

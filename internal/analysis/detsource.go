@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetSource forbids ambient nondeterminism sources — wall-clock reads,
+// global/unseeded math/rand, and environment lookups — in the deterministic
+// packages. Node programs and the engine must be pure functions of their
+// explicit inputs; the only sanctioned randomness is a rand.Rand built from
+// an explicit seed (rand.New(rand.NewSource(seed)), as the ID permutation
+// and fault injection already do), because a recorded seed makes every run
+// replayable.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "no wall clocks, global RNGs, or environment reads in deterministic code",
+	Run:  runDetSource,
+}
+
+// detSourceForbidden maps package paths to their forbidden top-level
+// functions. An empty set forbids every package-level function except the
+// seeded-constructor allowlist below.
+var detSourceForbidden = map[string][]string{
+	"time": {"Now", "Since", "Until", "Sleep", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc"},
+	"os":   {"Getenv", "LookupEnv", "Environ", "ExpandEnv"},
+}
+
+// detSourceRandAllowed lists the math/rand package-level constructors that
+// take an explicit seed (directly or through a Source) and are therefore
+// deterministic to call.
+var detSourceRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 seeded generators.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDetSource(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for path, names := range detSourceForbidden {
+				name, ok := isPackageSelector(pass.Info, call, path)
+				if !ok {
+					continue
+				}
+				for _, bad := range names {
+					if name == bad {
+						pass.Reportf(call.Pos(), "%s.%s is nondeterministic input; deterministic code must take it as an explicit parameter",
+							path, name)
+						return true
+					}
+				}
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				name, ok := isPackageSelector(pass.Info, call, path)
+				if !ok {
+					continue
+				}
+				if detSourceRandAllowed[name] {
+					continue
+				}
+				pass.Reportf(call.Pos(), "global %s.%s is unseeded; use a rand.New(rand.NewSource(seed)) instance threaded through Options",
+					shortPkg(path), name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func shortPkg(path string) string {
+	path = strings.TrimSuffix(path, "/v2")
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

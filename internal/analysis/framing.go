@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Framing enforces that protocol code builds every payload through the
+// wire.go framing helpers and ships it through the byte-stream framing
+// layer, so the aggregate per-edge bandwidth cap cannot be silently
+// re-violated by hand-rolled payloads:
+//
+//   - congest.Outgoing literals may only carry payloads produced by
+//     ByteStreamSender.NextFrame (the frame scheduler is what keeps every
+//     frame within the per-edge budget);
+//   - congest.Broadcast ships one unframed payload to every port and is
+//     therefore off-limits in protocol code;
+//   - ByteStreamSender.Push arguments must come from a wireWriter buffer or
+//     an encoding helper, not from raw []byte literals or string
+//     conversions (raw literals dodge the canonical wire encoding that the
+//     length accounting and the decoders assume).
+//
+// The analyzer applies to repro/internal/protocols (and subpackages),
+// excluding wire.go itself, which defines the helpers.
+var Framing = &Analyzer{
+	Name: "framing",
+	Doc:  "payloads must be built by the wire.go helpers and framed by the byte-stream layer",
+	Run:  runFraming,
+}
+
+const framingPkg = "repro/internal/protocols"
+
+func runFraming(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path != framingPkg && !strings.HasPrefix(path, framingPkg+"/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "/wire.go") || filename == "wire.go" {
+			continue
+		}
+		var enclosing *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+			case *ast.CompositeLit:
+				checkOutgoingLit(pass, enclosing, n)
+			case *ast.CallExpr:
+				checkFramingCall(pass, enclosing, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkOutgoingLit validates congest.Outgoing{...} literals: the payload
+// must be a NextFrame result (or absent/nil).
+func checkOutgoingLit(pass *Pass, fd *ast.FuncDecl, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !namedTypeIn(tv.Type, "repro/internal/congest", "Outgoing") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Payload" {
+			continue
+		}
+		if !isFramedPayload(pass, fd, kv.Value) {
+			pass.Reportf(kv.Value.Pos(), "Outgoing payload %s bypasses byte-stream framing; emit frames via ByteStreamSender.NextFrame",
+				exprString(kv.Value))
+		}
+	}
+}
+
+func checkFramingCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// congest.Broadcast ships an unframed payload on every port.
+	if obj := calleeObject(pass.Info, call); obj != nil &&
+		obj.Name() == "Broadcast" && pkgPathOf(obj) == "repro/internal/congest" {
+		pass.Reportf(call.Pos(), "congest.Broadcast bypasses byte-stream framing; push on each port's ByteStreamSender instead")
+		return
+	}
+	// ByteStreamSender.Push(x): x must be wire-encoded.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Push" {
+		return
+	}
+	recv, ok := pass.Info.Selections[sel]
+	if !ok || !namedTypeIn(recv.Recv(), "repro/internal/congest", "ByteStreamSender") {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	if !isWireEncoded(pass, fd, call.Args[0]) {
+		pass.Reportf(call.Args[0].Pos(), "payload %s is not built by the wire.go helpers; use a wireWriter (or an encode* helper) so framing and decoding stay canonical",
+			exprString(call.Args[0]))
+	}
+}
+
+// isFramedPayload reports whether the expression is a NextFrame result: the
+// call itself, nil, or an identifier whose defining assignment in the
+// enclosing function is a NextFrame call.
+func isFramedPayload(pass *Pass, fd *ast.FuncDecl, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		def, ok := definingRhs(pass, fd, e)
+		if !ok {
+			// Parameters and fields are vouched for at their producer.
+			return pass.Info.ObjectOf(e) != nil && defIsParam(pass, fd, e)
+		}
+		return isFramedPayload(pass, fd, def)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "NextFrame" {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// isWireEncoded reports whether the expression is a wire.go product: a
+// wireWriter .buf read, a call result (encode helpers), or an identifier
+// tracing to one of those. Raw []byte/Message composite literals and string
+// conversions are rejected.
+func isWireEncoded(pass *Pass, fd *ast.FuncDecl, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "buf" {
+			return false
+		}
+		tv, ok := pass.Info.Types[e.X]
+		return ok && strings.HasSuffix(tv.Type.String(), "wireWriter")
+	case *ast.CallExpr:
+		// An encoding helper; conversions like []byte("...") are not calls to
+		// functions and are rejected below.
+		if _, isConv := conversionTarget(pass, e); isConv {
+			return false
+		}
+		return true
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		if def, ok := definingRhs(pass, fd, e); ok {
+			return isWireEncoded(pass, fd, def)
+		}
+		return defIsParam(pass, fd, e)
+	case *ast.CompositeLit:
+		return false
+	case *ast.SliceExpr:
+		return isWireEncoded(pass, fd, e.X)
+	}
+	return false
+}
+
+// conversionTarget reports whether the call expression is a type conversion.
+func conversionTarget(pass *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// definingRhs finds the unique defining assignment of an identifier within
+// the enclosing function and returns its right-hand side.
+func definingRhs(pass *Pass, fd *ast.FuncDecl, id *ast.Ident) (ast.Expr, bool) {
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil || fd == nil || fd.Body == nil {
+		return nil, false
+	}
+	var rhs ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			l, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pass.Info.Defs[l] == obj || pass.Info.Uses[l] == obj {
+				switch {
+				case len(as.Lhs) == len(as.Rhs):
+					rhs = as.Rhs[i]
+				case len(as.Rhs) == 1:
+					// Multi-value assignment (v, ok := f()): the single RHS
+					// call produced the value.
+					rhs = as.Rhs[0]
+				}
+			}
+		}
+		return true
+	})
+	if rhs != nil {
+		return rhs, true
+	}
+	return nil, false
+}
+
+// defIsParam reports whether the identifier resolves to a parameter of the
+// enclosing function.
+func defIsParam(pass *Pass, fd *ast.FuncDecl, id *ast.Ident) bool {
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil || fd == nil || fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if pass.Info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

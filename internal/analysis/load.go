@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path ("" only for commands loaded by directory)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of a single module. Imports inside
+// the module resolve recursively through the loader; all other imports
+// (standard library) resolve through go/importer's source importer, which
+// reads GOROOT sources and therefore needs no network, module cache, or
+// pre-compiled export data.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string // directory containing the package tree
+	ModulePath string // module path prefix ("" maps import paths directly to directories)
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot with the
+// given module path. An empty modulePath maps import paths to directories
+// verbatim (used by analysistest fixtures, GOPATH-style).
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		std:        importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// dirOf maps an import path to a module directory, or ok=false when the path
+// is not inside the module.
+func (l *Loader) dirOf(importPath string) (string, bool) {
+	var rel string
+	switch {
+	case l.ModulePath == "":
+		rel = importPath
+	case importPath == l.ModulePath:
+		rel = "."
+	case strings.HasPrefix(importPath, l.ModulePath+"/"):
+		rel = strings.TrimPrefix(importPath, l.ModulePath+"/")
+	default:
+		return "", false
+	}
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		return "", false
+	}
+	return dir, true
+}
+
+// Load parses and type-checks the package at the given import path,
+// memoized per loader.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirOf(importPath)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s is not a package of module %s", importPath, l.ModulePath)
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	p, err := l.loadDir(importPath, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// loadDir does the parse + type-check work for one directory. Test files
+// (*_test.go) are skipped: the determinism invariants bind the shipped
+// engine and protocol code, while tests are free to use clocks and RNGs.
+func (l *Loader) loadDir(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.Fset.Position(files[i].Pos()).Filename < l.Fset.Position(files[j].Pos()).Filename
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: &loaderImporter{l: l, dir: dir},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loaderImporter adapts the Loader (module packages) and the source importer
+// (everything else) to types.Importer.
+type loaderImporter struct {
+	l   *Loader
+	dir string
+}
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := li.l.dirOf(path); ok {
+		p, err := li.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if from, ok := li.l.std.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, li.dir, 0)
+	}
+	return li.l.std.Import(path)
+}
+
+// ModulePackages lists the import paths of every package under the module
+// root, skipping testdata, hidden directories, and directories without
+// non-test Go files. Paths come back sorted.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, path)
+		if err != nil {
+			return err
+		}
+		switch {
+		case rel == ".":
+			out = append(out, l.ModulePath)
+		case l.ModulePath == "":
+			out = append(out, filepath.ToSlash(rel))
+		default:
+			out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,381 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps in the deterministic packages
+// whenever the iteration's results can escape the loop in iteration order —
+// into message payloads, trace events, returned slices, or any variable
+// declared outside the loop — without an intervening sort.
+//
+// Go map iteration order is deliberately randomized, so any escape of that
+// order breaks the engine's bit-identical sequential/parallel contract and
+// the certification soundness of the Theorem 6.1 protocols. The analyzer
+// accepts the provably order-insensitive shapes — deleting keys, building
+// another map, commutative integer accumulation (+=, |=, &=, ^=, counters),
+// and early returns of iteration-independent values in loops without other
+// side effects — plus one escape hatch: a slice that is
+// only appended to inside the loop is fine if the enclosing function sorts
+// it after the loop (sort.* or a *Sort*/*Normalize*/*Canonical* helper).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach payloads, traces, or returned data unsorted",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFuncMapRanges(pass, fd)
+			return false // checkFuncMapRanges walks nested nodes itself
+		})
+	}
+	return nil
+}
+
+func checkFuncMapRanges(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fd, rs)
+		return true
+	})
+}
+
+// sortedEscape tracks slice variables appended to inside the loop that must
+// be sorted after it.
+type sortedEscape struct {
+	expr string // canonical lvalue text, e.g. "out" or "n.bagEdges"
+	pos  token.Pos
+}
+
+type rangeCheck struct {
+	pass    *Pass
+	rs      *ast.RangeStmt
+	escapes []sortedEscape
+	badPos  token.Pos
+	badWhat string
+	// effectPos is the first order-insensitive side effect (delete, counter,
+	// map insert, append); earlyReturn is the first iteration-independent
+	// early return. Each is fine alone, but together the return makes the
+	// skipped iterations' effects order-dependent.
+	effectPos   token.Pos
+	earlyReturn token.Pos
+}
+
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	c := &rangeCheck{pass: pass, rs: rs}
+	for _, s := range rs.Body.List {
+		c.stmt(s)
+		if c.badPos.IsValid() {
+			break
+		}
+	}
+	if c.badPos.IsValid() {
+		pass.Reportf(rs.Range, "iteration over map %s escapes in map order (%s); iterate a sorted key slice or restructure",
+			exprString(rs.X), c.badWhat)
+		return
+	}
+	if c.earlyReturn.IsValid() && c.effectPos.IsValid() {
+		pass.Reportf(rs.Range, "iteration over map %s escapes in map order (early return skips iterations whose side effects precede it); hoist the effects or the return",
+			exprString(rs.X))
+		return
+	}
+	for _, esc := range c.escapes {
+		if !sortedAfter(pass, fd, rs, esc.expr) {
+			pass.Reportf(esc.pos, "map-ordered append to %s is never sorted before use; sort it after the loop or iterate sorted keys",
+				esc.expr)
+			return
+		}
+	}
+}
+
+// bad marks the range as order-sensitive.
+func (c *rangeCheck) bad(pos token.Pos, what string) {
+	if !c.badPos.IsValid() {
+		c.badPos, c.badWhat = pos, what
+	}
+}
+
+// effect records an order-insensitive side effect of the loop body.
+func (c *rangeCheck) effect(pos token.Pos) {
+	if !c.effectPos.IsValid() {
+		c.effectPos = pos
+	}
+}
+
+// mentionsLoopLocal reports whether the expression references any object
+// declared inside the range statement (key/value variables or body locals).
+func (c *rangeCheck) mentionsLoopLocal(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.Info.ObjectOf(id); obj != nil &&
+				obj.Pos() >= c.rs.Pos() && obj.Pos() < c.rs.End() {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopLocal reports whether the identifier's object is declared inside the
+// range statement (including the key/value variables).
+func (c *rangeCheck) loopLocal(id *ast.Ident) bool {
+	obj := c.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return id.Name == "_"
+	}
+	return obj.Pos() >= c.rs.Pos() && obj.Pos() < c.rs.End()
+}
+
+// isInteger reports whether the expression has an integer type.
+func (c *rangeCheck) isInteger(e ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// stmt classifies one loop-body statement as order-insensitive or not.
+func (c *rangeCheck) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			c.bad(s.Pos(), "expression statement")
+			return
+		}
+		if isBuiltin(c.pass.Info, call.Fun, "delete") {
+			c.effect(s.Pos())
+			return // builtin delete: removing keys is order-insensitive
+		}
+		c.bad(s.Pos(), "call "+exprString(call.Fun)+" observes iteration order")
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		if c.isInteger(s.X) {
+			c.effect(s.Pos())
+			return // integer counter: commutative
+		}
+		c.bad(s.Pos(), "non-integer inc/dec")
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		for _, b := range s.Body.List {
+			c.stmt(b)
+		}
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		for _, b := range s.List {
+			c.stmt(b)
+		}
+	case *ast.DeclStmt:
+		// Loop-local declaration.
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			c.bad(s.Pos(), "goto")
+		}
+	case *ast.ReturnStmt:
+		// A return whose results are constants or reference nothing bound by
+		// the loop yields the same value whichever iteration fires it; the
+		// remaining hazard (skipping later iterations' effects) is checked
+		// against effectPos after the walk.
+		for _, r := range s.Results {
+			if tv, ok := c.pass.Info.Types[r]; ok && tv.Value != nil {
+				continue
+			}
+			if id, ok := r.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if !c.mentionsLoopLocal(r) {
+				continue
+			}
+			c.bad(s.Pos(), "return of iteration-dependent value")
+			return
+		}
+		if !c.earlyReturn.IsValid() {
+			c.earlyReturn = s.Pos()
+		}
+	case *ast.RangeStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		// Nested control flow: classify the nested bodies with the same rules.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if n == s {
+				return true
+			}
+			if inner, ok := n.(ast.Stmt); ok {
+				switch inner.(type) {
+				case *ast.BlockStmt, *ast.CaseClause:
+					return true
+				}
+				c.stmt(inner)
+				return false
+			}
+			return true
+		})
+	case *ast.EmptyStmt:
+	default:
+		c.bad(s.Pos(), "statement may observe iteration order")
+	}
+}
+
+// outerLvalue reports whether e is an lvalue rooted outside the loop (an
+// identifier or selector chain); these are the escapes we track.
+func (c *rangeCheck) outerLvalue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return !c.loopLocal(e)
+	case *ast.SelectorExpr:
+		return true
+	}
+	return false
+}
+
+func (c *rangeCheck) assign(s *ast.AssignStmt) {
+	// Commutative integer accumulation is order-insensitive.
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN, token.MUL_ASSIGN:
+		if len(s.Lhs) == 1 && c.isInteger(s.Lhs[0]) {
+			c.effect(s.Pos())
+			return
+		}
+		c.bad(s.Pos(), "compound assignment on non-integer")
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		c.bad(s.Pos(), "assignment "+s.Tok.String())
+		return
+	}
+
+	// append-to-slice escape: allowed if sorted after the loop.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(c.pass.Info, call.Fun, "append") {
+			if c.outerLvalue(s.Lhs[0]) && len(call.Args) > 0 && exprString(s.Lhs[0]) == exprString(call.Args[0]) {
+				c.escapes = append(c.escapes, sortedEscape{expr: exprString(s.Lhs[0]), pos: s.Pos()})
+				c.effect(s.Pos())
+				return
+			}
+		}
+	}
+
+	for _, lhs := range s.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if c.loopLocal(l) || l.Name == "_" {
+				continue
+			}
+			if s.Tok == token.DEFINE {
+				continue // new binding shadowing inside the loop body scope
+			}
+			c.bad(s.Pos(), "write to "+l.Name+" declared outside the loop")
+			return
+		case *ast.IndexExpr:
+			if tv, ok := c.pass.Info.Types[l.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					c.effect(s.Pos())
+					continue // building a map: insertion order is unobservable
+				}
+			}
+			c.bad(s.Pos(), "indexed write to "+exprString(l.X))
+			return
+		case *ast.SelectorExpr:
+			c.bad(s.Pos(), "write to "+exprString(l))
+			return
+		default:
+			c.bad(s.Pos(), "write to "+exprString(lhs))
+			return
+		}
+	}
+}
+
+// sortedAfter reports whether expr is passed to a sorting call after the
+// range statement within the enclosing function.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, expr string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortingCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprString(arg) == expr {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltin reports whether the call target is the named Go builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// isSortingCall recognizes package sort / slices calls and helper functions
+// whose name advertises a canonical order (Sort, Normalize, Canonical).
+func isSortingCall(pass *Pass, call *ast.CallExpr) bool {
+	for _, pkg := range []string{"sort", "slices"} {
+		if _, ok := isPackageSelector(pass.Info, call, pkg); ok {
+			return true
+		}
+	}
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "sort") || strings.Contains(lower, "normalize") || strings.Contains(lower, "canonical")
+}

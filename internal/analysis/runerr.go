@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// RunErr flags silently discarded error returns from the deterministic
+// core: congest.NewSimulator/Run and the engine entry points, protocols.Run
+// and its wrappers, the table algebra, and the trace writers
+// (NDJSONTracer.Flush, ReadTrace, ...). A dropped congest.Run error turns a
+// bandwidth-cap violation or round-limit overrun into silent garbage
+// output, which is exactly the failure mode the simulator exists to make
+// loud.
+//
+// The rule: a call whose callee is declared in one of the
+// DeterministicPkgs and whose results include an error may not appear as a
+// bare statement (or go/defer statement) anywhere in the module. Assigning
+// the error — including an explicit `_ =` — is visible in review and
+// greppable, so it stays legal.
+var RunErr = &Analyzer{
+	Name: "runerr",
+	Doc:  "error returns from the simulator core must not be silently discarded",
+	Run:  runRunErr,
+}
+
+func runRunErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			default:
+				return true
+			}
+			checkDiscardedCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObject(pass.Info, call)
+	if obj == nil {
+		return
+	}
+	if !IsDeterministicPkg(pkgPathOf(obj)) {
+		return
+	}
+	if !returnsError(pass.Info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is silently discarded; handle it or assign it explicitly",
+		exprString(call.Fun))
+}

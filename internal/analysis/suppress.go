@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression comments have the staticcheck-compatible form
+//
+//	//lint:ignore dmclint/<name> reason
+//
+// and silence the named analyzer's diagnostics on the same line or on the
+// line immediately below the comment. The reason is mandatory: an ignore
+// without one does not suppress anything and is itself reported, so
+// suppressions stay auditable.
+
+const ignorePrefix = "lint:ignore "
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+	hasWhy   bool
+	pos      token.Pos
+}
+
+// parseSuppressions extracts every dmclint ignore comment in the package.
+func parseSuppressions(pkg *Package) []suppression {
+	var out []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) == 0 || !strings.HasPrefix(fields[0], "dmclint/") {
+					continue // a lint:ignore for some other tool
+				}
+				p := pkg.Fset.Position(c.Pos())
+				out = append(out, suppression{
+					file:     p.Filename,
+					line:     p.Line,
+					analyzer: strings.TrimPrefix(fields[0], "dmclint/"),
+					hasWhy:   len(fields) > 1,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diagnostics covered by a well-formed ignore
+// comment and reports malformed ignores (missing reason) for analyzers in
+// the running set.
+func applySuppressions(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	sups := parseSuppressions(pkg)
+	if len(sups) == 0 {
+		return diags
+	}
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+
+	covered := func(d Diagnostic) bool {
+		p := pkg.Fset.Position(d.Pos)
+		for _, s := range sups {
+			if !s.hasWhy || s.analyzer != d.Analyzer || s.file != p.Filename {
+				continue
+			}
+			if s.line == p.Line || s.line == p.Line-1 {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := diags[:0]
+	for _, d := range diags {
+		if !covered(d) {
+			out = append(out, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.hasWhy && running[s.analyzer] {
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: s.analyzer,
+				Message:  "lint:ignore dmclint/" + s.analyzer + " needs a reason; the suppression is not applied",
+			})
+		}
+	}
+	return out
+}

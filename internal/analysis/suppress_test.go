@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestMalformedIgnore pins the missing-reason path: a //lint:ignore without
+// a reason must not suppress the diagnostic it covers, and must be reported
+// itself. Asserted directly (not via want comments) because appending a want
+// comment to the reason-less ignore would turn the appended text into its
+// reason.
+func TestMalformedIgnore(t *testing.T) {
+	loader := analysis.NewLoader(analysistest.TestData(t), "")
+	pkg, err := loader.Load("repro/internal/protocols/malformedignore")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	var sawViolation, sawMalformed bool
+	for _, d := range diags {
+		if d.Analyzer != "maporder" {
+			t.Errorf("diagnostic from %s, want maporder: %s", d.Analyzer, d.Message)
+		}
+		switch {
+		case strings.Contains(d.Message, "needs a reason"):
+			sawMalformed = true
+		case strings.Contains(d.Message, "never sorted"):
+			sawViolation = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("missing-reason ignore was not reported: %+v", diags)
+	}
+	if !sawViolation {
+		t.Errorf("reason-less ignore suppressed the violation it covered: %+v", diags)
+	}
+}

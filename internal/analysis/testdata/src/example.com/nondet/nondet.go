@@ -1,0 +1,20 @@
+// Package nondet lives outside the deterministic packages, so
+// dmclint/maporder and dmclint/detsource do not apply: none of the shapes
+// below may produce a diagnostic.
+package nondet
+
+import "time"
+
+// Keys leaks map order, which is fine out here.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stamp reads the wall clock, which is fine out here.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,69 @@
+// Package congest is a fixture stub of repro/internal/congest: just enough
+// surface for the dmclint analyzers' type-based matching (named types
+// Outgoing and ByteStreamSender, the Broadcast helper, and error-returning
+// core entry points). Behavior is irrelevant; only the names, the package
+// path, and the signatures matter.
+package congest
+
+// Message is one payload on an edge.
+type Message []byte
+
+// Outgoing is a frame queued on a port.
+type Outgoing struct {
+	Port    int
+	Payload Message
+}
+
+// Env is the per-node environment.
+type Env struct {
+	ID          int
+	Degree      int
+	NeighborIDs []int
+}
+
+// Tag labels subsequent messages with a kind.
+func (e *Env) Tag(kind string) {}
+
+// Broadcast ships one payload on every port, bypassing framing.
+func Broadcast(payload Message) []Outgoing { return nil }
+
+// ByteStreamSender queues bytes for one port.
+type ByteStreamSender struct {
+	buf []byte
+}
+
+// Push appends one logical message to the stream.
+func (s *ByteStreamSender) Push(msg []byte) { s.buf = append(s.buf, msg...) }
+
+// NextFrame pops the next frame within the byte budget.
+func (s *ByteStreamSender) NextFrame(budgetBytes int) (Message, bool) {
+	if len(s.buf) == 0 {
+		return nil, false
+	}
+	f := Message(s.buf)
+	s.buf = nil
+	return f, true
+}
+
+// Pending reports whether bytes remain queued.
+func (s *ByteStreamSender) Pending() bool { return len(s.buf) > 0 }
+
+// Stats summarizes a run.
+type Stats struct {
+	Rounds int
+}
+
+// Simulator drives one simulated run.
+type Simulator struct{}
+
+// Run executes the simulation.
+func (s *Simulator) Run() (Stats, error) { return Stats{}, nil }
+
+// Rounds returns the rounds executed so far.
+func (s *Simulator) Rounds() int { return 0 }
+
+// NDJSONTracer writes trace events.
+type NDJSONTracer struct{}
+
+// Flush drains buffered trace output.
+func (t *NDJSONTracer) Flush() error { return nil }

@@ -1,0 +1,50 @@
+// Package detsrcfix is the golden fixture for dmclint/detsource: ambient
+// nondeterminism (wall clock, environment, global RNG) is flagged inside the
+// deterministic packages; explicitly seeded RNGs and values passed in as
+// parameters are not.
+package detsrcfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now is nondeterministic input"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since is nondeterministic input"
+}
+
+func knob() string {
+	return os.Getenv("DEBUG") // want "os.Getenv is nondeterministic input"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "global rand.Intn is unseeded"
+}
+
+func rollV2() int {
+	return randv2.IntN(6) // want "global rand.IntN is unseeded"
+}
+
+// seeded is the sanctioned pattern: an explicit seed makes the run
+// replayable.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// format consumes a time value passed in explicitly; only reading the
+// ambient clock is forbidden.
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}
+
+// benchClock exercises the suppression path.
+func benchClock() time.Time {
+	//lint:ignore dmclint/detsource fixture: bench-only wall clock, not simulated state
+	return time.Now()
+}

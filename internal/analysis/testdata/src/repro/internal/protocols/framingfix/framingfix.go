@@ -1,0 +1,70 @@
+// Package framingfix is the golden fixture for dmclint/framing: payloads
+// must be wireWriter (or encode-helper) products, Outgoing literals must
+// carry NextFrame results, and congest.Broadcast is off-limits.
+package framingfix
+
+import "repro/internal/congest"
+
+// wireWriter mirrors the real helper in wire.go; the analyzer recognizes it
+// by type name.
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) u8(v uint8) { w.buf = append(w.buf, v) }
+
+type node struct {
+	send []congest.ByteStreamSender
+}
+
+func (n *node) pushLiteral(port int) {
+	n.send[port].Push([]byte{1, 0}) // want "not built by the wire.go helpers"
+}
+
+func (n *node) pushString(port int, s string) {
+	n.send[port].Push([]byte(s)) // want "not built by the wire.go helpers"
+}
+
+// pushWire is the sanctioned shape: bytes come out of a wireWriter.
+func (n *node) pushWire(port int, v uint8) {
+	var w wireWriter
+	w.u8(v)
+	n.send[port].Push(w.buf)
+}
+
+// pushHelper delegates to an encode* helper, which is also fine.
+func (n *node) pushHelper(port int, v uint8) {
+	n.send[port].Push(encodeProbe(v))
+}
+
+func encodeProbe(v uint8) []byte {
+	var w wireWriter
+	w.u8(v)
+	return w.buf
+}
+
+// frames is the sanctioned way to emit Outgoing: payloads are NextFrame
+// results, so the per-edge budget holds.
+func (n *node) frames(budget int) []congest.Outgoing {
+	var out []congest.Outgoing
+	for port := range n.send {
+		frame, ok := n.send[port].NextFrame(budget)
+		if !ok {
+			continue
+		}
+		out = append(out, congest.Outgoing{Port: port, Payload: frame})
+	}
+	return out
+}
+
+func (n *node) rawOutgoing(port int) congest.Outgoing {
+	return congest.Outgoing{Port: port, Payload: []byte{9}} // want "bypasses byte-stream framing"
+}
+
+func (n *node) shout(payload congest.Message) []congest.Outgoing {
+	return congest.Broadcast(payload) // want "congest.Broadcast bypasses byte-stream framing"
+}
+
+// probe exercises the suppression path.
+func (n *node) probe(port int) {
+	//lint:ignore dmclint/framing fixture: handshake probe predates wire.go
+	n.send[port].Push([]byte{7})
+}

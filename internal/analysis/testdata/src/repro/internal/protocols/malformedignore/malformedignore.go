@@ -1,0 +1,19 @@
+// Package malformedignore is the fixture for the missing-reason suppression
+// path: a //lint:ignore without a reason suppresses nothing and is itself
+// reported. Expectations are asserted directly in suppress_test.go (the
+// reason-less comment cannot also carry a want comment, since trailing text
+// would become its reason).
+package malformedignore
+
+type state struct {
+	m map[string]int
+}
+
+func keys(s state) []string {
+	var out []string
+	for k := range s.m {
+		//lint:ignore dmclint/maporder
+		out = append(out, k)
+	}
+	return out
+}

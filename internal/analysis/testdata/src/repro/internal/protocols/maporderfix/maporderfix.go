@@ -1,0 +1,108 @@
+// Package maporderfix is the golden fixture for dmclint/maporder: every
+// shape the analyzer must flag carries a want comment, and every shape it
+// must accept (the provably order-insensitive ones) carries none.
+package maporderfix
+
+import "sort"
+
+type node struct {
+	counts map[string]int
+	peers  map[int]int
+}
+
+// keys is the sanctioned escape hatch: append inside the loop, sort after.
+func (n *node) keys() []string {
+	var out []string
+	for k := range n.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// appendUnsorted leaks map order into the returned slice.
+func (n *node) appendUnsorted() []string {
+	var out []string
+	for k := range n.counts {
+		out = append(out, k) // want "map-ordered append to out is never sorted"
+	}
+	return out
+}
+
+// total is commutative integer accumulation.
+func (n *node) total() int {
+	total := 0
+	for _, v := range n.peers {
+		total += v
+	}
+	return total
+}
+
+// reset deletes every key; removal order is unobservable.
+func (n *node) reset() {
+	for k := range n.counts {
+		delete(n.counts, k)
+	}
+}
+
+// invert builds another map; insertion order is unobservable.
+func (n *node) invert() map[int]int {
+	inv := make(map[int]int)
+	for k, v := range n.peers {
+		inv[v] = k
+	}
+	return inv
+}
+
+// lastKey folds the iteration into an outer scalar in map order.
+func (n *node) lastKey() string {
+	best := ""
+	for k := range n.counts { // want "escapes in map order"
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// hasPositive early-returns an iteration-independent value from an
+// effect-free loop: whichever iteration fires it, the result is the same.
+func (n *node) hasPositive() bool {
+	for _, v := range n.peers {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyKey returns the loop variable itself.
+func (n *node) anyKey() string {
+	for k := range n.counts { // want "return of iteration-dependent value"
+		return k
+	}
+	return ""
+}
+
+// drainFirst mixes side effects with an early return: the skipped deletes
+// depend on which iteration returned.
+func (n *node) drainFirst() bool {
+	for k := range n.counts { // want "early return skips iterations"
+		delete(n.counts, k)
+		if len(n.counts) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// legacyKeys exercises the suppression path: the violation is acknowledged
+// with a reason, so no diagnostic survives.
+func (n *node) legacyKeys() []string {
+	var out []string
+	for k := range n.counts {
+		//lint:ignore dmclint/maporder fixture: consumer deduplicates into a set
+		out = append(out, k)
+	}
+	return out
+}

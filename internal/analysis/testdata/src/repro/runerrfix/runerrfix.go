@@ -1,0 +1,33 @@
+// Package runerrfix is the golden fixture for dmclint/runerr: error returns
+// from the deterministic core (here the congest stub) must not be dropped as
+// bare statements anywhere in the module, including go/defer statements.
+// Explicit assignment — even to _ — stays legal because it is greppable.
+package runerrfix
+
+import "repro/internal/congest"
+
+func discards(sim *congest.Simulator, tr *congest.NDJSONTracer) {
+	sim.Run()        // want "silently discarded"
+	tr.Flush()       // want "silently discarded"
+	defer tr.Flush() // want "silently discarded"
+	go sim.Run()     // want "silently discarded"
+}
+
+func handles(sim *congest.Simulator, tr *congest.NDJSONTracer) error {
+	if _, err := sim.Run(); err != nil {
+		return err
+	}
+	_ = tr.Flush()
+	return nil
+}
+
+// rounds returns no error, so a bare call is fine.
+func rounds(sim *congest.Simulator) {
+	sim.Rounds()
+}
+
+// crashPath exercises the suppression path.
+func crashPath(tr *congest.NDJSONTracer) {
+	//lint:ignore dmclint/runerr fixture: flush failure is moot on the crash path
+	tr.Flush()
+}

@@ -92,8 +92,10 @@ func (b *baselineNode) Init(env *congest.Env) []congest.Outgoing {
 	}
 	if env.ID == 1 {
 		b.joined = true
+		var w wireWriter
+		w.u8(tagBFS)
 		for port := 0; port < env.Degree; port++ {
-			b.send[port].Push([]byte{tagBFS})
+			b.send[port].Push(w.buf)
 		}
 	}
 	return b.frames()
@@ -152,15 +154,23 @@ func (b *baselineNode) handle(port int, msg []byte) error {
 	switch msg[0] {
 	case tagBFS:
 		if b.joined {
-			b.send[port].Push([]byte{tagBFSReply, 0})
+			var w wireWriter
+			w.u8(tagBFSReply)
+			w.u8(0)
+			b.send[port].Push(w.buf)
 			return nil
 		}
 		b.joined = true
 		b.parentPort = port
-		b.send[port].Push([]byte{tagBFSReply, 1})
+		var reply wireWriter
+		reply.u8(tagBFSReply)
+		reply.u8(1)
+		b.send[port].Push(reply.buf)
+		var probe wireWriter
+		probe.u8(tagBFS)
 		for p := 0; p < b.env.Degree; p++ {
 			if p != port {
-				b.send[p].Push([]byte{tagBFS})
+				b.send[p].Push(probe.buf)
 			}
 		}
 		if b.env.Degree == 1 {
@@ -278,12 +288,15 @@ func (b *baselineNode) solveAtRoot() {
 
 func (b *baselineNode) forwardAnswer() {
 	b.env.Tag(KindAnswer)
-	payload := []byte{tagAnswer, 0}
+	var w wireWriter
+	w.u8(tagAnswer)
 	if b.out.Accepted {
-		payload[1] = 1
+		w.u8(1)
+	} else {
+		w.u8(0)
 	}
 	for _, port := range b.childPorts {
-		b.send[port].Push(payload)
+		b.send[port].Push(w.buf)
 	}
 	b.done = true
 }

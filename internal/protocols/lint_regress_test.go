@@ -1,0 +1,126 @@
+package protocols
+
+// Regression tests for the violations dmclint surfaced (PR 3). They pin the
+// fixed behavior: localTuple must pick its candidate by (depth, min ID)
+// independent of map iteration order, and the baseline handshake must put
+// exactly the same bytes on the wire through wireWriter as the old []byte
+// literals did.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/congest"
+)
+
+func TestLocalTupleDeterministic(t *testing.T) {
+	env := &congest.Env{ID: 7, Degree: 4, NeighborIDs: []int{12, 3, 9, 5}}
+	cases := []struct {
+		name      string
+		markedNbr map[int]int // port -> depth
+		want      floodTuple
+	}{
+		{"no marked neighbors", map[int]int{}, floodTuple{depth: 0, markedID: 0, candID: 7}},
+		{"single marked neighbor", map[int]int{1: 2}, floodTuple{depth: 2, markedID: 3, candID: 7}},
+		{"deepest wins", map[int]int{0: 4, 2: 3}, floodTuple{depth: 4, markedID: 12, candID: 7}},
+		{"depth tie broken by min ID", map[int]int{0: 2, 2: 3, 3: 3}, floodTuple{depth: 3, markedID: 5, candID: 7}},
+	}
+	for _, tc := range cases {
+		// Rebuild the map each trial: a map-order-dependent fold would give
+		// varying answers across Go's randomized iteration orders.
+		for trial := 0; trial < 32; trial++ {
+			m := make(map[int]int, len(tc.markedNbr))
+			for p, d := range tc.markedNbr {
+				m[p] = d
+			}
+			n := &dpNode{env: env, markedNbr: m}
+			if got := n.localTuple(); got != tc.want {
+				t.Errorf("%s (trial %d): localTuple() = %+v, want %+v", tc.name, trial, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// frame4 is one length-prefixed logical message as the byte-stream layer
+// carries it: 4-byte little-endian length, then the payload.
+func frame4(msg ...byte) []byte {
+	out := []byte{byte(len(msg)), 0, 0, 0}
+	return append(out, msg...)
+}
+
+// drainPort pops everything pending on one sender with a generous budget.
+func drainPort(s *congest.ByteStreamSender) []byte {
+	var out []byte
+	for {
+		frame, ok := s.NextFrame(1 << 20)
+		if !ok {
+			return out
+		}
+		out = append(out, frame...)
+	}
+}
+
+func TestBaselineWireBytesPinned(t *testing.T) {
+	const bandwidth = 1 << 16
+
+	// Root: Init floods tagBFS on every port.
+	rootEnv := &congest.Env{ID: 1, Degree: 2, NeighborIDs: []int{2, 3}, Bandwidth: bandwidth, PortWeight: []int64{4, 5}}
+	root := &baselineNode{}
+	outs := root.Init(rootEnv)
+	if len(outs) != 2 {
+		t.Fatalf("root Init emitted %d frames, want 2", len(outs))
+	}
+	for i, o := range outs {
+		if o.Port != i || !bytes.Equal(o.Payload, frame4(tagBFS)) {
+			t.Errorf("root Init frame %d = port %d payload %v, want port %d payload %v",
+				i, o.Port, o.Payload, i, frame4(tagBFS))
+		}
+	}
+
+	// Non-root: the first tagBFS adopts the sender as parent (reply 1) and
+	// re-floods the probe on every other port.
+	env := &congest.Env{ID: 2, Degree: 3, NeighborIDs: []int{1, 4, 5}, Bandwidth: bandwidth, PortWeight: []int64{4, 6, 7}}
+	nd := &baselineNode{}
+	if outs := nd.Init(env); len(outs) != 0 {
+		t.Fatalf("non-root Init emitted %d frames, want 0", len(outs))
+	}
+	if err := nd.handle(0, []byte{tagBFS}); err != nil {
+		t.Fatalf("handle(tagBFS): %v", err)
+	}
+	for port, want := range [][]byte{frame4(tagBFSReply, 1), frame4(tagBFS), frame4(tagBFS)} {
+		if got := drainPort(&nd.send[port]); !bytes.Equal(got, want) {
+			t.Errorf("after first tagBFS, port %d bytes = %v, want %v", port, got, want)
+		}
+	}
+
+	// A later probe on a joined node is declined with reply 0.
+	if err := nd.handle(1, []byte{tagBFS}); err != nil {
+		t.Fatalf("handle(second tagBFS): %v", err)
+	}
+	if got, want := drainPort(&nd.send[1]), frame4(tagBFSReply, 0); !bytes.Equal(got, want) {
+		t.Errorf("decline reply bytes = %v, want %v", got, want)
+	}
+
+	// forwardAnswer ships tagAnswer with the accepted bit to every child.
+	for _, accepted := range []bool{false, true} {
+		t.Run(fmt.Sprintf("answer_accepted=%v", accepted), func(t *testing.T) {
+			a := &baselineNode{env: env, send: make([]congest.ByteStreamSender, 3), childPorts: []int{1, 2}}
+			a.out.Accepted = accepted
+			a.forwardAnswer()
+			bit := byte(0)
+			if accepted {
+				bit = 1
+			}
+			if got := drainPort(&a.send[0]); len(got) != 0 {
+				t.Errorf("non-child port 0 got bytes %v, want none", got)
+			}
+			for _, port := range []int{1, 2} {
+				if got, want := drainPort(&a.send[port]), frame4(tagAnswer, bit); !bytes.Equal(got, want) {
+					t.Errorf("answer bytes on port %d = %v, want %v", port, got, want)
+				}
+			}
+		})
+	}
+}

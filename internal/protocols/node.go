@@ -399,7 +399,11 @@ func (n *dpNode) portOfID(id int) (int, bool) {
 // (depth 0) when no neighbor is marked yet.
 func (n *dpNode) localTuple() floodTuple {
 	bestDepth, bestMarked := 0, 0
-	for port, d := range n.markedNbr {
+	for port := 0; port < n.env.Degree; port++ {
+		d, marked := n.markedNbr[port]
+		if !marked {
+			continue
+		}
 		id := n.env.NeighborIDs[port]
 		if d > bestDepth || (d == bestDepth && id < bestMarked) {
 			bestDepth, bestMarked = d, id
