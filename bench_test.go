@@ -47,6 +47,7 @@ func BenchmarkF1MessageWidth(b *testing.B)      { benchExperiment(b, "F1") }
 func BenchmarkF2BaselineCrossover(b *testing.B) { benchExperiment(b, "F2") }
 func BenchmarkF3ElimTree(b *testing.B)          { benchExperiment(b, "F3") }
 func BenchmarkS1EngineScaling(b *testing.B)     { benchExperiment(b, "S1") }
+func BenchmarkS2DPAlgebra(b *testing.B)         { benchExperiment(b, "S2") }
 
 // --- Micro-benchmarks: the building blocks. ---
 

@@ -7,13 +7,16 @@
 //	bench -only T1,F2    # a subset
 //	bench -csv           # machine-readable output
 //
-// The S1 engine-scaling scenario can additionally serialize its report:
+// The S1 engine-scaling and S2 DP-algebra scenarios can additionally
+// serialize their reports:
 //
 //	bench -only S1 -scaling-out BENCH_congest.json
+//	bench -only S2 -dp-out BENCH_dp.json
 //
-// The sweep runs once; the table and the JSON document come from the same
+// Each sweep runs once; the table and the JSON document come from the same
 // measurements, and the command exits nonzero if any parallel run diverges
-// from its sequential twin.
+// from its sequential twin (S1) or any cached run diverges from its uncached
+// reference (S2).
 package main
 
 import (
@@ -39,10 +42,11 @@ func run() error {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	csv := flag.Bool("csv", false, "CSV output")
 	scalingOut := flag.String("scaling-out", "", "write the S1 scaling report as JSON to this path")
+	dpOut := flag.String("dp-out", "", "write the S2 DP-algebra report as JSON to this path")
 	flag.Parse()
 
-	// When the JSON report is requested, run the S1 sweep exactly once and
-	// reuse the measurements for both outputs.
+	// When a JSON report is requested, run that sweep exactly once and reuse
+	// the measurements for both outputs.
 	var scalingRep *experiments.ScalingReport
 	if *scalingOut != "" {
 		rep, err := experiments.ScalingSweep(*quick)
@@ -50,14 +54,24 @@ func run() error {
 			return err
 		}
 		scalingRep = rep
-		data, err := json.MarshalIndent(rep, "", "  ")
+		if err := writeJSON(*scalingOut, rep); err != nil {
+			return err
+		}
+	}
+	var dpRep *experiments.DPReport
+	if *dpOut != "" {
+		rep, err := experiments.DPSweep(*quick)
+		if rep != nil {
+			// Write the report even on divergence so the artifact shows which
+			// runs failed; the error still fails the command.
+			if werr := writeJSON(*dpOut, rep); werr != nil && err == nil {
+				err = werr
+			}
+		}
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*scalingOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *scalingOut)
+		dpRep = rep
 	}
 
 	var selected []experiments.Experiment
@@ -77,9 +91,12 @@ func run() error {
 		start := time.Now()
 		var tab *experiments.Table
 		var err error
-		if e.ID == "S1" && scalingRep != nil {
+		switch {
+		case e.ID == "S1" && scalingRep != nil:
 			tab = experiments.ScalingTable(scalingRep)
-		} else {
+		case e.ID == "S2" && dpRep != nil:
+			tab = experiments.DPTable(dpRep)
+		default:
 			tab, err = e.Run(*quick)
 		}
 		if err != nil {
@@ -92,5 +109,17 @@ func run() error {
 			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return nil
+}
+
+func writeJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
 	return nil
 }

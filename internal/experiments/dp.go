@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+	"repro/internal/seq"
+	"repro/internal/treedepth"
+)
+
+// The DP-layer scenario (S2) measures the regular-predicate algebra itself —
+// class interning, dense tables, and ⊙_f memoization — with the CONGEST
+// engine out of the loop: the sequential runner evaluates each predicate
+// twice on the same derivation, once on the cached dense path (seq.New) and
+// once on the uncached map path (seq.NewUncached). The two runs must agree
+// class-for-class (root-table checksums) and verdict-for-verdict; the wall
+// times quantify what the cache buys. cmd/bench serializes the result as
+// BENCH_dp.json.
+
+// DPRun is one (family, n, predicate, mode, impl) measurement.
+type DPRun struct {
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	Edges     int    `json:"edges"`
+	Depth     int    `json:"depth"` // elimination-forest depth of the witness
+	Predicate string `json:"predicate"`
+	Mode      string `json:"mode"` // "decide", "opt", or "count"
+	Impl      string `json:"impl"` // "cached" or "uncached"
+
+	WallMS float64 `json:"wall_ms"`
+	// Checksum digests the verdict, the root DP table (every class key and
+	// value in canonical order), and the extracted selection, so equal
+	// checksums certify per-class agreement, not just equal answers.
+	Checksum uint64 `json:"checksum"`
+	// MatchesUncached is set on "cached" runs when the checksum equals the
+	// paired "uncached" run's.
+	MatchesUncached bool `json:"matches_uncached"`
+	// SpeedupVsUncached is uncached wall time / cached wall time ("cached"
+	// runs only).
+	SpeedupVsUncached float64 `json:"speedup_vs_uncached,omitempty"`
+
+	// Cache counters ("cached" runs only).
+	Classes        int     `json:"classes,omitempty"`
+	ComposeHits    int64   `json:"compose_hits,omitempty"`
+	ComposeMisses  int64   `json:"compose_misses,omitempty"`
+	ComposeHitRate float64 `json:"compose_hit_rate,omitempty"`
+}
+
+// DPReport is the BENCH_dp.json document.
+type DPReport struct {
+	Harness    string  `json:"harness"`
+	Quick      bool    `json:"quick"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Runs       []DPRun `json:"runs"`
+	// AllMatch is true iff every cached run matched its uncached twin.
+	AllMatch bool `json:"all_match"`
+	// BestSpeedupAtLargest is the best cached-vs-uncached speedup observed at
+	// the largest swept size.
+	BestSpeedupAtLargest float64 `json:"best_speedup_at_largest"`
+}
+
+// dpWorkload is one predicate × mode combination of the sweep.
+type dpWorkload struct {
+	name     string
+	mode     string
+	pred     func() regular.Predicate
+	maximize bool
+}
+
+func dpWorkloads() []dpWorkload {
+	return []dpWorkload{
+		{name: "connectivity", mode: "decide", pred: func() regular.Predicate { return predicates.Connectivity{} }},
+		{name: "indset", mode: "opt", pred: func() regular.Predicate { return predicates.IndependentSet{} }, maximize: true},
+		{name: "vertexcover", mode: "opt", pred: func() regular.Predicate { return predicates.VertexCover{} }, maximize: false},
+		// Triangle counting keeps COUNT polynomial in n (counting matchings
+		// overflows int64 at these sizes).
+		{name: "triangles", mode: "count", pred: func() regular.Predicate { return predicates.Triangles{} }},
+	}
+}
+
+// dpFamily is a bounded-treedepth graph family; the generator's parent slice
+// is the elimination-forest witness the runner uses.
+type dpFamily struct {
+	name      string
+	d         int
+	extraProb float64
+	seed      int64
+}
+
+func dpFamilies() []dpFamily {
+	return []dpFamily{
+		{name: "td3", d: 3, extraProb: 0.2, seed: 61},
+		{name: "td4_dense", d: 4, extraProb: 0.5, seed: 62},
+	}
+}
+
+func dpSizes(quick bool) []int {
+	if quick {
+		return []int{300, 1200}
+	}
+	return []int{2000, 8000, 32000}
+}
+
+// DPSweep runs the S2 scenario: each family × size × workload, uncached then
+// cached, verifying per-class agreement as it goes.
+func DPSweep(quick bool) (*DPReport, error) {
+	rep := &DPReport{
+		Harness:    "cmd/bench S2 (DP algebra: interning + memoized compose)",
+		Quick:      quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		AllMatch:   true,
+	}
+	sizes := dpSizes(quick)
+	largest := sizes[len(sizes)-1]
+	for _, fam := range dpFamilies() {
+		for _, n := range sizes {
+			g, parent := gen.BoundedTreedepth(n, fam.d, fam.extraProb, fam.seed)
+			gen.AssignRandomWeights(g, 9, fam.seed+1)
+			forest := treedepth.NewForest(parent)
+			for _, wl := range dpWorkloads() {
+				var uncached DPRun
+				for _, impl := range []string{"uncached", "cached"} {
+					run, err := dpOnce(g, forest, fam, n, wl, impl)
+					if err != nil {
+						return nil, fmt.Errorf("dp %s n=%d %s/%s %s: %w",
+							fam.name, n, wl.name, wl.mode, impl, err)
+					}
+					if impl == "uncached" {
+						uncached = run
+					} else {
+						run.MatchesUncached = run.Checksum == uncached.Checksum
+						if !run.MatchesUncached {
+							rep.AllMatch = false
+						}
+						if uncached.WallMS > 0 && run.WallMS > 0 {
+							run.SpeedupVsUncached = uncached.WallMS / run.WallMS
+						}
+						if n == largest && run.SpeedupVsUncached > rep.BestSpeedupAtLargest {
+							rep.BestSpeedupAtLargest = run.SpeedupVsUncached
+						}
+					}
+					rep.Runs = append(rep.Runs, run)
+				}
+			}
+		}
+	}
+	if !rep.AllMatch {
+		return rep, fmt.Errorf("dp sweep: cached run diverged from uncached reference")
+	}
+	return rep, nil
+}
+
+func dpOnce(g *graph.Graph, forest *treedepth.Forest, fam dpFamily, n int, wl dpWorkload, impl string) (DPRun, error) {
+	build := seq.NewUncached
+	if impl == "cached" {
+		build = seq.New
+	}
+	r, err := build(g, forest, wl.pred())
+	if err != nil {
+		return DPRun{}, err
+	}
+	h := fnv.New64a()
+	put64 := func(v uint64) {
+		var buf [8]byte
+		for j := range buf {
+			buf[j] = byte(v >> uint(8*j))
+		}
+		h.Write(buf[:])
+	}
+	start := time.Now()
+	switch wl.mode {
+	case "decide":
+		ok, err := r.Decide()
+		if err != nil {
+			return DPRun{}, err
+		}
+		if ok {
+			put64(1)
+		} else {
+			put64(0)
+		}
+	case "opt":
+		res, err := r.Optimize(wl.maximize)
+		if err != nil {
+			return DPRun{}, err
+		}
+		if res.Found {
+			put64(1)
+			put64(uint64(res.Weight))
+			if res.Vertices != nil {
+				for v := 0; v < g.NumVertices(); v++ {
+					if res.Vertices.Contains(v) {
+						put64(uint64(v))
+					}
+				}
+			}
+			if res.Edges != nil {
+				for e := 0; e < g.NumEdges(); e++ {
+					if res.Edges.Contains(e) {
+						put64(uint64(e))
+					}
+				}
+			}
+		} else {
+			put64(0)
+		}
+	case "count":
+		total, err := r.Count()
+		if err != nil {
+			return DPRun{}, err
+		}
+		put64(uint64(total))
+	default:
+		return DPRun{}, fmt.Errorf("unknown dp mode %q", wl.mode)
+	}
+	wall := time.Since(start)
+	put64(r.RootTableChecksum())
+
+	run := DPRun{
+		Family:    fam.name,
+		N:         n,
+		Edges:     g.NumEdges(),
+		Depth:     forest.Depth(),
+		Predicate: wl.name,
+		Mode:      wl.mode,
+		Impl:      impl,
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		Checksum:  h.Sum64(),
+	}
+	if impl == "cached" {
+		st := r.CacheStats()
+		run.Classes = st.Classes
+		run.ComposeHits = st.ComposeHits
+		run.ComposeMisses = st.ComposeMisses
+		run.ComposeHitRate = st.ComposeHitRate()
+	}
+	return run, nil
+}
+
+// DPTable renders a DPReport as the S2 experiment table.
+func DPTable(rep *DPReport) *Table {
+	tab := &Table{
+		ID:     "S2",
+		Title:  "DP algebra: cached dense tables vs uncached map folds",
+		Claim:  "interning classes and memoizing the update function speeds up the regular-predicate layer without changing a single class or verdict",
+		Header: []string{"family", "n", "pred", "mode", "impl", "wall ms", "speedup", "hit rate", "classes", "match"},
+	}
+	for _, r := range rep.Runs {
+		speedup, hitRate, classes, match := "", "", "", ""
+		if r.Impl == "cached" {
+			speedup = fmt.Sprintf("%.2fx", r.SpeedupVsUncached)
+			hitRate = fmt.Sprintf("%.3f", r.ComposeHitRate)
+			classes = fmt.Sprintf("%d", r.Classes)
+			match = fmt.Sprintf("%v", r.MatchesUncached)
+		}
+		tab.AddRow(r.Family, r.N, r.Predicate, r.Mode, r.Impl,
+			fmt.Sprintf("%.1f", r.WallMS), speedup, hitRate, classes, match)
+	}
+	tab.Notes = append(tab.Notes,
+		"checksums digest the verdict, selection, and the root table's (class key, value) pairs; 'match' certifies cached == uncached per class",
+		fmt.Sprintf("best cached speedup at n=%d: %.2fx", dpSizes(rep.Quick)[len(dpSizes(rep.Quick))-1], rep.BestSpeedupAtLargest))
+	return tab
+}
+
+// S2DP is the Experiment wrapper over DPSweep.
+func S2DP(quick bool) (*Table, error) {
+	rep, err := DPSweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	return DPTable(rep), nil
+}

@@ -103,6 +103,7 @@ func All() []Experiment {
 		{"F2", F2BaselineCrossover},
 		{"F3", F3ElimTree},
 		{"S1", S1Scaling},
+		{"S2", S2DP},
 	}
 }
 

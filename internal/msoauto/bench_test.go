@@ -1,0 +1,135 @@
+package msoauto_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mso/msolib"
+	"repro/internal/msoauto"
+	"repro/internal/regular"
+	"repro/internal/wterm"
+)
+
+// BenchmarkEngineCompose measures the automatic engine's ⊙_f over all
+// (parent, child) base-class pairs of a path fold step, the shape every
+// inner DP loop produces. The steady state exercises the engine's
+// canonicalization memo (structurally repeated merges resolve without
+// re-canonicalizing); the fresh variant pays the full merge+canonicalize
+// cost every time.
+func BenchmarkEngineCompose(b *testing.B) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	accBase, err := wterm.BaseFromBag(g, []int{0, 1}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	childBase, err := wterm.BaseFromBag(g, []int{0, 1, 2}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	glue, err := wterm.GluingFromBags([]int{0, 1}, []int{0, 1, 2}, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newEngine := func() (*msoauto.Engine, []regular.BaseClass, []regular.BaseClass) {
+		e, err := msoauto.New(msolib.Acyclic(), msoauto.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc, err := e.HomBase(accBase)
+		if err != nil {
+			b.Fatal(err)
+		}
+		child, err := e.HomBase(childBase)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(acc) == 0 || len(child) == 0 {
+			b.Fatal("no base classes")
+		}
+		return e, acc, child
+	}
+	composeAll := func(b *testing.B, e *msoauto.Engine, acc, child []regular.BaseClass) {
+		for _, c1 := range acc {
+			for _, c2 := range child {
+				if _, _, err := e.Compose(glue, c1.Class, c2.Class); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("warm", func(b *testing.B) {
+		e, acc, child := newEngine()
+		composeAll(b, e, acc, child) // populate the canonicalization memo
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			composeAll(b, e, acc, child)
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e, acc, child := newEngine()
+			b.StartTimer()
+			composeAll(b, e, acc, child)
+		}
+	})
+}
+
+// The canonicalization memo must serve repeats and return byte-identical
+// classes to the first (uncached) computation.
+func TestEngineComposeMemoStats(t *testing.T) {
+	e := mustEngine(t, msolib.Acyclic(), msoauto.Options{})
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	accBase, err := wterm.BaseFromBag(g, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childBase, err := wterm.BaseFromBag(g, []int{0, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glue, err := wterm.GluingFromBags([]int{0, 1}, []int{0, 1, 2}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := e.HomBase(accBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := e.HomBase(childBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(map[[2]int]string)
+	for pass := 0; pass < 2; pass++ {
+		for i, c1 := range acc {
+			for j, c2 := range child {
+				cl, ok, err := e.Compose(glue, c1.Class, c2.Class)
+				if err != nil {
+					t.Fatal(err)
+				}
+				key := ""
+				if ok {
+					key = cl.Key()
+				}
+				at := [2]int{i, j}
+				if pass == 0 {
+					first[at] = key
+				} else if first[at] != key {
+					t.Fatalf("memoized Compose diverged at %v: %q vs %q", at, first[at], key)
+				}
+			}
+		}
+	}
+	st := e.Stats()
+	if st.CanonHits == 0 {
+		t.Fatalf("second pass should hit the canonicalization memo: %+v", st)
+	}
+	if st.CanonMisses == 0 {
+		t.Fatalf("first pass should miss: %+v", st)
+	}
+}

@@ -38,8 +38,43 @@ type Engine struct {
 	threshold    int
 	vertexLabels []string
 
+	// Engine-level caches, shared by all users of the predicate (the seq
+	// runner, the per-node protocol wrappers, tests). Patterns are immutable
+	// once canonicalized — Compose clones its operands before mutating — so
+	// cached patClass values can be handed out freely. All three maps are
+	// mutex-guarded and flushed wholesale at engineCacheCap (deterministic,
+	// seed-free eviction: no map-iteration order is ever observed).
 	mu          sync.Mutex
 	acceptCache map[string]bool
+	// canonCache memoizes canonicalizeAndKey: the pre-canonical encoding of
+	// a freshly merged pattern (children in construction order, unclamped)
+	// maps to the canonicalized class, so each distinct merge shape pays the
+	// recursive sort-and-clamp once.
+	canonCache map[string]patClass
+	// decodeCache memoizes DecodeClass per wire key.
+	decodeCache map[string]patClass
+	stats       EngineStats
+}
+
+// engineCacheCap bounds each engine cache; on hitting the cap the whole map
+// is dropped (a flush is deterministic and only costs recomputation).
+const engineCacheCap = 1 << 18
+
+// EngineStats counts engine cache traffic.
+type EngineStats struct {
+	CanonHits    int64 `json:"canon_hits"`
+	CanonMisses  int64 `json:"canon_misses"`
+	DecodeHits   int64 `json:"decode_hits"`
+	DecodeMisses int64 `json:"decode_misses"`
+	AcceptHits   int64 `json:"accept_hits"`
+	AcceptMisses int64 `json:"accept_misses"`
+}
+
+// Stats returns a snapshot of the engine's cache counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
 }
 
 var _ regular.Predicate = (*Engine)(nil)
@@ -75,6 +110,8 @@ func New(formula mso.Formula, opts Options) (*Engine, error) {
 		threshold:    threshold,
 		vertexLabels: labels,
 		acceptCache:  map[string]bool{},
+		canonCache:   map[string]patClass{},
+		decodeCache:  map[string]patClass{},
 	}, nil
 }
 
@@ -238,8 +275,26 @@ func (e *Engine) Compose(f wterm.Gluing, c1, c2 regular.Class) (regular.Class, b
 	if err != nil || !compatible {
 		return nil, compatible, err
 	}
+	// Identical merge shapes canonicalize identically, so the pre-canonical
+	// encoding is a sound memo key for the recursive sort-and-clamp.
+	pre := merged.preCanonicalKey()
+	e.mu.Lock()
+	if pc, hit := e.canonCache[pre]; hit {
+		e.stats.CanonHits++
+		e.mu.Unlock()
+		return pc, true, nil
+	}
+	e.stats.CanonMisses++
+	e.mu.Unlock()
 	key := merged.canonicalizeAndKey(e.threshold)
-	return patClass{key: key, pat: merged}, true, nil
+	pc := patClass{key: key, pat: merged}
+	e.mu.Lock()
+	if len(e.canonCache) >= engineCacheCap {
+		e.canonCache = map[string]patClass{}
+	}
+	e.canonCache[pre] = pc
+	e.mu.Unlock()
+	return pc, true, nil
 }
 
 func clonePattern(p *pattern) *pattern {
@@ -423,9 +478,11 @@ func (e *Engine) Accepting(c regular.Class) (bool, error) {
 	}
 	e.mu.Lock()
 	if v, hit := e.acceptCache[pc.key]; hit {
+		e.stats.AcceptHits++
 		e.mu.Unlock()
 		return v, nil
 	}
+	e.stats.AcceptMisses++
 	e.mu.Unlock()
 
 	g, selVerts, selEdges, err := pc.pat.materialize(e.vertexLabels, nil)
@@ -493,13 +550,29 @@ func (e *Engine) Selection(c regular.Class) (regular.Selection, error) {
 	return sel, nil
 }
 
-// DecodeClass implements regular.Predicate.
+// DecodeClass implements regular.Predicate, memoized per wire key.
 func (e *Engine) DecodeClass(data []byte) (regular.Class, error) {
+	wire := string(data)
+	e.mu.Lock()
+	if pc, hit := e.decodeCache[wire]; hit {
+		e.stats.DecodeHits++
+		e.mu.Unlock()
+		return pc, nil
+	}
+	e.stats.DecodeMisses++
+	e.mu.Unlock()
 	p, err := decodePattern(data)
 	if err != nil {
 		return nil, err
 	}
 	// Re-canonicalize defensively; the key should round-trip.
 	key := p.canonicalizeAndKey(e.threshold)
-	return patClass{key: key, pat: p}, nil
+	pc := patClass{key: key, pat: p}
+	e.mu.Lock()
+	if len(e.decodeCache) >= engineCacheCap {
+		e.decodeCache = map[string]patClass{}
+	}
+	e.decodeCache[wire] = pc
+	e.mu.Unlock()
+	return pc, nil
 }

@@ -144,6 +144,35 @@ func (p *pattern) canonicalizeAndKey(threshold int) string {
 	return string(b)
 }
 
+// preCanonicalKey serializes the pattern exactly as built: children in
+// construction order, no sorting, no clamping. Patterns with equal
+// pre-canonical encodings are structurally identical, hence canonicalize to
+// the same class — which makes this a sound memo key for canonicalizeAndKey
+// without paying for the recursive sort first.
+func (p *pattern) preCanonicalKey() string {
+	b := make([]byte, 0, 64)
+	b = append(b, uint8(p.k))
+	for i := 0; i < p.k; i++ {
+		b = appendU64(b, p.termAdj[i])
+		b = appendU32(b, p.termLab[i])
+		b = appendU64(b, p.termSelEd[i])
+	}
+	b = appendU64(b, p.termSel)
+	b = appendU16(b, uint16(len(p.roots)))
+	for _, r := range p.roots {
+		b = encodePreOrder(b, r)
+	}
+	return string(b)
+}
+
+func encodePreOrder(b []byte, n *pnode) []byte {
+	b = encodeNodeHeader(b, n, len(n.children))
+	for _, ch := range n.children {
+		b = encodePreOrder(b, ch)
+	}
+	return b
+}
+
 // decodePattern parses a pattern from its canonical key.
 func decodePattern(data []byte) (*pattern, error) {
 	r := &byteReader{buf: data}

@@ -30,6 +30,10 @@ type RunResult struct {
 	Forest *treedepth.Forest
 	// Outputs are the raw per-vertex outputs.
 	Outputs []Output
+	// Cache aggregates the per-node DP-cache counters (sums of counters,
+	// maxima of gauges). Caching is computation-local, so these never affect
+	// Stats — they report work avoided, not messages sent.
+	Cache regular.CacheStats
 }
 
 // Run executes the full pipeline (Algorithm 2, Lemma 5.3, and the Theorem
@@ -75,6 +79,7 @@ func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
 			return nil, err
 		}
 		res.Outputs[v] = out
+		res.Cache = res.Cache.Add(out.Cache)
 		if out.Failure != failNone {
 			res.TdExceeded = true
 		}

@@ -75,6 +75,9 @@ type Output struct {
 	BagEdges      [][2]int
 	Selected      bool  // ModeOptimize, vertex predicates: this node is in S
 	SelectedEdges []int // ModeOptimize, edge predicates: ancestor IDs of selected owned edges
+	// Cache reports this node's DP-cache traffic (computation-local: caching
+	// never changes what crosses the wire, so these are diagnostics only).
+	Cache regular.CacheStats
 }
 
 // dpNode is the per-vertex protocol state machine.
@@ -109,12 +112,17 @@ type dpNode struct {
 	mustBeAncestor []int // neighbor IDs that must appear in our own bag
 
 	// --- DP phases ---
+	// cache is this node's private interned/memoized DP algebra. It is
+	// created when the base tables are built and never shared between nodes:
+	// all caching is computation-local, so CONGEST rounds, messages, and wire
+	// bytes are exactly those of the uncached protocol.
+	cache        *regular.Cached
 	childTables  map[int]childTable // child ID -> received table
 	stages       []upStage
-	finalOpt     regular.OptTable
-	finalDecide  regular.ClassSet
-	finalCount   regular.CountTable
-	finalMarked  regular.ClassSet // ModeCheckMarked: classes with S fixed to the marked set
+	finalOpt     regular.DenseOpt
+	finalDecide  regular.DenseSet
+	finalCount   regular.DenseCount
+	finalMarked  regular.DenseSet // ModeCheckMarked: classes with S fixed to the marked set
 	markedWeight int64
 	sentUp       bool
 	failure      int
@@ -139,7 +147,7 @@ type tableEntry struct {
 
 type upStage struct {
 	childID int
-	back    map[string]regular.OptBack
+	back    map[regular.ClassID]regular.DenseBack
 }
 
 type floodTuple struct {
@@ -274,6 +282,9 @@ func (n *dpNode) Round(env *congest.Env, inbox []congest.Incoming) ([]congest.Ou
 		n.out.Depth = n.depth
 		n.out.Bag = n.bag
 		n.out.BagEdges = n.bagEdges
+		if n.cache != nil {
+			n.out.Cache = n.cache.Stats()
+		}
 		if n.out.Failure == 0 {
 			n.out.Failure = n.failure
 		}

@@ -104,29 +104,33 @@ func (n *dpNode) baseGraph() (*wterm.TerminalGraph, error) {
 	return &wterm.TerminalGraph{G: local, Terminals: terms, Orig: append([]int(nil), n.bag...)}, nil
 }
 
-// buildBaseTables initializes the DP tables from the base graph.
+// buildBaseTables initializes the DP tables from the base graph. This is
+// also where the node's private DP cache is born: per-node instances keep
+// every memo computation-local, so the protocol's round count and wire bytes
+// are untouched by caching.
 func (n *dpNode) buildBaseTables() error {
 	base, err := n.baseGraph()
 	if err != nil {
 		return err
 	}
-	pred := n.cfg.Pred
+	n.cache = regular.NewCached(n.cfg.Pred)
 	switch n.cfg.Mode {
 	case ModeDecide:
-		n.finalDecide, err = regular.BaseClassSet(pred, base)
+		n.finalDecide, err = n.cache.BaseDenseSet(base)
 	case ModeOptimize:
-		n.finalOpt, err = regular.BaseOptTable(pred, base, n.ownerRank(), n.cfg.Maximize)
+		n.finalOpt, err = n.cache.BaseDenseOpt(base, n.ownerRank(), n.cfg.Maximize)
 	case ModeCount:
-		n.finalCount, err = regular.BaseCountTable(pred, base)
+		n.finalCount, err = n.cache.BaseDenseCount(base)
 	case ModeCheckMarked:
-		n.finalOpt, err = regular.BaseOptTable(pred, base, n.ownerRank(), n.cfg.Maximize)
+		n.finalOpt, err = n.cache.BaseDenseOpt(base, n.ownerRank(), n.cfg.Maximize)
 		if err != nil {
 			return err
 		}
-		n.finalMarked, err = n.markedBaseClassSet(base)
+		marked, err := n.markedBaseClassSet(base)
 		if err != nil {
 			return err
 		}
+		n.finalMarked = n.cache.InternClassSet(marked)
 		n.markedWeight = n.localMarkedWeight(base)
 	default:
 		return fmt.Errorf("%w: unknown mode %d", ErrProtocol, n.cfg.Mode)
@@ -320,35 +324,41 @@ func (n *dpNode) tryFoldAndSend() {
 	}
 }
 
+// Tables cross the wire in canonical (key-sorted) entry order. Dense tables
+// already hold their IDs in that order, so serialization is a straight walk —
+// the emitted bytes are identical to the map-based Keys() iteration.
+
 func (n *dpNode) markedEntriesOut() []tableEntry {
 	if n.cfg.Mode != ModeCheckMarked {
 		return nil
 	}
-	entries := make([]tableEntry, 0, len(n.finalMarked))
-	for _, k := range n.finalMarked.Keys() {
-		entries = append(entries, tableEntry{key: []byte(k)})
+	in := n.cache.Interner()
+	entries := make([]tableEntry, 0, len(n.finalMarked.IDs))
+	for _, id := range n.finalMarked.IDs {
+		entries = append(entries, tableEntry{key: []byte(in.Key(id))})
 	}
 	return entries
 }
 
 func (n *dpNode) mainEntriesOut() []tableEntry {
+	in := n.cache.Interner()
 	switch n.cfg.Mode {
 	case ModeDecide:
-		entries := make([]tableEntry, 0, len(n.finalDecide))
-		for _, k := range n.finalDecide.Keys() {
-			entries = append(entries, tableEntry{key: []byte(k)})
+		entries := make([]tableEntry, 0, len(n.finalDecide.IDs))
+		for _, id := range n.finalDecide.IDs {
+			entries = append(entries, tableEntry{key: []byte(in.Key(id))})
 		}
 		return entries
 	case ModeOptimize, ModeCheckMarked:
-		entries := make([]tableEntry, 0, len(n.finalOpt))
-		for _, k := range n.finalOpt.Keys() {
-			entries = append(entries, tableEntry{key: []byte(k), value: n.finalOpt[k].Weight})
+		entries := make([]tableEntry, 0, len(n.finalOpt.IDs))
+		for i, id := range n.finalOpt.IDs {
+			entries = append(entries, tableEntry{key: []byte(in.Key(id)), value: n.finalOpt.Weights[i]})
 		}
 		return entries
 	case ModeCount:
-		entries := make([]tableEntry, 0, len(n.finalCount))
-		for _, k := range n.finalCount.Keys() {
-			entries = append(entries, tableEntry{key: []byte(k), value: n.finalCount[k].Count})
+		entries := make([]tableEntry, 0, len(n.finalCount.IDs))
+		for i, id := range n.finalCount.IDs {
+			entries = append(entries, tableEntry{key: []byte(in.Key(id)), value: n.finalCount.Counts[i]})
 		}
 		return entries
 	}
@@ -356,9 +366,10 @@ func (n *dpNode) mainEntriesOut() []tableEntry {
 }
 
 // foldChildren folds every child's table into this node's, in increasing
-// child-ID order (Lemma 4.3 / 4.6 / the counting analogue).
+// child-ID order (Lemma 4.3 / 4.6 / the counting analogue). All folds run on
+// the node's cached dense algebra; iteration order is canonical, so verdicts,
+// weights, and tie-breaking match the uncached map folds exactly.
 func (n *dpNode) foldChildren() error {
-	pred := n.cfg.Pred
 	for _, childID := range n.childIDs {
 		ct := n.childTables[childID]
 		if ct.failure != 0 {
@@ -370,50 +381,51 @@ func (n *dpNode) foldChildren() error {
 		if err != nil {
 			return err
 		}
+		g := n.cache.InternGluing(glue)
 		switch n.cfg.Mode {
 		case ModeDecide:
-			child, err := decodeClassSet(pred, ct.entries)
+			child, err := n.decodeDenseSet(ct.entries)
 			if err != nil {
 				return err
 			}
-			n.finalDecide, err = regular.FoldDecide(pred, glue, n.finalDecide, child)
+			n.finalDecide, err = n.cache.FoldDecideDense(g, n.finalDecide, child)
 			if err != nil {
 				return err
 			}
 		case ModeOptimize:
-			child, err := decodeOptTable(pred, ct.entries)
+			child, err := n.decodeDenseOpt(ct.entries)
 			if err != nil {
 				return err
 			}
-			var back map[string]regular.OptBack
-			n.finalOpt, back, err = regular.FoldOpt(pred, glue, n.finalOpt, child, n.cfg.Maximize)
+			var back map[regular.ClassID]regular.DenseBack
+			n.finalOpt, back, err = n.cache.FoldOptDense(g, n.finalOpt, child, n.cfg.Maximize)
 			if err != nil {
 				return err
 			}
 			n.stages = append(n.stages, upStage{childID: childID, back: back})
 		case ModeCount:
-			child, err := decodeCountTable(pred, ct.entries)
+			child, err := n.decodeDenseCount(ct.entries)
 			if err != nil {
 				return err
 			}
-			n.finalCount, err = regular.FoldCount(pred, glue, n.finalCount, child)
+			n.finalCount, err = n.cache.FoldCountDense(g, n.finalCount, child)
 			if err != nil {
 				return err
 			}
 		case ModeCheckMarked:
-			childMarked, err := decodeClassSet(pred, ct.marked)
+			childMarked, err := n.decodeDenseSet(ct.marked)
 			if err != nil {
 				return err
 			}
-			n.finalMarked, err = regular.FoldDecide(pred, glue, n.finalMarked, childMarked)
+			n.finalMarked, err = n.cache.FoldDecideDense(g, n.finalMarked, childMarked)
 			if err != nil {
 				return err
 			}
-			childOpt, err := decodeOptTable(pred, ct.entries)
+			childOpt, err := n.decodeDenseOpt(ct.entries)
 			if err != nil {
 				return err
 			}
-			n.finalOpt, _, err = regular.FoldOpt(pred, glue, n.finalOpt, childOpt, n.cfg.Maximize)
+			n.finalOpt, _, err = n.cache.FoldOptDense(g, n.finalOpt, childOpt, n.cfg.Maximize)
 			if err != nil {
 				return err
 			}
@@ -432,53 +444,83 @@ func insertSorted(xs []int, v int) []int {
 	return out
 }
 
-func decodeClassSet(p regular.Predicate, entries []tableEntry) (regular.ClassSet, error) {
-	out := make(regular.ClassSet, len(entries))
-	for _, e := range entries {
-		c, err := p.DecodeClass(e.key)
+// decodeWire interns every wire entry in received order. Honest senders emit
+// canonical (key-sorted, duplicate-free) entries, so the ID list is already
+// canonical for our interner too (both orders are the lexicographic key
+// order) — one InternWire per entry and no sorting. A violation means a
+// corrupted or malformed message; legacy map decoding collapsed those
+// silently (last duplicate wins, order recomputed), so we restore exactly
+// those semantics before returning.
+func (n *dpNode) decodeWire(entries []tableEntry) ([]regular.ClassID, []int64, error) {
+	ids := make([]regular.ClassID, 0, len(entries))
+	vals := make([]int64, 0, len(entries))
+	in := n.cache.Interner()
+	canonical := true
+	for i, e := range entries {
+		id, err := n.cache.InternWire(e.key)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out[c.Key()] = c
+		if i > 0 && in.Key(ids[len(ids)-1]) >= in.Key(id) {
+			canonical = false
+		}
+		ids = append(ids, id)
+		vals = append(vals, e.value)
 	}
-	return out, nil
+	if canonical {
+		return ids, vals, nil
+	}
+	// Map semantics: last occurrence of a key wins, then canonical order.
+	byID := make(map[regular.ClassID]int64, len(ids))
+	uniq := ids[:0]
+	for i, id := range ids {
+		if _, seen := byID[id]; !seen {
+			uniq = append(uniq, id)
+		}
+		byID[id] = vals[i]
+	}
+	in.SortCanonical(uniq)
+	vals = vals[:0]
+	for _, id := range uniq {
+		vals = append(vals, byID[id])
+	}
+	return uniq, vals, nil
 }
 
-func decodeOptTable(p regular.Predicate, entries []tableEntry) (regular.OptTable, error) {
-	out := make(regular.OptTable, len(entries))
-	for _, e := range entries {
-		c, err := p.DecodeClass(e.key)
-		if err != nil {
-			return nil, err
-		}
-		out[c.Key()] = regular.OptEntry{Class: c, Weight: e.value}
+func (n *dpNode) decodeDenseSet(entries []tableEntry) (regular.DenseSet, error) {
+	ids, _, err := n.decodeWire(entries)
+	if err != nil {
+		return regular.DenseSet{}, err
 	}
-	return out, nil
+	return regular.DenseSet{IDs: ids}, nil
 }
 
-func decodeCountTable(p regular.Predicate, entries []tableEntry) (regular.CountTable, error) {
-	out := make(regular.CountTable, len(entries))
-	for _, e := range entries {
-		c, err := p.DecodeClass(e.key)
-		if err != nil {
-			return nil, err
-		}
-		out[c.Key()] = regular.CountEntry{Class: c, Count: e.value}
+func (n *dpNode) decodeDenseOpt(entries []tableEntry) (regular.DenseOpt, error) {
+	ids, vals, err := n.decodeWire(entries)
+	if err != nil {
+		return regular.DenseOpt{}, err
 	}
-	return out, nil
+	return regular.DenseOpt{IDs: ids, Weights: vals}, nil
+}
+
+func (n *dpNode) decodeDenseCount(entries []tableEntry) (regular.DenseCount, error) {
+	ids, vals, err := n.decodeWire(entries)
+	if err != nil {
+		return regular.DenseCount{}, err
+	}
+	return regular.DenseCount{IDs: ids, Counts: vals}, nil
 }
 
 // --- root verdict and downward phase ---
 
 func (n *dpNode) rootFinish() {
 	n.out.IsRoot = true
-	pred := n.cfg.Pred
 	switch n.cfg.Mode {
 	case ModeDecide:
 		accepted := false
 		if n.failure == 0 {
 			var err error
-			accepted, err = regular.AnyAccepting(pred, n.finalDecide)
+			accepted, err = n.cache.AnyAcceptingDense(n.finalDecide)
 			if err != nil {
 				n.fail(failInvalid)
 			}
@@ -489,7 +531,7 @@ func (n *dpNode) rootFinish() {
 		var total int64
 		if n.failure == 0 {
 			var err error
-			total, err = regular.TotalAccepting(pred, n.finalCount)
+			total, err = n.cache.TotalAcceptingDense(n.finalCount)
 			if err != nil {
 				n.fail(failInvalid)
 			}
@@ -499,15 +541,15 @@ func (n *dpNode) rootFinish() {
 	case ModeCheckMarked:
 		accepted := false
 		if n.failure == 0 {
-			okMarked, err := regular.AnyAccepting(pred, n.finalMarked)
+			okMarked, err := n.cache.AnyAcceptingDense(n.finalMarked)
 			if err != nil {
 				n.fail(failInvalid)
 			}
-			best, found, err := regular.BestAccepting(pred, n.finalOpt, n.cfg.Maximize)
+			_, bestW, found, err := n.cache.BestAcceptingDense(n.finalOpt, n.cfg.Maximize)
 			if err != nil {
 				n.fail(failInvalid)
 			}
-			accepted = okMarked && found && best.Weight == n.markedWeight
+			accepted = okMarked && found && bestW == n.markedWeight
 		}
 		n.out.Accepted = accepted && n.failure == 0
 		n.broadcastVerdict()
@@ -516,19 +558,19 @@ func (n *dpNode) rootFinish() {
 			n.broadcastVerdict()
 			return
 		}
-		best, found, err := regular.BestAccepting(pred, n.finalOpt, n.cfg.Maximize)
+		bestID, bestW, found, err := n.cache.BestAcceptingDense(n.finalOpt, n.cfg.Maximize)
 		if err != nil {
 			n.fail(failInvalid)
 			n.broadcastVerdict()
 			return
 		}
 		n.out.Found = found
-		n.out.Weight = best.Weight
+		n.out.Weight = bestW
 		if !found {
 			n.broadcastVerdict()
 			return
 		}
-		n.applyTarget(best.Class.Key())
+		n.applyTarget(bestID)
 	}
 }
 
@@ -581,14 +623,15 @@ func (n *dpNode) handleVerdict(r *wireReader) error {
 
 // applyTarget installs this node's target class, marks its owned selection,
 // and forwards per-child targets computed by walking the fold stages back.
-func (n *dpNode) applyTarget(key string) {
-	entry, ok := n.finalOpt[key]
-	if !ok {
+// Targets still cross the wire as class keys (the canonical encoding); the
+// dense back-pointer walk happens on interned IDs.
+func (n *dpNode) applyTarget(id regular.ClassID) {
+	if !denseOptHas(n.finalOpt, id) {
 		n.fail(failInvalid)
 		n.broadcastVerdict()
 		return
 	}
-	sel, err := n.cfg.Pred.Selection(entry.Class)
+	sel, err := n.cache.SelectionID(id)
 	if err != nil {
 		n.fail(failInvalid)
 		n.broadcastVerdict()
@@ -611,7 +654,8 @@ func (n *dpNode) applyTarget(key string) {
 		sort.Ints(n.out.SelectedEdges)
 	}
 	// Walk stages backwards to find each child's target class.
-	cur := key
+	cur := id
+	in := n.cache.Interner()
 	targets := make(map[int]string, len(n.stages))
 	for s := len(n.stages) - 1; s >= 0; s-- {
 		st := n.stages[s]
@@ -621,8 +665,8 @@ func (n *dpNode) applyTarget(key string) {
 			n.broadcastVerdict()
 			return
 		}
-		targets[st.childID] = b.ChildKey
-		cur = b.AccKey
+		targets[st.childID] = in.Key(b.Child)
+		cur = b.Acc
 	}
 	n.env.Tag(KindTarget)
 	for _, childID := range n.childIDs {
@@ -633,6 +677,16 @@ func (n *dpNode) applyTarget(key string) {
 		n.send[n.childPort[childID]].Push(w.buf)
 	}
 	n.phase = phaseDone
+}
+
+// denseOptHas reports whether the OPT table carries an entry for id.
+func denseOptHas(t regular.DenseOpt, id regular.ClassID) bool {
+	for _, x := range t.IDs {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 func (n *dpNode) handleTarget(r *wireReader) error {
@@ -649,6 +703,22 @@ func (n *dpNode) handleTarget(r *wireReader) error {
 		n.broadcastVerdict()
 		return nil
 	}
-	n.applyTarget(string(key))
+	if n.cache == nil {
+		// A target reached a node that never built tables (possible only
+		// under corrupted traffic): protocol violation.
+		n.fail(failInvalid)
+		n.broadcastVerdict()
+		return nil
+	}
+	// The target is one of our table's classes, so its key is already
+	// interned; an unknown key is a protocol violation, reported by the
+	// denseOptHas check inside applyTarget.
+	id, ok := n.cache.Interner().Lookup(string(key))
+	if !ok {
+		n.fail(failInvalid)
+		n.broadcastVerdict()
+		return nil
+	}
+	n.applyTarget(id)
 	return nil
 }

@@ -22,8 +22,9 @@ import (
 	"repro/internal/wterm"
 )
 
-// ErrOverflow is returned when COUNT-table arithmetic exceeds int64.
-var ErrOverflow = errors.New("regular: count overflow")
+// ErrOverflow is returned when table arithmetic (COUNT products/sums or OPT
+// weight sums) exceeds int64.
+var ErrOverflow = errors.New("regular: table arithmetic overflow")
 
 // SetKind describes the free set variable of a predicate.
 type SetKind int
@@ -208,7 +209,10 @@ func FoldOpt(p Predicate, f wterm.Gluing, acc, child OptTable, maximize bool) (O
 			if !ok {
 				continue
 			}
-			w := acc[ka].Weight + child[kc].Weight
+			w, err := AddWeights(acc[ka].Weight, child[kc].Weight)
+			if err != nil {
+				return nil, nil, err
+			}
 			key := c.Key()
 			if prev, exists := out[key]; !exists || Better(w, prev.Weight, maximize) {
 				out[key] = OptEntry{Class: c, Weight: w}

@@ -1,0 +1,262 @@
+package seq
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+	"repro/internal/treedepth"
+)
+
+// The cached dense-table path (New) and the uncached map path (NewUncached)
+// must be observationally identical: same verdicts, weights, counts, and
+// extracted selections, and the same canonical root table class-for-class
+// (RootTableChecksum). These tests sweep every predicate in
+// internal/regular/predicates across every applicable mode.
+
+// equivPredicates returns every predicate the package exports, configured for
+// the given graph (labels for DominatingSet/SteinerTree are set by equivGraph).
+func equivPredicates(t *testing.T) []struct {
+	name string
+	pred func() regular.Predicate
+} {
+	t.Helper()
+	h := gen.Path(3) // P3 as the H-subgraph pattern
+	return []struct {
+		name string
+		pred func() regular.Predicate
+	}{
+		{"connectivity", func() regular.Predicate { return predicates.Connectivity{} }},
+		{"acyclicity", func() regular.Predicate { return predicates.Acyclicity{} }},
+		{"fvs", func() regular.Predicate { return predicates.FeedbackVertexSet{} }},
+		{"indset", func() regular.Predicate { return predicates.IndependentSet{} }},
+		{"vertexcover", func() regular.Predicate { return predicates.VertexCover{} }},
+		{"domset", func() regular.Predicate { return predicates.DominatingSet{} }},
+		{"domset_labeled", func() regular.Predicate {
+			return predicates.DominatingSet{DominateLabel: equivRedLabel, MemberLabel: equivBlueLabel}
+		}},
+		{"matching", func() regular.Predicate { return predicates.Matching{} }},
+		{"perfect_matching", func() regular.Predicate { return predicates.Matching{Perfect: true} }},
+		{"hamiltonian", func() regular.Predicate { return predicates.HamiltonianCycle{} }},
+		{"3color", func() regular.Predicate { return predicates.KColorability{K: 3} }},
+		{"spanningtree", func() regular.Predicate { return predicates.SpanningTree{} }},
+		{"steiner", func() regular.Predicate { return predicates.SteinerTree{} }},
+		{"triangles", func() regular.Predicate { return predicates.Triangles{} }},
+		{"p3free", func() regular.Predicate {
+			p, err := predicates.NewHSubgraph(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return predicates.Negate(p)
+		}},
+		{"not_connectivity", func() regular.Predicate { return predicates.Negate(predicates.Connectivity{}) }},
+	}
+}
+
+const (
+	equivRedLabel  = "red"
+	equivBlueLabel = "blue"
+)
+
+type equivGraph struct {
+	name   string
+	g      *graph.Graph
+	forest *treedepth.Forest
+}
+
+// equivGraphs builds small bounded-treedepth instances with weights and the
+// vertex labels the labeled predicates consume.
+func equivGraphs(t *testing.T) []equivGraph {
+	t.Helper()
+	var out []equivGraph
+	for i, cfg := range []struct {
+		n, d      int
+		extraProb float64
+		seed      int64
+	}{
+		{12, 3, 0.4, 101},
+		{20, 4, 0.25, 102},
+		{9, 2, 0.7, 103},
+	} {
+		g, parent := gen.BoundedTreedepth(cfg.n, cfg.d, cfg.extraProb, cfg.seed)
+		gen.AssignRandomWeights(g, 7, cfg.seed+1)
+		for v := 0; v < g.NumVertices(); v++ {
+			// Deterministic label pattern touching every residue class.
+			if v%3 == 0 {
+				g.SetVertexLabel(equivRedLabel, v)
+			}
+			if v%2 == 0 {
+				g.SetVertexLabel(equivBlueLabel, v)
+			}
+			if v%4 == 1 {
+				g.SetVertexLabel(predicates.TerminalLabel, v)
+			}
+		}
+		out = append(out, equivGraph{
+			name:   []string{"td3", "td4", "td2_dense"}[i],
+			g:      g,
+			forest: treedepth.NewForest(parent),
+		})
+	}
+	return out
+}
+
+func sameBitset(a, b *bitset.Set, n int) bool {
+	for i := 0; i < n; i++ {
+		av := a != nil && a.Contains(i)
+		bv := b != nil && b.Contains(i)
+		if av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// runnerPair builds a cached and an uncached runner over the same instance.
+func runnerPair(t *testing.T, eg equivGraph, pred func() regular.Predicate) (cached, uncached *Runner) {
+	t.Helper()
+	c, err := New(eg.g, eg.forest, pred())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	u, err := NewUncached(eg.g, eg.forest, pred())
+	if err != nil {
+		t.Fatalf("NewUncached: %v", err)
+	}
+	return c, u
+}
+
+func checkRootSums(t *testing.T, cached, uncached *Runner) {
+	t.Helper()
+	cs, us := cached.RootTableChecksum(), uncached.RootTableChecksum()
+	if cs != us {
+		t.Fatalf("root table checksum diverged: cached %#x, uncached %#x", cs, us)
+	}
+	if cs == 0 {
+		t.Fatal("root table checksum not recorded")
+	}
+}
+
+func TestCachedMatchesUncachedDecide(t *testing.T) {
+	for _, eg := range equivGraphs(t) {
+		for _, p := range equivPredicates(t) {
+			t.Run(eg.name+"/"+p.name, func(t *testing.T) {
+				c, u := runnerPair(t, eg, p.pred)
+				got, err := c.Decide()
+				if err != nil {
+					t.Fatalf("cached Decide: %v", err)
+				}
+				want, err := u.Decide()
+				if err != nil {
+					t.Fatalf("uncached Decide: %v", err)
+				}
+				if got != want {
+					t.Fatalf("verdict diverged: cached %v, uncached %v", got, want)
+				}
+				checkRootSums(t, c, u)
+				st := c.CacheStats()
+				if st.Classes == 0 {
+					t.Fatal("cached run reported zero interned classes")
+				}
+			})
+		}
+	}
+}
+
+func TestCachedMatchesUncachedOptimize(t *testing.T) {
+	for _, eg := range equivGraphs(t) {
+		for _, p := range equivPredicates(t) {
+			if p.pred().SetKind() == regular.SetNone {
+				continue // closed formula: nothing to optimize over
+			}
+			for _, maximize := range []bool{false, true} {
+				dir := map[bool]string{true: "max", false: "min"}[maximize]
+				t.Run(eg.name+"/"+p.name+"/"+dir, func(t *testing.T) {
+					c, u := runnerPair(t, eg, p.pred)
+					got, err := c.Optimize(maximize)
+					if err != nil {
+						t.Fatalf("cached Optimize: %v", err)
+					}
+					want, err := u.Optimize(maximize)
+					if err != nil {
+						t.Fatalf("uncached Optimize: %v", err)
+					}
+					if got.Found != want.Found || got.Weight != want.Weight {
+						t.Fatalf("optimum diverged: cached %+v, uncached %+v", got, want)
+					}
+					n := eg.g.NumVertices()
+					if !sameBitset(got.Vertices, want.Vertices, n) {
+						t.Fatalf("vertex selection diverged")
+					}
+					if !sameBitset(got.Edges, want.Edges, eg.g.NumEdges()) {
+						t.Fatalf("edge selection diverged")
+					}
+					checkRootSums(t, c, u)
+				})
+			}
+		}
+	}
+}
+
+func TestCachedMatchesUncachedCount(t *testing.T) {
+	for _, eg := range equivGraphs(t) {
+		for _, p := range equivPredicates(t) {
+			if p.pred().SetKind() == regular.SetNone {
+				continue // closed formula: nothing to count over
+			}
+			t.Run(eg.name+"/"+p.name, func(t *testing.T) {
+				c, u := runnerPair(t, eg, p.pred)
+				got, err := c.Count()
+				if err != nil {
+					t.Fatalf("cached Count: %v", err)
+				}
+				want, err := u.Count()
+				if err != nil {
+					t.Fatalf("uncached Count: %v", err)
+				}
+				if got != want {
+					t.Fatalf("count diverged: cached %d, uncached %d", got, want)
+				}
+				checkRootSums(t, c, u)
+			})
+		}
+	}
+}
+
+// EvaluateMarked must agree on the marked-set evaluation path too (it feeds
+// CheckMarked and the distributed verification protocol).
+func TestCachedMatchesUncachedEvaluateMarked(t *testing.T) {
+	for _, eg := range equivGraphs(t) {
+		for _, p := range equivPredicates(t) {
+			if p.pred().SetKind() == regular.SetNone {
+				continue
+			}
+			t.Run(eg.name+"/"+p.name, func(t *testing.T) {
+				universe := eg.g.NumVertices()
+				if p.pred().SetKind() == regular.SetEdge {
+					universe = eg.g.NumEdges()
+				}
+				marked := bitset.New(universe)
+				for i := 0; i < universe; i += 2 {
+					marked.Add(i)
+				}
+				c, u := runnerPair(t, eg, p.pred)
+				gotOK, gotW, gotErr := c.EvaluateMarked(marked)
+				wantOK, wantW, wantErr := u.EvaluateMarked(marked)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("error divergence: cached %v, uncached %v", gotErr, wantErr)
+				}
+				if gotErr != nil {
+					return
+				}
+				if gotOK != wantOK || gotW != wantW {
+					t.Fatalf("marked evaluation diverged: cached (%v,%d), uncached (%v,%d)",
+						gotOK, gotW, wantOK, wantW)
+				}
+			})
+		}
+	}
+}

@@ -8,6 +8,7 @@ package seq
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"repro/internal/bitset"
@@ -24,17 +25,35 @@ var ErrDisconnected = errors.New("seq: graph must be connected")
 // Runner evaluates a regular predicate on a graph along a given elimination
 // tree.
 type Runner struct {
-	g      *graph.Graph
-	deriv  *wterm.Derivation
-	pred   regular.Predicate
-	root   int
-	maxTab int // largest table size seen in the last run (for diagnostics)
-	maxKey int // largest class key (wire bytes) seen in the last run
+	g     *graph.Graph
+	deriv *wterm.Derivation
+	pred  regular.Predicate
+	root  int
+	// cache is the interned, memoized DP algebra shared across the whole
+	// bottom-up pass (nil for the uncached reference runner). Every node's
+	// fold reuses the same ⊙_f memo, so recurring bag shapes pay for each
+	// distinct (gluing, class, class) composition exactly once.
+	cache   *regular.Cached
+	maxTab  int    // largest table size seen in the last run (for diagnostics)
+	maxKey  int    // largest class key (wire bytes) seen in the last run
+	rootSum uint64 // digest of the last run's root table (class keys + values)
 }
 
-// New builds a runner. The graph must be connected and the forest must be a
-// valid elimination tree of g.
+// New builds a runner using the cached dense DP algebra. The graph must be
+// connected and the forest must be a valid elimination tree of g.
 func New(g *graph.Graph, forest *treedepth.Forest, pred regular.Predicate) (*Runner, error) {
+	r, err := NewUncached(g, forest, pred)
+	if err != nil {
+		return nil, err
+	}
+	r.cache = regular.NewCached(pred)
+	return r, nil
+}
+
+// NewUncached builds a runner on the original map-based tables with no
+// interning or memoization — the reference path cached runs are validated
+// against.
+func NewUncached(g *graph.Graph, forest *treedepth.Forest, pred regular.Predicate) (*Runner, error) {
 	if !g.IsConnected() || g.NumVertices() == 0 {
 		return nil, ErrDisconnected
 	}
@@ -49,6 +68,15 @@ func New(g *graph.Graph, forest *treedepth.Forest, pred regular.Predicate) (*Run
 	return &Runner{g: g, deriv: d, pred: pred, root: roots[0]}, nil
 }
 
+// CacheStats returns the cache counters accumulated so far (zero for an
+// uncached runner).
+func (r *Runner) CacheStats() regular.CacheStats {
+	if r.cache == nil {
+		return regular.CacheStats{}
+	}
+	return r.cache.Stats()
+}
+
 // MaxTableSize returns the largest per-node table size observed during the
 // most recent run (a proxy for |C|).
 func (r *Runner) MaxTableSize() int { return r.maxTab }
@@ -57,10 +85,59 @@ func (r *Runner) MaxTableSize() int { return r.maxTab }
 // the most recent run (a proxy for log|C|, the per-message bit count).
 func (r *Runner) MaxClassKeyBytes() int { return r.maxKey }
 
+// RootTableChecksum digests the most recent run's root table: every (class
+// key, value) pair in canonical order, FNV-64a. Cached and uncached runs of
+// the same problem must agree class-for-class, so equal checksums certify
+// table-level (not just verdict-level) equivalence.
+func (r *Runner) RootTableChecksum() uint64 { return r.rootSum }
+
+// digestRoot hashes canonical (key, value) pairs into rootSum.
+func (r *Runner) digestRoot(keys []string, value func(i int) int64) {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i, k := range keys {
+		h.Write([]byte(k))
+		v := uint64(value(i))
+		for j := range buf {
+			buf[j] = byte(v >> uint(8*j))
+		}
+		h.Write(buf[:])
+	}
+	r.rootSum = h.Sum64()
+}
+
+// digestRootDense is digestRoot over an interned ID list.
+func (r *Runner) digestRootDense(ids []regular.ClassID, value func(i int) int64) {
+	in := r.cache.Interner()
+	h := fnv.New64a()
+	var buf [8]byte
+	for i, id := range ids {
+		h.Write([]byte(in.Key(id)))
+		v := uint64(value(i))
+		for j := range buf {
+			buf[j] = byte(v >> uint(8*j))
+		}
+		h.Write(buf[:])
+	}
+	r.rootSum = h.Sum64()
+}
+
 func (r *Runner) noteKeys(keys []string) {
 	for _, k := range keys {
 		if len(k) > r.maxKey {
 			r.maxKey = len(k)
+		}
+	}
+}
+
+func (r *Runner) noteIDs(ids []regular.ClassID) {
+	in := r.cache.Interner()
+	if len(ids) > r.maxTab {
+		r.maxTab = len(ids)
+	}
+	for _, id := range ids {
+		if n := len(in.Key(id)); n > r.maxKey {
+			r.maxKey = n
 		}
 	}
 }
@@ -74,6 +151,9 @@ func (r *Runner) ownerRank(u int) int {
 // the root's class set contains an accepting class. For closed predicates
 // the set is a singleton and this is exactly h(G) being accepting.
 func (r *Runner) Decide() (bool, error) {
+	if r.cache != nil {
+		return r.decideDense()
+	}
 	children := r.deriv.Forest.Children()
 	tables := make([]regular.ClassSet, r.g.NumVertices())
 	r.maxTab = 0
@@ -103,7 +183,40 @@ func (r *Runner) Decide() (bool, error) {
 		r.noteKeys(acc.Keys())
 		tables[u] = acc
 	}
+	r.digestRoot(tables[r.root].Keys(), func(int) int64 { return 0 })
 	return regular.AnyAccepting(r.pred, tables[r.root])
+}
+
+// decideDense is Decide on the interned dense algebra.
+func (r *Runner) decideDense() (bool, error) {
+	children := r.deriv.Forest.Children()
+	tables := make([]regular.DenseSet, r.g.NumVertices())
+	r.maxTab = 0
+	for _, u := range r.deriv.Order {
+		base, err := r.deriv.Base(u)
+		if err != nil {
+			return false, err
+		}
+		acc, err := r.cache.BaseDenseSet(base)
+		if err != nil {
+			return false, err
+		}
+		for _, c := range children[u] {
+			glue, err := r.deriv.FoldGluing(u, c)
+			if err != nil {
+				return false, err
+			}
+			acc, err = r.cache.FoldDecideDense(r.cache.InternGluing(glue), acc, tables[c])
+			if err != nil {
+				return false, err
+			}
+			tables[c] = regular.DenseSet{} // free child table
+		}
+		r.noteIDs(acc.IDs)
+		tables[u] = acc
+	}
+	r.digestRootDense(tables[r.root].IDs, func(int) int64 { return 0 })
+	return r.cache.AnyAcceptingDense(tables[r.root])
 }
 
 // OptResult is the outcome of Optimize: the optimal weight and the selected
@@ -123,6 +236,9 @@ type foldStage struct {
 // Optimize runs the bottom-up OPT phase (Lemma 4.6) and the top-down
 // extraction of Algorithm 1, returning the optimal solution.
 func (r *Runner) Optimize(maximize bool) (OptResult, error) {
+	if r.cache != nil {
+		return r.optimizeDense(maximize)
+	}
 	n := r.g.NumVertices()
 	children := r.deriv.Forest.Children()
 	tables := make([]regular.OptTable, n)
@@ -155,6 +271,8 @@ func (r *Runner) Optimize(maximize bool) (OptResult, error) {
 		r.noteKeys(acc.Keys())
 		tables[u] = acc
 	}
+	rootKeys := tables[r.root].Keys()
+	r.digestRoot(rootKeys, func(i int) int64 { return tables[r.root][rootKeys[i]].Weight })
 	best, found, err := regular.BestAccepting(r.pred, tables[r.root], maximize)
 	if err != nil {
 		return OptResult{}, err
@@ -202,6 +320,101 @@ func (r *Runner) Optimize(maximize bool) (OptResult, error) {
 	return res, nil
 }
 
+type denseStage struct {
+	child int
+	back  map[regular.ClassID]regular.DenseBack
+}
+
+// optimizeDense is Optimize on the interned dense algebra: ClassID-based
+// tables, back-pointers, and top-down extraction, with identical tie-breaking
+// to the map path (canonical iteration order, first strictly-better wins).
+func (r *Runner) optimizeDense(maximize bool) (OptResult, error) {
+	n := r.g.NumVertices()
+	children := r.deriv.Forest.Children()
+	tables := make([]regular.DenseOpt, n)
+	stages := make([][]denseStage, n)
+	r.maxTab = 0
+	for _, u := range r.deriv.Order {
+		base, err := r.deriv.Base(u)
+		if err != nil {
+			return OptResult{}, err
+		}
+		acc, err := r.cache.BaseDenseOpt(base, r.ownerRank(u), maximize)
+		if err != nil {
+			return OptResult{}, err
+		}
+		for _, c := range children[u] {
+			glue, err := r.deriv.FoldGluing(u, c)
+			if err != nil {
+				return OptResult{}, err
+			}
+			var back map[regular.ClassID]regular.DenseBack
+			acc, back, err = r.cache.FoldOptDense(r.cache.InternGluing(glue), acc, tables[c], maximize)
+			if err != nil {
+				return OptResult{}, err
+			}
+			stages[u] = append(stages[u], denseStage{child: c, back: back})
+		}
+		r.noteIDs(acc.IDs)
+		tables[u] = acc
+	}
+	r.digestRootDense(tables[r.root].IDs, func(i int) int64 { return tables[r.root].Weights[i] })
+	bestID, bestW, found, err := r.cache.BestAcceptingDense(tables[r.root], maximize)
+	if err != nil {
+		return OptResult{}, err
+	}
+	if !found {
+		return OptResult{}, nil
+	}
+	res := OptResult{Found: true, Weight: bestW}
+	switch r.pred.SetKind() {
+	case regular.SetVertex:
+		res.Vertices = bitset.New(n)
+	case regular.SetEdge:
+		res.Edges = bitset.New(r.g.NumEdges())
+	}
+
+	targetID := make(map[int]regular.ClassID, n)
+	targetID[r.root] = bestID
+	for i := len(r.deriv.Order) - 1; i >= 0; i-- {
+		u := r.deriv.Order[i]
+		id, ok := targetID[u]
+		if !ok {
+			return OptResult{}, fmt.Errorf("seq: extraction reached node %d without a target class", u)
+		}
+		if !denseOptHas(tables[u], id) {
+			return OptResult{}, fmt.Errorf("seq: node %d has no entry for its target class", u)
+		}
+		sel, err := r.cache.SelectionID(id)
+		if err != nil {
+			return OptResult{}, err
+		}
+		if err := r.markSelectionSel(u, sel, &res); err != nil {
+			return OptResult{}, err
+		}
+		for s := len(stages[u]) - 1; s >= 0; s-- {
+			st := stages[u][s]
+			b, ok := st.back[id]
+			if !ok {
+				return OptResult{}, fmt.Errorf("seq: node %d stage %d missing back-pointer", u, s)
+			}
+			targetID[st.child] = b.Child
+			id = b.Acc
+		}
+	}
+	return res, nil
+}
+
+// denseOptHas reports whether the table carries an entry for id.
+func denseOptHas(t regular.DenseOpt, id regular.ClassID) bool {
+	for _, x := range t.IDs {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
 // markSelection records the elements owned by node u that the class declares
 // selected: u itself (vertex kind) or u's owned edges (edge kind).
 func (r *Runner) markSelection(u int, c regular.Class, res *OptResult) error {
@@ -209,6 +422,11 @@ func (r *Runner) markSelection(u int, c regular.Class, res *OptResult) error {
 	if err != nil {
 		return err
 	}
+	return r.markSelectionSel(u, sel, res)
+}
+
+// markSelectionSel is markSelection on an already-decoded selection.
+func (r *Runner) markSelectionSel(u int, sel regular.Selection, res *OptResult) error {
 	bag := r.deriv.Bags[u]
 	rank := r.ownerRank(u)
 	switch r.pred.SetKind() {
@@ -234,6 +452,9 @@ func (r *Runner) markSelection(u int, c regular.Class, res *OptResult) error {
 // Count runs the bottom-up COUNT phase (Section 6) and returns the number of
 // satisfying assignments of the free set variable.
 func (r *Runner) Count() (int64, error) {
+	if r.cache != nil {
+		return r.countDense()
+	}
 	children := r.deriv.Forest.Children()
 	tables := make([]regular.CountTable, r.g.NumVertices())
 	r.maxTab = 0
@@ -263,7 +484,41 @@ func (r *Runner) Count() (int64, error) {
 		r.noteKeys(acc.Keys())
 		tables[u] = acc
 	}
+	rootKeys := tables[r.root].Keys()
+	r.digestRoot(rootKeys, func(i int) int64 { return tables[r.root][rootKeys[i]].Count })
 	return regular.TotalAccepting(r.pred, tables[r.root])
+}
+
+// countDense is Count on the interned dense algebra.
+func (r *Runner) countDense() (int64, error) {
+	children := r.deriv.Forest.Children()
+	tables := make([]regular.DenseCount, r.g.NumVertices())
+	r.maxTab = 0
+	for _, u := range r.deriv.Order {
+		base, err := r.deriv.Base(u)
+		if err != nil {
+			return 0, err
+		}
+		acc, err := r.cache.BaseDenseCount(base)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range children[u] {
+			glue, err := r.deriv.FoldGluing(u, c)
+			if err != nil {
+				return 0, err
+			}
+			acc, err = r.cache.FoldCountDense(r.cache.InternGluing(glue), acc, tables[c])
+			if err != nil {
+				return 0, err
+			}
+			tables[c] = regular.DenseCount{}
+		}
+		r.noteIDs(acc.IDs)
+		tables[u] = acc
+	}
+	r.digestRootDense(tables[r.root].IDs, func(i int) int64 { return tables[r.root].Counts[i] })
+	return r.cache.TotalAcceptingDense(tables[r.root])
 }
 
 // CheckMarked implements the optmarked problem of Section 6: given the
@@ -290,6 +545,9 @@ func (r *Runner) CheckMarked(marked *bitset.Set, maximize bool) (bool, error) {
 // EvaluateMarked decides whether the marked set satisfies the predicate (the
 // closed formula ψ of Section 6) and returns its total weight.
 func (r *Runner) EvaluateMarked(marked *bitset.Set) (bool, int64, error) {
+	if r.cache != nil {
+		return r.evaluateMarkedDense(marked)
+	}
 	children := r.deriv.Forest.Children()
 	tables := make([]regular.ClassSet, r.g.NumVertices())
 	var weight int64
@@ -333,6 +591,56 @@ func (r *Runner) EvaluateMarked(marked *bitset.Set) (bool, int64, error) {
 		marked.ForEach(func(e int) { weight += r.g.EdgeWeight(e) })
 	}
 	ok, err := regular.AnyAccepting(r.pred, tables[r.root])
+	return ok, weight, err
+}
+
+// evaluateMarkedDense is EvaluateMarked on the interned dense algebra.
+func (r *Runner) evaluateMarkedDense(marked *bitset.Set) (bool, int64, error) {
+	children := r.deriv.Forest.Children()
+	tables := make([]regular.DenseSet, r.g.NumVertices())
+	var weight int64
+	for _, u := range r.deriv.Order {
+		base, err := r.deriv.Base(u)
+		if err != nil {
+			return false, 0, err
+		}
+		classes, err := r.pred.HomBase(base)
+		if err != nil {
+			return false, 0, err
+		}
+		want, err := r.markedBaseSelection(u, marked)
+		if err != nil {
+			return false, 0, err
+		}
+		// Intern the filtered base classes through the map form to dedupe and
+		// establish canonical order in one step.
+		filtered := make(regular.ClassSet)
+		for _, bc := range classes {
+			if r.selectionMatchesOwned(u, bc.Sel, want) {
+				filtered[bc.Class.Key()] = bc.Class
+			}
+		}
+		acc := r.cache.InternClassSet(filtered)
+		for _, c := range children[u] {
+			glue, err := r.deriv.FoldGluing(u, c)
+			if err != nil {
+				return false, 0, err
+			}
+			acc, err = r.cache.FoldDecideDense(r.cache.InternGluing(glue), acc, tables[c])
+			if err != nil {
+				return false, 0, err
+			}
+			tables[c] = regular.DenseSet{}
+		}
+		tables[u] = acc
+	}
+	switch r.pred.SetKind() {
+	case regular.SetVertex:
+		marked.ForEach(func(v int) { weight += r.g.VertexWeight(v) })
+	case regular.SetEdge:
+		marked.ForEach(func(e int) { weight += r.g.EdgeWeight(e) })
+	}
+	ok, err := r.cache.AnyAcceptingDense(tables[r.root])
 	return ok, weight, err
 }
 
