@@ -12,11 +12,13 @@
 //
 //	bench -only S1 -scaling-out BENCH_congest.json
 //	bench -only S2 -dp-out BENCH_dp.json
+//	bench -only S3 -faults-out BENCH_faults.json
 //
 // Each sweep runs once; the table and the JSON document come from the same
 // measurements, and the command exits nonzero if any parallel run diverges
-// from its sequential twin (S1) or any cached run diverges from its uncached
-// reference (S2).
+// from its sequential twin (S1), any cached run diverges from its uncached
+// reference (S2), or any fault-injected run reports a wrong verdict or an
+// unrecoverable failure at a drop rate the retry budget must mask (S3).
 package main
 
 import (
@@ -43,6 +45,7 @@ func run() error {
 	csv := flag.Bool("csv", false, "CSV output")
 	scalingOut := flag.String("scaling-out", "", "write the S1 scaling report as JSON to this path")
 	dpOut := flag.String("dp-out", "", "write the S2 DP-algebra report as JSON to this path")
+	faultsOut := flag.String("faults-out", "", "write the S3 fault-injection report as JSON to this path")
 	flag.Parse()
 
 	// When a JSON report is requested, run that sweep exactly once and reuse
@@ -73,6 +76,21 @@ func run() error {
 		}
 		dpRep = rep
 	}
+	var faultsRep *experiments.FaultReport
+	if *faultsOut != "" {
+		rep, err := experiments.FaultSweep(*quick)
+		if rep != nil {
+			// Write the report even on divergence so the artifact shows which
+			// runs failed; the error still fails the command.
+			if werr := writeJSON(*faultsOut, rep); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		faultsRep = rep
+	}
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -96,6 +114,8 @@ func run() error {
 			tab = experiments.ScalingTable(scalingRep)
 		case e.ID == "S2" && dpRep != nil:
 			tab = experiments.DPTable(dpRep)
+		case e.ID == "S3" && faultsRep != nil:
+			tab = experiments.FaultTable(faultsRep)
 		default:
 			tab, err = e.Run(*quick)
 		}

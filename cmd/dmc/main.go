@@ -16,9 +16,22 @@
 //
 // When -trace is "-" the event log goes to stdout and the human-readable
 // report moves to stderr, so the two streams can be piped independently.
+//
+// With -faults, dmc injects seed-driven network chaos (message drop,
+// duplication, reordering, node crash-restart) and wraps every node in the
+// reliable-delivery ARQ adapter, which must still produce the fault-free
+// answer:
+//
+//	gengraph -family bounded-td -n 64 -d 3 | dmc -problem acyclic -d 3 \
+//	    -faults -fault-seed 7 -drop-rate 0.2 -dup-rate 0.1 -reorder-rate 0.1
+//
+// The same -fault-seed replays the same chaos bit-for-bit. If the faults
+// exceed the adapter's retry budget, dmc exits nonzero with the offending
+// edge and round.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,7 +39,9 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/graph"
+	"repro/internal/protocols"
 	"repro/internal/regular"
 )
 
@@ -48,6 +63,13 @@ func run() error {
 	tracePath := flag.String("trace", "", "write an NDJSON round-level trace here ('-' = stdout, report moves to stderr)")
 	parallel := flag.Bool("parallel", false, "execute node programs on the worker pool (bit-identical to sequential)")
 	workers := flag.Int("workers", 0, "worker-pool size with -parallel (0 = GOMAXPROCS)")
+	faultsOn := flag.Bool("faults", false, "inject seed-driven network faults and wrap nodes in the reliable-delivery adapter")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-schedule seed (same seed = same chaos, bit-for-bit)")
+	dropRate := flag.Float64("drop-rate", 0, "per-message drop probability with -faults")
+	dupRate := flag.Float64("dup-rate", 0, "per-message duplication probability with -faults")
+	reorderRate := flag.Float64("reorder-rate", 0, "per-message reorder probability with -faults")
+	reorderWindow := flag.Int("reorder-window", 4, "maximum extra delivery delay in rounds with -faults")
+	crashRate := flag.Float64("crash-rate", 0, "per-node per-round crash probability with -faults (outages of 1-4 rounds)")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +88,9 @@ func run() error {
 	// claims stdout for piping into cmd/trace.
 	report := io.Writer(os.Stdout)
 	var tracer *congest.NDJSONTracer
+	if *faultsOn && *sequential {
+		return fmt.Errorf("-faults applies to the CONGEST run, not -seq")
+	}
 	if *tracePath != "" {
 		if *sequential {
 			return fmt.Errorf("-trace applies to the CONGEST run, not -seq")
@@ -122,13 +147,39 @@ func run() error {
 	if tracer != nil {
 		opts.Tracer = tracer
 	}
-	sol, err := core.SolveDistributed(g, prob, *d, opts)
+	var fcfg faults.Config
+	if *faultsOn {
+		fcfg = faults.Config{
+			Seed:          *faultSeed,
+			DropRate:      *dropRate,
+			DupRate:       *dupRate,
+			ReorderRate:   *reorderRate,
+			ReorderWindow: *reorderWindow,
+			CrashRate:     *crashRate,
+			MinOutage:     1,
+			MaxOutage:     4,
+		}
+		opts.Injector = faults.New(fcfg)
+		// The reliable adapter needs frame headroom beyond the default
+		// bandwidth; the wrapped protocol still sees the default budget.
+		opts.BandwidthFactor = protocols.ReliableBandwidthFactor(g.NumVertices())
+		fmt.Fprintf(report, "faults: %v (reliable delivery on)\n", fcfg)
+	}
+	var sol *core.Solution
+	if *faultsOn {
+		sol, err = core.SolveDistributedReliable(g, prob, *d, opts, protocols.ReliableConfig{})
+	} else {
+		sol, err = core.SolveDistributed(g, prob, *d, opts)
+	}
 	if tracer != nil {
 		if ferr := tracer.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}
 	if err != nil {
+		if errors.Is(err, protocols.ErrUnrecoverable) {
+			return fmt.Errorf("faults exceeded the retry budget (rerun with a lower -drop-rate or a different -fault-seed): %w", err)
+		}
 		return err
 	}
 	if sol.TdExceeded {
@@ -138,6 +189,14 @@ func run() error {
 	printSolution(report, prob, sol)
 	fmt.Fprintf(report, "congest: rounds=%d messages=%d bits=%d maxMsgBits=%d bandwidth=%d\n",
 		sol.Stats.Rounds, sol.Stats.Messages, sol.Stats.Bits, sol.Stats.MaxMsgBits, sol.Stats.Bandwidth)
+	if *faultsOn {
+		f := sol.Stats.Faults
+		fmt.Fprintf(report, "faults: dropped=%d duplicated=%d delayed=%d lost=%d crashRounds=%d\n",
+			f.Dropped, f.Duplicated, f.Delayed, f.Lost, f.CrashRounds)
+		r := sol.Reliability
+		fmt.Fprintf(report, "reliable: vrounds=%d chunks=%d retransmits=%d dupChunks=%d ackFrames=%d\n",
+			r.VirtualRounds, r.Chunks, r.Retransmits, r.DupChunks, r.AckFrames)
+	}
 	return nil
 }
 

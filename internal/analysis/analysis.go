@@ -33,6 +33,7 @@ import (
 var DeterministicPkgs = []string{
 	"repro/internal/protocols",
 	"repro/internal/congest",
+	"repro/internal/faults",
 	"repro/internal/regular",
 	"repro/internal/seq",
 }

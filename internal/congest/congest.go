@@ -114,6 +114,11 @@ type Env struct {
 // round/bit breakdowns in the captured trace.
 func (e *Env) Tag(kind string) { e.kind = kind }
 
+// Kind returns the node's current message tag (the last value passed to
+// Tag). Protocol adapters that interpose between the simulator and an inner
+// node use it to forward the inner node's phase tags to the real Env.
+func (e *Env) Kind() string { return e.kind }
+
 // Stats aggregates the cost of a simulation.
 type Stats struct {
 	Rounds      int
@@ -122,6 +127,69 @@ type Stats struct {
 	MaxMsgBits  int // largest single message
 	Bandwidth   int // enforced per-edge per-round budget in bits
 	HaltedNodes int
+	// Faults aggregates what the installed FaultInjector did to the run
+	// (all zero when Options.Injector is nil).
+	Faults FaultStats
+}
+
+// FaultStats counts injected faults. Messages/Bits above count what was
+// actually delivered; these counters account for the difference.
+type FaultStats struct {
+	// Dropped counts messages the injector discarded at send time.
+	Dropped int64
+	// Duplicated counts extra copies the injector delivered.
+	Duplicated int64
+	// Delayed counts messages (or copies) deferred past their normal
+	// delivery round.
+	Delayed int64
+	// Lost counts messages that were en route or queued when their receiver
+	// halted or crashed: cleared inbox entries of down nodes plus delayed
+	// copies whose receiver halted before the due round.
+	Lost int64
+	// CrashRounds is the total node-rounds spent down (crashed).
+	CrashRounds int64
+}
+
+// FaultPlan is an injector's verdict on one validated message. The zero
+// value means normal, on-time delivery.
+type FaultPlan struct {
+	// Drop discards the original copy.
+	Drop bool
+	// Delay defers the original copy by this many extra rounds (a message
+	// sent in round r normally arrives for round r+1; with Delay d it
+	// arrives for round r+1+d). Ignored when Drop is set.
+	Delay int
+	// Dup delivers this many extra copies, each deferred by DupDelay.
+	Dup      int
+	DupDelay int
+}
+
+// FaultInjector decides the fate of every message and the up/down state of
+// every node. Implementations must be deterministic functions of their own
+// seeded state: the engine calls RunStart once per run, RoundStart serially
+// at the top of every round, OnSend serially in global sender-vertex
+// delivery order, and NodeDown as a pure lookup (it may be called
+// concurrently after RoundStart returns). Vertices, not IDs, identify
+// endpoints so a schedule is independent of the ID permutation.
+//
+// Installing an injector routes delivery through the engine's serial pass
+// (like a Tracer), so the injected fault stream is identical for any
+// Options.Workers value.
+type FaultInjector interface {
+	// RunStart resets the injector for an n-vertex run (re-seeding any
+	// internal randomness, so reusing Options replays the same faults).
+	RunStart(n int)
+	// RoundStart is called once per round (1-based) before node programs
+	// execute; crash windows opening in this round must be decided here.
+	RoundStart(round int)
+	// NodeDown reports whether the vertex is down (crashed) in the round.
+	// A down node does not execute, loses its pending inbox, and receives
+	// nothing; its protocol state survives the outage (crash-restart with
+	// stable memory). Round 0 (Init) is never down.
+	NodeDown(round, vertex int) bool
+	// OnSend plans the fate of one message from vertex `from` to vertex
+	// `to` in the given round.
+	OnSend(round, from, to int) FaultPlan
 }
 
 // Options configure a simulation.
@@ -160,7 +228,17 @@ type Options struct {
 	// stream stay deterministic, while node programs still execute on the
 	// worker pool.
 	Tracer Tracer
+	// Injector subjects the run to message drops, duplication, delays, and
+	// node crashes (nil means a fault-free network). Like a Tracer, an
+	// installed injector routes delivery through the serial pass so the
+	// fault stream is deterministic at any worker count.
+	Injector FaultInjector
 }
+
+// BandwidthBits reports the per-edge per-round budget these options yield on
+// an n-node network. Exported so protocol adapters can size their frames
+// before a run exists.
+func (o Options) BandwidthBits(n int) int { return o.bandwidth(n) }
 
 // bandwidth computes the per-edge budget B = factor * ceil(log2 n) bits for
 // an n-node network (with ceil(log2 n) floored at 1 so single-node networks

@@ -45,6 +45,17 @@ type routed struct {
 	payload Message
 }
 
+// delayedMsg is a validated message an injector deferred: it leaves the
+// shared arena (the copy is owned) and is flushed into the inbox generation
+// of its due round.
+type delayedMsg struct {
+	due     int
+	from    int32
+	to      int32
+	port    int32
+	payload []byte
+}
+
 // shard owns a contiguous vertex range [lo, hi) and all per-shard scratch.
 type shard struct {
 	lo, hi int
@@ -136,6 +147,11 @@ type engine struct {
 	trace  traceSink
 	faults *rand.Rand
 
+	// Fault-injection state (nil/empty unless Options.Injector is set).
+	inj     FaultInjector
+	down    []bool // vertex -> crashed this round
+	delayed []delayedMsg
+
 	// Phase closures, allocated once so the round loop allocates nothing.
 	computeFn  func(int)
 	senderFn   func(int)
@@ -160,12 +176,16 @@ func newEngine(s *Simulator, nodes []Node, envs []*Env, bandwidth int) *engine {
 		halted:    make([]bool, n),
 		dones:     make([]bool, n),
 		outs:      make([][]Outgoing, n),
-		trace:     traceSink{t: s.opts.Tracer},
+		trace:     newTraceSink(s.opts.Tracer),
 	}
 	e.inboxes[0] = make([][]Incoming, n)
 	e.inboxes[1] = make([][]Incoming, n)
 	if s.opts.CorruptProb > 0 {
 		e.faults = rand.New(rand.NewSource(s.opts.CorruptSeed))
+	}
+	if s.opts.Injector != nil {
+		e.inj = s.opts.Injector
+		e.down = make([]bool, n)
 	}
 
 	// Shard layout. The shard count is independent of the execution mode
@@ -231,9 +251,10 @@ func (e *engine) forEach(fn func(int)) {
 func (e *engine) shardOf(v int32) int { return int(v) / e.shardSize }
 
 // serialRoute reports whether routing must happen in one serial pass:
-// tracers observe sends in sender-vertex order, and the fault RNG must be
-// consumed in that same order to stay deterministic.
-func (e *engine) serialRoute() bool { return e.trace.enabled() || e.faults != nil }
+// tracers observe sends in sender-vertex order, and the fault RNG and the
+// injector's OnSend stream must be consumed in that same order to stay
+// deterministic.
+func (e *engine) serialRoute() bool { return e.trace.enabled() || e.faults != nil || e.inj != nil }
 
 // run drives the simulation to completion.
 func (e *engine) run() (Stats, error) {
@@ -242,6 +263,9 @@ func (e *engine) run() (Stats, error) {
 	}
 	e.stats = Stats{Bandwidth: e.bandwidth}
 	e.trace.runStart(RunInfo{N: e.n, Edges: e.s.g.NumEdges(), Bandwidth: e.bandwidth})
+	if e.inj != nil {
+		e.inj.RunStart(e.n)
+	}
 
 	// Init phase (round 0): always serial, like the delivery contract.
 	e.trace.roundStart(0)
@@ -263,6 +287,11 @@ func (e *engine) run() (Stats, error) {
 		e.stats.Rounds = round
 		e.round = round
 		e.trace.roundStart(round)
+
+		if e.inj != nil {
+			e.inj.RoundStart(round)
+			e.updateDown()
+		}
 
 		e.forEach(e.computeFn)
 
@@ -289,9 +318,44 @@ func (e *engine) run() (Stats, error) {
 		}
 		e.trace.roundEnd(round, e.n-e.haltedCount, e.haltedCount)
 	}
+	// Delayed copies still queued when every node has halted can never be
+	// delivered.
+	if len(e.delayed) > 0 {
+		e.stats.Faults.Lost += int64(len(e.delayed))
+		e.delayed = e.delayed[:0]
+	}
 	e.stats.HaltedNodes = e.haltedCount
 	e.trace.runEnd(e.stats)
 	return e.stats, nil
+}
+
+// updateDown refreshes the crash set at the top of a round: a down vertex
+// skips its node program, and whatever was waiting in its inbox is lost. The
+// pass runs serially before the (possibly sharded) compute phase, so the
+// injector's crash decisions are consumed in a deterministic order and the
+// down slice is read-only while workers run.
+func (e *engine) updateDown() {
+	readGen := (e.round + 1) & 1
+	inboxes := e.inboxes[readGen]
+	for v := 0; v < e.n; v++ {
+		if e.halted[v] {
+			continue
+		}
+		d := e.inj.NodeDown(e.round, v)
+		if d {
+			e.stats.Faults.CrashRounds++
+			if !e.down[v] {
+				e.trace.fault(FaultEvent{Round: e.round, Kind: "crash", FromID: e.s.ids[v]})
+			}
+			if pending := len(inboxes[v]); pending > 0 {
+				e.stats.Faults.Lost += int64(pending)
+				inboxes[v] = inboxes[v][:0]
+			}
+		} else if e.down[v] {
+			e.trace.fault(FaultEvent{Round: e.round, Kind: "restart", FromID: e.s.ids[v]})
+		}
+		e.down[v] = d
+	}
 }
 
 // computeShard runs the node programs of one shard's active vertices.
@@ -300,6 +364,12 @@ func (e *engine) computeShard(si int) {
 	readGen := (e.round + 1) & 1 // == (round-1)&1: filled two phases ago
 	inboxes := e.inboxes[readGen]
 	for _, v := range sh.active {
+		if e.down != nil && e.down[v] {
+			// Crashed this round: the program does not run (updateDown has
+			// already discarded the pending inbox).
+			inboxes[v] = inboxes[v][:0]
+			continue
+		}
 		env := e.envs[v]
 		env.Round = e.round
 		inbox := inboxes[v]
@@ -477,6 +547,9 @@ func (e *engine) routeSerialPass() error {
 		// compute phase one round ago.
 		sh.arena[gen] = sh.arena[gen][:0]
 	}
+	if e.inj != nil {
+		e.flushDelayed()
+	}
 	for _, sh := range e.shards {
 		for _, v := range sh.active {
 			out := e.outs[v]
@@ -525,30 +598,117 @@ func (e *engine) deliverSerial(v int32, out []Outgoing) error {
 			if e.halted[w] {
 				continue
 			}
-			start := len(arena)
-			arena = append(arena, o.Payload...)
-			payload := Message(arena[start:len(arena):len(arena)])
-			if e.faults != nil && len(payload) > 0 && e.faults.Float64() < e.s.opts.CorruptProb {
-				i := e.faults.Intn(len(payload))
-				payload[i] ^= 1 << uint(e.faults.Intn(8))
+			if e.down != nil && e.down[w] {
+				// The receiver is crashed while the message is in transit.
+				e.stats.Faults.Lost++
+				e.trace.fault(FaultEvent{Round: e.round, Kind: "lost", FromID: e.s.ids[v], ToID: e.s.ids[w]})
+				continue
+			}
+			var plan FaultPlan
+			if e.inj != nil {
+				plan = e.inj.OnSend(e.round, int(v), w)
 			}
 			recvPort := e.s.portsOf[w][int(v)]
-			inboxes[w] = append(inboxes[w], Incoming{Port: recvPort, Payload: payload})
-			e.stats.Messages++
-			e.stats.Bits += int64(sizeBits)
-			if sizeBits > e.stats.MaxMsgBits {
-				e.stats.MaxMsgBits = sizeBits
-			}
-			if e.trace.enabled() {
-				e.trace.send(SendEvent{
-					Round: e.round, FromID: e.s.ids[v], ToID: e.s.ids[w],
-					Port: recvPort, SizeBits: sizeBits, Kind: e.envs[v].kind,
+			switch {
+			case plan.Drop:
+				e.stats.Faults.Dropped++
+				e.trace.fault(FaultEvent{Round: e.round, Kind: "drop", FromID: e.s.ids[v], ToID: e.s.ids[w]})
+			case plan.Delay > 0:
+				e.stats.Faults.Delayed++
+				e.trace.fault(FaultEvent{Round: e.round, Kind: "delay", FromID: e.s.ids[v], ToID: e.s.ids[w], Detail: plan.Delay})
+				e.delayed = append(e.delayed, delayedMsg{
+					due: e.round + plan.Delay, from: v, to: int32(w), port: int32(recvPort),
+					payload: append([]byte(nil), o.Payload...),
 				})
+			default:
+				start := len(arena)
+				arena = append(arena, o.Payload...)
+				payload := Message(arena[start:len(arena):len(arena)])
+				if e.faults != nil && len(payload) > 0 && e.faults.Float64() < e.s.opts.CorruptProb {
+					i := e.faults.Intn(len(payload))
+					payload[i] ^= 1 << uint(e.faults.Intn(8))
+				}
+				inboxes[w] = append(inboxes[w], Incoming{Port: recvPort, Payload: payload})
+				e.stats.Messages++
+				e.stats.Bits += int64(sizeBits)
+				if sizeBits > e.stats.MaxMsgBits {
+					e.stats.MaxMsgBits = sizeBits
+				}
+				if e.trace.enabled() {
+					e.trace.send(SendEvent{
+						Round: e.round, FromID: e.s.ids[v], ToID: e.s.ids[w],
+						Port: recvPort, SizeBits: sizeBits, Kind: e.envs[v].kind,
+					})
+				}
+			}
+			for c := 0; c < plan.Dup; c++ {
+				e.stats.Faults.Duplicated++
+				e.trace.fault(FaultEvent{Round: e.round, Kind: "dup", FromID: e.s.ids[v], ToID: e.s.ids[w], Detail: plan.DupDelay})
+				if plan.DupDelay > 0 {
+					e.stats.Faults.Delayed++
+					e.delayed = append(e.delayed, delayedMsg{
+						due: e.round + plan.DupDelay, from: v, to: int32(w), port: int32(recvPort),
+						payload: append([]byte(nil), o.Payload...),
+					})
+					continue
+				}
+				start := len(arena)
+				arena = append(arena, o.Payload...)
+				payload := Message(arena[start:len(arena):len(arena)])
+				inboxes[w] = append(inboxes[w], Incoming{Port: recvPort, Payload: payload})
+				e.stats.Messages++
+				e.stats.Bits += int64(sizeBits)
+				if e.trace.enabled() {
+					e.trace.send(SendEvent{
+						Round: e.round, FromID: e.s.ids[v], ToID: e.s.ids[w],
+						Port: recvPort, SizeBits: sizeBits, Kind: e.envs[v].kind,
+					})
+				}
 			}
 		}
 	}
 	sh.arena[gen] = arena
 	return nil
+}
+
+// flushDelayed delivers the injector-deferred messages whose due round has
+// arrived, in the order they were deferred (which is deterministic: the
+// serial route queues them in sender-vertex order). A copy whose receiver
+// halted or crashed in the meantime is lost. Delivery targets the current
+// parity's inboxes — the generation node programs read next round, exactly
+// when an on-time message sent this round would arrive.
+func (e *engine) flushDelayed() {
+	if len(e.delayed) == 0 {
+		return
+	}
+	inboxes := e.inboxes[e.round&1]
+	k := 0
+	for _, m := range e.delayed {
+		if m.due > e.round {
+			e.delayed[k] = m
+			k++
+			continue
+		}
+		if e.halted[m.to] || e.down[m.to] {
+			e.stats.Faults.Lost++
+			e.trace.fault(FaultEvent{Round: e.round, Kind: "lost", FromID: e.s.ids[m.from], ToID: e.s.ids[m.to]})
+			continue
+		}
+		inboxes[m.to] = append(inboxes[m.to], Incoming{Port: int(m.port), Payload: Message(m.payload)})
+		sizeBits := 8 * len(m.payload)
+		e.stats.Messages++
+		e.stats.Bits += int64(sizeBits)
+		if sizeBits > e.stats.MaxMsgBits {
+			e.stats.MaxMsgBits = sizeBits
+		}
+		if e.trace.enabled() {
+			e.trace.send(SendEvent{
+				Round: e.round, FromID: e.s.ids[m.from], ToID: e.s.ids[m.to],
+				Port: int(m.port), SizeBits: sizeBits, Kind: "delayed",
+			})
+		}
+	}
+	e.delayed = e.delayed[:k]
 }
 
 // compactShard marks this shard's newly halted vertices and removes them

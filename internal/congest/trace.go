@@ -51,12 +51,52 @@ type Tracer interface {
 	RunEnd(stats Stats)
 }
 
+// FaultEvent describes one fault injected by Options.Injector. Kind is one
+// of "drop" (message discarded), "dup" (extra copy scheduled; Detail is its
+// extra delay in rounds), "delay" (original copy deferred; Detail is the
+// delay in rounds), "lost" (a copy arrived at a halted or crashed receiver,
+// or could never be delivered), "crash" (node went down; FromID is the
+// node), and "restart" (node came back up; FromID is the node).
+type FaultEvent struct {
+	Round  int
+	Kind   string
+	FromID int
+	ToID   int // 0 for node events ("crash"/"restart")
+	Detail int // delay in rounds for "delay"/"dup", else 0
+}
+
+// FaultTracer is an optional extension a Tracer may implement to observe
+// injected faults. Like all tracer hooks, Fault is invoked serially from the
+// delivery loop. Tracers that do not implement it simply see the surviving
+// traffic.
+type FaultTracer interface {
+	Fault(e FaultEvent)
+}
+
 // traceSink wraps an optional Tracer with nil-guarded dispatch. Keeping the
 // guard in one place lets tests assert that the disabled path allocates
-// nothing per round.
-type traceSink struct{ t Tracer }
+// nothing per round. The FaultTracer assertion is cached at construction so
+// the per-fault dispatch is a nil check, not a type assertion.
+type traceSink struct {
+	t  Tracer
+	ft FaultTracer
+}
+
+func newTraceSink(t Tracer) traceSink {
+	ts := traceSink{t: t}
+	if ft, ok := t.(FaultTracer); ok {
+		ts.ft = ft
+	}
+	return ts
+}
 
 func (ts traceSink) enabled() bool { return ts.t != nil }
+
+func (ts traceSink) fault(e FaultEvent) {
+	if ts.ft != nil {
+		ts.ft.Fault(e)
+	}
+}
 
 func (ts traceSink) runStart(info RunInfo) {
 	if ts.t != nil {
@@ -139,6 +179,16 @@ func (m MultiTracer) RunEnd(stats Stats) {
 	}
 }
 
+// Fault implements FaultTracer, forwarding to the members that observe
+// faults.
+func (m MultiTracer) Fault(e FaultEvent) {
+	for _, t := range m {
+		if ft, ok := t.(FaultTracer); ok {
+			ft.Fault(e)
+		}
+	}
+}
+
 // RoundMetrics aggregates one round of a traced simulation.
 type RoundMetrics struct {
 	Round      int
@@ -173,6 +223,13 @@ type MetricsTracer struct {
 	cur          RoundMetrics
 	curRound     int
 	curKindRound map[string]bool // kinds seen in the current round
+	faultCounts  map[string]int64
+}
+
+// FaultCount is one injected-fault kind with its total for the run.
+type FaultCount struct {
+	Kind  string
+	Count int64
 }
 
 // RunStart implements Tracer.
@@ -181,6 +238,7 @@ func (m *MetricsTracer) RunStart(info RunInfo) {
 	m.rounds = m.rounds[:0]
 	m.kinds = make(map[string]*KindMetrics)
 	m.curKindRound = make(map[string]bool)
+	m.faultCounts = make(map[string]int64)
 }
 
 // RoundStart implements Tracer.
@@ -229,6 +287,25 @@ func (m *MetricsTracer) Send(e SendEvent) {
 
 // NodeHalted implements Tracer.
 func (m *MetricsTracer) NodeHalted(round, id int) {}
+
+// Fault implements FaultTracer, counting injected faults by kind.
+func (m *MetricsTracer) Fault(e FaultEvent) {
+	if m.faultCounts == nil {
+		m.faultCounts = make(map[string]int64)
+	}
+	m.faultCounts[e.Kind]++
+}
+
+// FaultCounts returns the injected-fault totals by kind, sorted by kind
+// name. Empty for fault-free runs.
+func (m *MetricsTracer) FaultCounts() []FaultCount {
+	out := make([]FaultCount, 0, len(m.faultCounts))
+	for k, c := range m.faultCounts {
+		out = append(out, FaultCount{Kind: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
 
 // RoundEnd implements Tracer.
 func (m *MetricsTracer) RoundEnd(round, active, halted int) {
@@ -321,6 +398,18 @@ func (t *NDJSONTracer) RoundStart(round int) {
 func (t *NDJSONTracer) Send(e SendEvent) {
 	t.printf("{\"ev\":\"send\",\"round\":%d,\"from\":%d,\"to\":%d,\"port\":%d,\"bits\":%d,\"kind\":%q}\n",
 		e.Round, e.FromID, e.ToID, e.Port, e.SizeBits, e.Kind)
+}
+
+// Fault implements FaultTracer:
+//
+//	{"ev":"fault","round":3,"kind":"drop","from":2,"to":5,"detail":0}
+//
+// Fault lines appear only in runs with an installed Injector that actually
+// injects something, so fault-free traces are byte-identical to traces taken
+// before fault injection existed.
+func (t *NDJSONTracer) Fault(e FaultEvent) {
+	t.printf("{\"ev\":\"fault\",\"round\":%d,\"kind\":%q,\"from\":%d,\"to\":%d,\"detail\":%d}\n",
+		e.Round, e.Kind, e.FromID, e.ToID, e.Detail)
 }
 
 // NodeHalted implements Tracer.

@@ -39,6 +39,7 @@ func ReadTrace(r io.Reader, into Tracer) (int, error) {
 			Msgs  int64  `json:"messages"`
 			MaxMB int    `json:"maxMsgBits"`
 			HaltN int    `json:"haltedNodes"`
+			Det   int    `json:"detail"`
 		}
 		if err := json.Unmarshal(line, &raw); err != nil {
 			return events, fmt.Errorf("congest: trace line %d: %w", lineNo, err)
@@ -55,6 +56,15 @@ func ReadTrace(r io.Reader, into Tracer) (int, error) {
 			})
 		case "halt":
 			into.NodeHalted(raw.Round, raw.ID)
+		case "fault":
+			// Fault lines replay into tracers that observe them and are
+			// skipped (but still counted) for tracers that do not.
+			if ft, ok := into.(FaultTracer); ok {
+				ft.Fault(FaultEvent{
+					Round: raw.Round, Kind: raw.Kind,
+					FromID: raw.From, ToID: raw.To, Detail: raw.Det,
+				})
+			}
 		case "round_end":
 			into.RoundEnd(raw.Round, raw.Act, raw.Hal)
 		case "run_end":

@@ -215,26 +215,45 @@ type Solution struct {
 	Count      int64
 	Selected   *bitset.Set // vertex or edge IDs, per predicate kind
 	Stats      congest.Stats
+	// Reliability holds the reliable-delivery adapter's counters when the
+	// run used SolveDistributedReliable (zero otherwise).
+	Reliability protocols.RelStats
 }
 
 // SolveDistributed runs the problem's distributed protocol with treedepth
 // parameter d.
 func SolveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options) (*Solution, error) {
+	return solveDistributed(g, prob, d, opts, false, protocols.ReliableConfig{})
+}
+
+// SolveDistributedReliable is SolveDistributed with every node wrapped in
+// the reliable-delivery adapter (see protocols.Reliable): the protocol
+// tolerates the faults injected via opts.Injector at the cost of extra
+// rounds. opts.BandwidthFactor must give the adapter's minimum frame budget
+// (protocols.ReliableBandwidthFactor is the standard choice). When injected
+// faults exceed the retry budget the error wraps protocols.ErrUnrecoverable.
+func SolveDistributedReliable(g *graph.Graph, prob Problem, d int, opts congest.Options, rel protocols.ReliableConfig) (*Solution, error) {
+	return solveDistributed(g, prob, d, opts, true, rel)
+}
+
+func solveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options, reliable bool, rel protocols.ReliableConfig) (*Solution, error) {
 	pred, err := prob.Build()
 	if err != nil {
 		return nil, err
 	}
-	var run *protocols.RunResult
+	cfg := protocols.Config{Pred: pred, D: d, Reliable: reliable, Rel: rel}
 	switch prob.Kind {
 	case KindDecision:
-		run, err = protocols.Decide(g, d, pred, opts)
+		cfg.Mode = protocols.ModeDecide
 	case KindOptimization:
-		run, err = protocols.Optimize(g, d, pred, prob.Maximize, opts)
+		cfg.Mode = protocols.ModeOptimize
+		cfg.Maximize = prob.Maximize
 	case KindCounting:
-		run, err = protocols.Count(g, d, pred, opts)
+		cfg.Mode = protocols.ModeCount
 	default:
 		return nil, fmt.Errorf("core: unknown kind %d", prob.Kind)
 	}
+	run, err := protocols.Run(g, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -243,13 +262,14 @@ func SolveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options)
 		sel = run.SelectedEdges
 	}
 	return &Solution{
-		TdExceeded: run.TdExceeded,
-		Accepted:   run.Accepted,
-		Found:      run.Found,
-		Weight:     run.Weight,
-		Count:      run.Count,
-		Selected:   sel,
-		Stats:      run.Stats,
+		TdExceeded:  run.TdExceeded,
+		Accepted:    run.Accepted,
+		Found:       run.Found,
+		Weight:      run.Weight,
+		Count:       run.Count,
+		Selected:    sel,
+		Stats:       run.Stats,
+		Reliability: run.Reliability,
 	}, nil
 }
 

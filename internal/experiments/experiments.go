@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"F3", F3ElimTree},
 		{"S1", S1Scaling},
 		{"S2", S2DP},
+		{"S3", S3Faults},
 	}
 }
 

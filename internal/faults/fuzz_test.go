@@ -1,0 +1,51 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/graph/gen"
+)
+
+// FuzzFaultSchedule decodes arbitrary bytes into a fault schedule and runs
+// it against the simulator twice (sequential and parallel). Whatever the
+// schedule, the run must terminate inside the round limit or fail with
+// ErrRoundLimit — never panic, deadlock, or report a bandwidth violation
+// (injected duplicates are network faults, not sender traffic, so they can
+// never trip the per-edge cap) — and both runs must agree bit-for-bit.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Add([]byte{9, 0, 0, 0, 0, 0, 0, 0, 128, 0, 0, 0, 0, 0, 0, 0})    // drop-heavy
+	f.Add([]byte{7, 0, 0, 0, 0, 0, 0, 0, 0, 200, 100, 90, 0, 0, 0, 0}) // dup+reorder
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 0, 0, 0, 0, 255, 64, 192, 0}) // crash-heavy
+
+	g, _ := gen.BoundedTreedepth(24, 3, 0.3, 5)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := DecodeSchedule(data)
+		run := func(parallel bool) (congest.Stats, error) {
+			sim, err := congest.NewSimulator(g, congest.Options{
+				Injector:   New(cfg),
+				RoundLimit: 256,
+				Parallel:   parallel,
+				Workers:    2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sim.Run(func(v int) congest.Node { return &floodNode{lastRound: 6} })
+		}
+		seqStats, seqErr := run(false)
+		parStats, parErr := run(true)
+		for _, err := range []error{seqErr, parErr} {
+			if err != nil && !errors.Is(err, congest.ErrRoundLimit) {
+				t.Fatalf("schedule %v: unexpected simulator error: %v", cfg, err)
+			}
+		}
+		if (seqErr == nil) != (parErr == nil) || seqStats != parStats {
+			t.Fatalf("schedule %v: sequential and parallel runs diverged:\n%+v (%v)\n%+v (%v)",
+				cfg, seqStats, seqErr, parStats, parErr)
+		}
+	})
+}

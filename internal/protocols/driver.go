@@ -34,6 +34,9 @@ type RunResult struct {
 	// maxima of gauges). Caching is computation-local, so these never affect
 	// Stats — they report work avoided, not messages sent.
 	Cache regular.CacheStats
+	// Reliability aggregates the reliable-delivery adapter's counters when
+	// Config.Reliable is set (zero otherwise).
+	Reliability RelStats
 }
 
 // Run executes the full pipeline (Algorithm 2, Lemma 5.3, and the Theorem
@@ -56,9 +59,21 @@ func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
 		return nil, err
 	}
 	n := g.NumVertices()
+	if cfg.Reliable {
+		if got := congest.FrameBudgetBytes(opts.BandwidthBits(n)); got < ReliableMinFrameBytes {
+			return nil, fmt.Errorf("%w: reliable delivery needs a frame budget of at least %d bytes, got %d (raise Options.BandwidthFactor, e.g. to ReliableBandwidthFactor(n))",
+				ErrProtocol, ReliableMinFrameBytes, got)
+		}
+	}
+	innerCfg := cfg
+	innerCfg.Reliable = false
 	nodes := make([]congest.Node, n)
 	stats, err := sim.Run(func(v int) congest.Node {
-		nodes[v] = NewNode(cfg)
+		if cfg.Reliable {
+			nodes[v] = NewReliable(NewNode(innerCfg), cfg.Rel)
+		} else {
+			nodes[v] = NewNode(cfg)
+		}
 		return nodes[v]
 	})
 	if err != nil {
@@ -66,6 +81,25 @@ func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
 	}
 
 	res := &RunResult{Stats: stats, Outputs: make([]Output, n)}
+	if cfg.Reliable {
+		var firstFail *UnrecoverableError
+		for v := 0; v < n; v++ {
+			st, fail, ok := RelResult(nodes[v])
+			if !ok {
+				continue
+			}
+			res.Reliability = res.Reliability.Add(st)
+			if fail != nil && firstFail == nil {
+				firstFail = fail
+			}
+		}
+		if firstFail != nil {
+			// Poisoned nodes halted mid-protocol; their outputs are not
+			// meaningful, so report the failure with the stats collected so
+			// far instead of parsing garbage.
+			return res, firstFail
+		}
+	}
 	ids := sim.IDs()
 	idToVertex := make(map[int]int, n)
 	for v, id := range ids {

@@ -41,6 +41,14 @@ type Config struct {
 	// wire (part of the formula, hence global knowledge).
 	VertexLabelNames []string
 	EdgeLabelNames   []string
+	// Reliable wraps every node in the reliable-delivery adapter (see
+	// reliable.go), restoring round-synchronous semantics on a faulty
+	// network at the cost of extra physical rounds and bandwidth. Requires a
+	// physical frame budget of at least ReliableMinFrameBytes (use
+	// ReliableBandwidthFactor for congest.Options.BandwidthFactor).
+	Reliable bool
+	// Rel tunes the adapter when Reliable is set (zero value = defaults).
+	Rel ReliableConfig
 }
 
 // depthBound is 2^d, the elimination-tree depth bound of Lemma 2.5.
@@ -192,7 +200,11 @@ func NewNode(cfg Config) congest.Node {
 }
 
 // Result returns the node's output; valid once the simulation has finished.
+// Nodes wrapped by the reliable-delivery adapter are unwrapped transparently.
 func Result(n congest.Node) (Output, error) {
+	if rel, isRel := n.(*Reliable); isRel {
+		n = rel.inner
+	}
 	d, ok := n.(*dpNode)
 	if !ok {
 		return Output{}, fmt.Errorf("%w: not a protocol node", ErrProtocol)
