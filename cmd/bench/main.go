@@ -13,12 +13,15 @@
 //	bench -only S1 -scaling-out BENCH_congest.json
 //	bench -only S2 -dp-out BENCH_dp.json
 //	bench -only S3 -faults-out BENCH_faults.json
+//	bench -only S6 -td-out BENCH_td.json
 //
 // Each sweep runs once; the table and the JSON document come from the same
 // measurements, and the command exits nonzero if any parallel run diverges
 // from its sequential twin (S1), any cached run diverges from its uncached
-// reference (S2), or any fault-injected run reports a wrong verdict or an
-// unrecoverable failure at a drop rate the retry budget must mask (S3).
+// reference (S2), any fault-injected run reports a wrong verdict or an
+// unrecoverable failure at a drop rate the retry budget must mask (S3), or
+// any treedepth run returns an invalid witness or disagrees with the naive
+// oracle (S6).
 package main
 
 import (
@@ -46,6 +49,7 @@ func run() error {
 	scalingOut := flag.String("scaling-out", "", "write the S1 scaling report as JSON to this path")
 	dpOut := flag.String("dp-out", "", "write the S2 DP-algebra report as JSON to this path")
 	faultsOut := flag.String("faults-out", "", "write the S3 fault-injection report as JSON to this path")
+	tdOut := flag.String("td-out", "", "write the S6 exact-treedepth report as JSON to this path")
 	flag.Parse()
 
 	// When a JSON report is requested, run that sweep exactly once and reuse
@@ -91,6 +95,21 @@ func run() error {
 		}
 		faultsRep = rep
 	}
+	var tdRep *experiments.TDReport
+	if *tdOut != "" {
+		rep, err := experiments.TDSweep(*quick)
+		if rep != nil {
+			// Write the report even on divergence so the artifact shows which
+			// runs failed; the error still fails the command.
+			if werr := writeJSON(*tdOut, rep); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		tdRep = rep
+	}
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -116,6 +135,8 @@ func run() error {
 			tab = experiments.DPTable(dpRep)
 		case e.ID == "S3" && faultsRep != nil:
 			tab = experiments.FaultTable(faultsRep)
+		case e.ID == "S6" && tdRep != nil:
+			tab = experiments.TDTable(tdRep)
 		default:
 			tab, err = e.Run(*quick)
 		}

@@ -8,6 +8,14 @@
 // It prints the verdict/optimum/count, the CONGEST round count, message
 // totals, and the maximum message width.
 //
+// With -exact-d, dmc first computes the exact treedepth of the input with
+// the branch-and-bound solver (internal/treedepth), validates the witness
+// elimination forest, and uses the verified optimum as the parameter d —
+// so the protocol never aborts with LARGE TREEDEPTH and never wastes rounds
+// on an overestimate:
+//
+//	gengraph -family grid -rows 3 -cols 5 | dmc -problem acyclic -exact-d
+//
 // With -trace, dmc additionally streams a round-level NDJSON event log of
 // the CONGEST simulation (see congest.NDJSONTracer for the format), which
 // cmd/trace summarizes into a per-phase round/bit table:
@@ -43,6 +51,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocols"
 	"repro/internal/regular"
+	"repro/internal/treedepth"
 )
 
 func main() {
@@ -57,6 +66,7 @@ func run() error {
 	problem := flag.String("problem", "", "registered problem name (see -list)")
 	formula := flag.String("formula", "", "closed MSO formula (generic engine)")
 	d := flag.Int("d", 3, "treedepth parameter")
+	exactD := flag.Bool("exact-d", false, "compute the exact treedepth with the branch-and-bound solver and use it as d (overrides -d)")
 	seed := flag.Int64("seed", 0, "adversarial ID permutation seed (0 = identity)")
 	list := flag.Bool("list", false, "list registered problems and exit")
 	sequential := flag.Bool("seq", false, "run the sequential Algorithm 1 instead of the CONGEST protocol")
@@ -133,6 +143,18 @@ func run() error {
 	}
 
 	fmt.Fprintf(report, "graph: n=%d m=%d diam=%d\n", g.NumVertices(), g.NumEdges(), g.Diameter())
+	if *exactD {
+		td, forest, stats, err := treedepth.SolveExact(g, treedepth.SolveOptions{})
+		if err != nil {
+			return fmt.Errorf("exact treedepth: %w", err)
+		}
+		if err := treedepth.ValidateForest(g, forest, td); err != nil {
+			return fmt.Errorf("exact treedepth: invalid witness: %w", err)
+		}
+		fmt.Fprintf(report, "treedepth: td=%d (verified optimal; %d branch nodes, %d cached sets)\n",
+			td, stats.Nodes, stats.CacheEntries)
+		*d = td
+	}
 	fmt.Fprintf(report, "problem: %s (d=%d)\n", prob.Name, *d)
 
 	if *sequential {

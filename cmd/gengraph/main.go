@@ -1,11 +1,12 @@
 // Command gengraph generates graph instances in the library's edge-list
-// format, for use with cmd/dmc:
+// format (or PACE .gr), for use with cmd/dmc:
 //
 //	gengraph -family bounded-td -n 64 -d 3 -seed 7 -weights 100 > net.g
 //	gengraph -family outerplanar -n 128 > planar.g
+//	gengraph -family grid-chords -rows 4 -cols 6 -chords 5 -format pace > hard.gr
 //
-// Families: path, cycle, star, complete, grid, tree, caterpillar,
-// bounded-td, degenerate, outerplanar, gnp.
+// Families: path, cycle, star, complete, grid, grid-chords, tree,
+// caterpillar, caterpillar-blowup, bounded-td, degenerate, outerplanar, gnp.
 package main
 
 import (
@@ -30,11 +31,14 @@ func run() error {
 	d := flag.Int("d", 3, "treedepth bound (bounded-td) / degeneracy (degenerate)")
 	rows := flag.Int("rows", 4, "grid rows")
 	cols := flag.Int("cols", 8, "grid cols")
+	chords := flag.Int("chords", 4, "extra random chords (grid-chords)")
 	spine := flag.Int("spine", 8, "caterpillar spine length")
 	legs := flag.Int("legs", 2, "caterpillar legs per spine vertex")
+	blowup := flag.Int("blowup", 2, "copies per vertex (caterpillar-blowup)")
 	prob := flag.Float64("p", 0.3, "edge probability (gnp, bounded-td extra edges)")
 	seed := flag.Int64("seed", 1, "random seed")
 	weights := flag.Int64("weights", 0, "assign random weights in [1, w] (0 = none)")
+	format := flag.String("format", "edgelist", "output format: edgelist or pace")
 	flag.Parse()
 
 	var g *graph.Graph
@@ -49,10 +53,14 @@ func run() error {
 		g = gen.Complete(*n)
 	case "grid":
 		g = gen.Grid(*rows, *cols)
+	case "grid-chords":
+		g = gen.GridWithChords(*rows, *cols, *chords, *seed)
 	case "tree":
 		g = gen.RandomTree(*n, *seed)
 	case "caterpillar":
 		g = gen.Caterpillar(*spine, *legs)
+	case "caterpillar-blowup":
+		g = gen.Blowup(gen.Caterpillar(*spine, *legs), *blowup)
 	case "bounded-td":
 		g, _ = gen.BoundedTreedepth(*n, *d, *prob, *seed)
 	case "degenerate":
@@ -67,5 +75,12 @@ func run() error {
 	if *weights > 0 {
 		gen.AssignRandomWeights(g, *weights, *seed+1)
 	}
-	return graph.WriteEdgeList(os.Stdout, g)
+	switch *format {
+	case "edgelist":
+		return graph.WriteEdgeList(os.Stdout, g)
+	case "pace":
+		return graph.WritePACE(os.Stdout, g)
+	default:
+		return fmt.Errorf("unknown format %q (want edgelist or pace)", *format)
+	}
 }

@@ -161,6 +161,24 @@ func (s *Set) SubsetOf(other *Set) bool {
 	return true
 }
 
+// IntersectionCount returns |s ∩ other| without materializing the
+// intersection. Panics if universes differ.
+func (s *Set) IntersectionCount(other *Set) int {
+	s.check(other)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & other.words[i])
+	}
+	return c
+}
+
+// CopyFrom overwrites s with the contents of other. Panics if universes
+// differ.
+func (s *Set) CopyFrom(other *Set) {
+	s.check(other)
+	copy(s.words, other.words)
+}
+
 // Intersects reports whether s and other share at least one element.
 func (s *Set) Intersects(other *Set) bool {
 	if s.n != other.n {
@@ -179,6 +197,20 @@ func (s *Set) Indices() []int {
 	out := make([]int, 0, s.Count())
 	s.ForEach(func(i int) { out = append(out, i) })
 	return out
+}
+
+// AppendIndices appends the elements of the set in increasing order to dst
+// and returns the extended slice. It lets callers reuse a scratch buffer
+// where Indices would allocate.
+func (s *Set) AppendIndices(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // ForEach calls fn for each element in increasing order.

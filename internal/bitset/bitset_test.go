@@ -229,3 +229,37 @@ func TestQuickKeyConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: IntersectionCount agrees with materializing the intersection,
+// and CopyFrom/AppendIndices round-trip the contents.
+func TestQuickIntersectionCountCopyAppend(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 131
+		r := rand.New(rand.NewSource(seed))
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				a.Add(i)
+			}
+			if r.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		in := a.Clone()
+		in.IntersectWith(b)
+		if a.IntersectionCount(b) != in.Count() {
+			return false
+		}
+		c := New(n)
+		c.CopyFrom(a)
+		if !c.Equal(a) {
+			return false
+		}
+		scratch := a.AppendIndices(make([]int, 0, 8))
+		d := FromIndices(n, scratch...)
+		return d.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -350,3 +350,43 @@ func DisjointUnion(gs ...*graph.Graph) (*graph.Graph, []int) {
 	}
 	return out, offsets
 }
+
+// GridWithChords returns the rows x cols grid with `chords` extra random
+// non-adjacent vertex pairs connected (deterministic in seed). Chords break
+// planarity and raise treedepth, making the family a harder benchmark for
+// exact solvers than plain grids.
+func GridWithChords(rows, cols, chords int, seed int64) *graph.Graph {
+	g := Grid(rows, cols)
+	n := g.NumVertices()
+	r := rand.New(rand.NewSource(seed))
+	for added, attempts := 0, 0; added < chords && attempts < 100*chords+100; attempts++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+		added++
+	}
+	return g
+}
+
+// Blowup replaces every vertex of g by an independent set of k copies and
+// every edge by the complete bipartite graph between the two copy sets.
+// Vertex v's copies are v*k .. v*k+k-1. Blowups inflate treedepth in a
+// controlled way (an elimination forest for g lifts to one for the blowup)
+// while keeping the base structure, which makes caterpillar and path blowups
+// useful hard-but-solvable benchmark instances.
+func Blowup(g *graph.Graph, k int) *graph.Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("gen: Blowup needs k >= 1; got %d", k))
+	}
+	out := graph.New(g.NumVertices() * k)
+	for _, e := range g.Edges() {
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				out.MustAddEdge(e.U*k+i, e.V*k+j)
+			}
+		}
+	}
+	return out
+}

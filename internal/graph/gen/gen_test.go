@@ -295,3 +295,58 @@ func TestConnectedSparseGNP(t *testing.T) {
 		seen[k] = true
 	}
 }
+
+func TestGridWithChords(t *testing.T) {
+	base := Grid(3, 5)
+	g := GridWithChords(3, 5, 4, 9)
+	if g.NumVertices() != base.NumVertices() {
+		t.Fatalf("chords changed vertex count: %d", g.NumVertices())
+	}
+	if got, want := g.NumEdges(), base.NumEdges()+4; got != want {
+		t.Fatalf("edges = %d, want %d", got, want)
+	}
+	// Every grid edge survives.
+	for _, e := range base.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("grid edge (%d,%d) missing", e.U, e.V)
+		}
+	}
+	// Deterministic in the seed.
+	h := GridWithChords(3, 5, 4, 9)
+	if graph.CanonicalKey(h) != graph.CanonicalKey(g) {
+		t.Fatal("same seed produced different graphs")
+	}
+	if graph.CanonicalKey(GridWithChords(3, 5, 4, 10)) == graph.CanonicalKey(g) {
+		t.Fatal("different seeds produced identical chords")
+	}
+	// Saturated request: K4 has no room for chords.
+	if full := GridWithChords(2, 2, 50, 1); full.NumEdges() > 6 {
+		t.Fatalf("overfull grid: %d edges", full.NumEdges())
+	}
+}
+
+func TestBlowup(t *testing.T) {
+	g := Blowup(Path(3), 2)
+	if g.NumVertices() != 6 || g.NumEdges() != 8 {
+		t.Fatalf("blowup(P3, 2): n=%d m=%d, want 6, 8", g.NumVertices(), g.NumEdges())
+	}
+	// Copies of one vertex stay independent; copies across an edge are
+	// completely joined.
+	if g.HasEdge(0, 1) || g.HasEdge(2, 3) {
+		t.Fatal("copies of the same vertex must not be adjacent")
+	}
+	for _, pair := range [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}} {
+		if !g.HasEdge(pair[0], pair[1]) {
+			t.Fatalf("missing blowup edge %v", pair)
+		}
+	}
+	if h := Blowup(Complete(3), 1); graph.CanonicalKey(h) != graph.CanonicalKey(Complete(3)) {
+		t.Fatal("k=1 blowup must be the identity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Blowup(g, 0) must panic")
+		}
+	}()
+	Blowup(Path(2), 0)
+}

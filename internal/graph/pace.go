@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePACE writes g in the PACE challenge .gr format used by the treedepth
+// tracks:
+//
+//	c <comment>          (optional, not emitted here)
+//	p tdp <n> <m>
+//	<u> <v>              (one line per edge, 1-indexed, in ID order)
+//
+// Labels and weights are not representable in .gr and are dropped.
+func WritePACE(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p tdp %d %d\n", g.NumVertices(), g.NumEdges())
+	for _, e := range g.edges {
+		fmt.Fprintf(bw, "%d %d\n", e.U+1, e.V+1)
+	}
+	return bw.Flush()
+}
+
+// ReadPACE parses the PACE .gr format produced by WritePACE: a "p tdp n m"
+// problem line (the descriptor "td" is also accepted), "c" comment lines
+// anywhere, and one 1-indexed edge per remaining line. Duplicate edges and
+// self-loops are rejected, matching the PACE instance rules for simple graphs.
+func ReadPACE(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	wantEdges := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "p" {
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", lineNo)
+			}
+			if len(fields) != 4 || (fields[1] != "tdp" && fields[1] != "td") {
+				return nil, fmt.Errorf("graph: line %d: expected 'p tdp <n> <m>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[2])
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", lineNo, fields[3])
+			}
+			g, wantEdges = New(n), m
+			continue
+		}
+		if g == nil {
+			return nil, fmt.Errorf("graph: line %d: edge before problem line", lineNo)
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected '<u> <v>'", lineNo)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[1])
+		}
+		if u < 1 || u > g.NumVertices() || v < 1 || v > g.NumVertices() {
+			return nil, fmt.Errorf("graph: line %d: endpoint out of range [1, %d]", lineNo, g.NumVertices())
+		}
+		if _, err := g.AddEdge(u-1, v-1); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	if g.NumEdges() != wantEdges {
+		return nil, fmt.Errorf("graph: problem line declares %d edges, found %d", wantEdges, g.NumEdges())
+	}
+	return g, nil
+}

@@ -1,0 +1,126 @@
+package treedepth
+
+import (
+	"math/bits"
+
+	"repro/internal/bitset"
+)
+
+// Cheap treedepth lower bounds for a connected subgraph, computed once per
+// component before the branch-and-bound search starts. Each is a few
+// microseconds on the instance sizes the solver targets, and each can prune
+// whole deepening iterations: td >= degeneracy+1 (treedepth dominates
+// treewidth+1, which dominates degeneracy+1), td >= |clique| (a clique needs
+// a chain of that length in any elimination forest), and td >=
+// ceil(log2(p+1)) for any path on p vertices (the path closed form, and
+// treedepth is monotone under subgraphs).
+
+// lowerBound returns the best of the cheap bounds for the connected mask.
+func (s *solver) lowerBound(mask *bitset.Set, cnt int) int {
+	lb := 2 // connected, cnt >= 2: at least one edge
+	if d := s.degeneracyOf(mask, cnt) + 1; d > lb {
+		lb = d
+	}
+	if c := s.greedyClique(mask); c > lb {
+		lb = c
+	}
+	if p := s.pathBound(mask); p > lb {
+		lb = p
+	}
+	return lb
+}
+
+// degeneracyOf computes the degeneracy of G[mask]: the max over the
+// min-degree peeling order of the degree at removal time.
+func (s *solver) degeneracyOf(mask *bitset.Set, cnt int) int {
+	cur := mask.Clone()
+	degen := 0
+	for i := 0; i < cnt; i++ {
+		minV, minD := -1, s.n+1
+		cur.ForEach(func(v int) {
+			if d := s.adj[v].IntersectionCount(cur); d < minD {
+				minD = d
+				minV = v
+			}
+		})
+		if minD > degen {
+			degen = minD
+		}
+		cur.Remove(minV)
+	}
+	return degen
+}
+
+// greedyClique returns the size of a clique found greedily: from each of the
+// highest-degree start vertices, repeatedly add the candidate with the most
+// neighbors among the remaining candidates.
+func (s *solver) greedyClique(mask *bitset.Set) int {
+	starts := s.orderedRoots(mask, mask.Count())
+	if len(starts) > 8 {
+		starts = starts[:8]
+	}
+	best := 0
+	cand := bitset.New(s.n)
+	for _, v := range starts {
+		size := 1
+		cand.CopyFrom(s.adj[v])
+		cand.IntersectWith(mask)
+		for !cand.Empty() {
+			bestW, bestD := -1, -1
+			cand.ForEach(func(w int) {
+				if d := s.adj[w].IntersectionCount(cand); d > bestD {
+					bestD = d
+					bestW = w
+				}
+			})
+			size++
+			cand.IntersectWith(s.adj[bestW])
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// pathBound returns ceil(log2(p+1)) where p is the vertex count of a path
+// found by double BFS (an eccentricity path): G contains P_p as a subgraph,
+// and td(P_p) = ceil(log2(p+1)).
+func (s *solver) pathBound(mask *bitset.Set) int {
+	start, ok := mask.Min()
+	if !ok {
+		return 0
+	}
+	far, _ := s.bfsFarthest(mask, start)
+	_, ecc := s.bfsFarthest(mask, far)
+	p := ecc + 1             // vertices on the path
+	return bits.Len(uint(p)) // ceil(log2(p+1)) for p >= 1
+}
+
+// bfsFarthest returns a farthest vertex from src within mask and its
+// distance, breaking ties toward the smallest vertex index.
+func (s *solver) bfsFarthest(mask *bitset.Set, src int) (int, int) {
+	seen := bitset.New(s.n)
+	seen.Add(src)
+	frontier := bitset.New(s.n)
+	frontier.Add(src)
+	next := bitset.New(s.n)
+	last := frontier.Clone()
+	dist := 0
+	for {
+		next.Clear()
+		frontier.ForEach(func(v int) {
+			next.UnionWith(s.adj[v])
+		})
+		next.IntersectWith(mask)
+		next.DifferenceWith(seen)
+		if next.Empty() {
+			v, _ := last.Min()
+			return v, dist
+		}
+		seen.UnionWith(next)
+		last.CopyFrom(next)
+		frontier.CopyFrom(next)
+		dist++
+	}
+}

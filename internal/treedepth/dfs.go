@@ -1,0 +1,54 @@
+package treedepth
+
+import "repro/internal/graph"
+
+// DFSForest returns an elimination forest of g whose edges are all edges of
+// g, built by depth-first search: every non-tree edge of an undirected DFS is
+// a back edge, so the DFS forest is an elimination forest. By Lemma 2.5 its
+// depth is at most 2^td(G). Roots are chosen as the minimum vertex of each
+// component, and neighbors are explored in increasing order, making the
+// construction deterministic.
+//
+// The traversal uses an explicit stack: the S1 sweep runs it on path graphs
+// with n = 10^5 vertices, where a recursive DFS would push one frame per
+// vertex and grow the goroutine stack by the whole path length.
+func DFSForest(g *graph.Graph) *Forest {
+	n := g.NumVertices()
+	parent := make([]int, n)
+	visited := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// frame (u, i): neighbors of u before index i have been examined.
+	type frame struct {
+		u, i int
+	}
+	var stack []frame
+	for v := 0; v < n; v++ {
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		stack = append(stack[:0], frame{u: v})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nbrs := g.Neighbors(f.u)
+			advanced := false
+			for f.i < len(nbrs) {
+				w := nbrs[f.i]
+				f.i++
+				if !visited[w] {
+					visited[w] = true
+					parent[w] = f.u
+					stack = append(stack, frame{u: w})
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return &Forest{Parent: parent}
+}

@@ -1,0 +1,184 @@
+package treedepth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph/gen"
+)
+
+// The differential battery: the branch-and-bound solver must agree with the
+// naive Lemma-2.2 recursion (its oracle) on seeded random graphs across the
+// density spectrum, and every returned forest must witness the value.
+
+func TestDifferentialSolverVsNaive(t *testing.T) {
+	trials := 500
+	if testing.Short() {
+		trials = 100
+	}
+	r := rand.New(rand.NewSource(20250808))
+	densities := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9}
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + r.Intn(16)
+		p := densities[trial%len(densities)]
+		seed := r.Int63()
+		g := gen.RandomGNP(n, p, seed)
+		name := fmt.Sprintf("trial%d_n%d_p%.2f_seed%d", trial, n, p, seed)
+		want, _, err := exactNaive(g, false)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", name, err)
+		}
+		got, f, stats, err := SolveExact(g, SolveOptions{})
+		if err != nil {
+			t.Fatalf("%s: solver: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: solver td=%d, oracle td=%d (stats %+v)", name, got, want, stats)
+		}
+		if n > 0 {
+			if err := ValidateForest(g, f, got); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// A thinner band at the oracle's ceiling: sparse graphs with 17-20 vertices
+// keep the naive subset recursion tractable while exercising the solver on
+// the largest masks the oracle can still check.
+func TestDifferentialSolverVsNaiveAtCap(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 17 + r.Intn(4)
+		p := 0.1 + 0.05*float64(trial%4)
+		g := gen.RandomGNP(n, p, r.Int63())
+		want, _, err := exactNaive(g, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, f, _, err := SolveExact(g, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d p=%.2f): solver td=%d, oracle td=%d", trial, n, p, got, want)
+		}
+		if err := ValidateForest(g, f, got); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// ValidateForest is property-tested over the same 50-graph population the
+// protocol differential harness uses (internal/protocols/differential_test.go):
+// both exact solvers and DFSForest must produce forests it accepts, and
+// mutated forests must be rejected.
+func TestValidateForestOverDifferentialSuite(t *testing.T) {
+	count := 50
+	if testing.Short() {
+		count = 10
+	}
+	for i := 0; i < count; i++ {
+		d := 2 + i%2
+		n := 8 + (i%7)*4
+		prob := 0.1 + 0.05*float64(i%4)
+		g, _ := gen.BoundedTreedepth(n, d, prob, int64(1000+i))
+		name := fmt.Sprintf("g%02d_n%d_d%d", i, n, d)
+
+		td, f, _, err := SolveExact(g, SolveOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if td > d {
+			t.Fatalf("%s: solver td=%d exceeds generator bound %d", name, td, d)
+		}
+		if err := ValidateForest(g, f, td); err != nil {
+			t.Fatalf("%s: exact forest rejected: %v", name, err)
+		}
+		if err := ValidateForest(g, f, td+1); err == nil {
+			t.Fatalf("%s: wrong claimed depth accepted", name)
+		}
+
+		dfs := DFSForest(g)
+		if err := ValidateForest(g, dfs, dfs.Depth()); err != nil {
+			t.Fatalf("%s: DFS forest rejected: %v", name, err)
+		}
+
+		// Breaking one parent pointer must be caught: rerooting a non-root
+		// vertex orphans the edge to its former parent (or corrupts depth).
+		mut := NewForest(f.Parent)
+		for v := range mut.Parent {
+			if mut.Parent[v] >= 0 && g.Degree(v) > 0 {
+				mut.Parent[v] = -1
+				break
+			}
+		}
+		bad := false
+		if err := mut.VerifyElimination(g); err != nil {
+			bad = true
+		} else if mut.Depth() != td {
+			bad = true
+		}
+		if !bad {
+			t.Fatalf("%s: mutated forest not rejected", name)
+		}
+	}
+}
+
+// The S1 sweep runs DFSForest on n = 10^5 paths; the explicit-stack
+// traversal must handle them (a recursive DFS would push one frame per
+// vertex) and preserve the original neighbor order exactly.
+func TestDFSForestLongPath(t *testing.T) {
+	const n = 200000
+	g := gen.Path(n)
+	f := DFSForest(g)
+	for v := 1; v < n; v++ {
+		if f.Parent[v] != v-1 {
+			t.Fatalf("parent[%d] = %d, want %d", v, f.Parent[v], v-1)
+		}
+	}
+	if f.Parent[0] != -1 {
+		t.Fatal("vertex 0 must be the root")
+	}
+	if d := f.Depth(); d != n {
+		t.Fatalf("depth = %d, want %d", d, n)
+	}
+}
+
+// The iterative DFS must match the recursive definition: preorder, neighbors
+// in increasing order, min-vertex roots. A direct recursive reimplementation
+// pins the traversal on random graphs.
+func TestDFSForestMatchesRecursive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		g := gen.RandomGNP(2+r.Intn(40), 0.15, r.Int63())
+		n := g.NumVertices()
+		parent := make([]int, n)
+		visited := make([]bool, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		var dfs func(u int)
+		dfs = func(u int) {
+			visited[u] = true
+			for _, w := range g.Neighbors(u) {
+				if !visited[w] {
+					parent[w] = u
+					dfs(w)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !visited[v] {
+				dfs(v)
+			}
+		}
+		f := DFSForest(g)
+		for v := 0; v < n; v++ {
+			if f.Parent[v] != parent[v] {
+				t.Fatalf("trial %d: parent[%d] = %d, recursive = %d", trial, v, f.Parent[v], parent[v])
+			}
+		}
+	}
+}

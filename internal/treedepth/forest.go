@@ -151,6 +151,22 @@ func (f *Forest) VerifyElimination(g *graph.Graph) error {
 	return nil
 }
 
+// ValidateForest checks that f is an elimination forest of g witnessing
+// treedepth exactly td: structurally valid, every edge of g joins a vertex
+// to one of its ancestors, and the forest depth equals the claimed td. It is
+// the reusable acceptance check for anything that produces a (td, forest)
+// pair — the exact solvers, DFSForest (with td = f.Depth()), and external
+// decompositions read from disk.
+func ValidateForest(g *graph.Graph, f *Forest, td int) error {
+	if err := f.VerifyElimination(g); err != nil {
+		return err
+	}
+	if d := f.Depth(); d != td {
+		return fmt.Errorf("treedepth: forest depth %d does not match claimed treedepth %d", d, td)
+	}
+	return nil
+}
+
 // SubtreeVertices returns, for every vertex u, the sorted vertices of the
 // subtree rooted at u (including u).
 func (f *Forest) SubtreeVertices() [][]int {

@@ -1,0 +1,136 @@
+package treedepth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+// Metamorphic invariants of treedepth, pinned against the solver: each
+// transformation has a known effect on the answer, so any drift is a solver
+// bug even where no oracle exists.
+
+func solveTD(t *testing.T, g *graph.Graph) int {
+	t.Helper()
+	td, f, _, err := SolveExact(g, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateForest(g, f, td); err != nil {
+		t.Fatal(err)
+	}
+	return td
+}
+
+// Deleting an edge never increases treedepth (subgraph monotonicity).
+func TestMetamorphicEdgeDeletionMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.RandomGNP(6+r.Intn(14), 0.3, r.Int63())
+		if g.NumEdges() == 0 {
+			continue
+		}
+		before := solveTD(t, g)
+		// Rebuild without one random edge.
+		drop := r.Intn(g.NumEdges())
+		h := graph.New(g.NumVertices())
+		for _, e := range g.Edges() {
+			if e.ID != drop {
+				h.MustAddEdge(e.U, e.V)
+			}
+		}
+		after := solveTD(t, h)
+		if after > before {
+			t.Fatalf("trial %d: deleting edge %v raised td %d -> %d", trial, g.Edge(drop), before, after)
+		}
+	}
+}
+
+// td of a disjoint union is the max over the parts.
+func TestMetamorphicDisjointUnionIsMax(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		a := gen.RandomGNP(4+r.Intn(12), 0.35, r.Int63())
+		b := gen.RandomGNP(4+r.Intn(12), 0.2, r.Int63())
+		c := gen.RandomTree(5+r.Intn(20), r.Int63())
+		u, _ := gen.DisjointUnion(a, b, c)
+		want := solveTD(t, a)
+		if d := solveTD(t, b); d > want {
+			want = d
+		}
+		if d := solveTD(t, c); d > want {
+			want = d
+		}
+		if got := solveTD(t, u); got != want {
+			t.Fatalf("trial %d: td(union) = %d, max(parts) = %d", trial, got, want)
+		}
+	}
+}
+
+// Closed forms: td(P_n) = ceil(log2(n+1)), td(K_n) = n, both far beyond the
+// naive oracle's ceiling.
+func TestMetamorphicClosedForms(t *testing.T) {
+	for n := 1; n <= 80; n += 7 {
+		if got, want := solveTD(t, gen.Path(n)), int(math.Ceil(math.Log2(float64(n+1)))); got != want {
+			t.Fatalf("td(P%d) = %d, want %d", n, got, want)
+		}
+	}
+	for n := 2; n <= 40; n += 5 {
+		if got := solveTD(t, gen.Complete(n)); got != n {
+			t.Fatalf("td(K%d) = %d, want %d", n, got, n)
+		}
+	}
+	// td(C_n) = ceil(log2(n)) + 1.
+	for n := 3; n <= 50; n += 4 {
+		want := int(math.Ceil(math.Log2(float64(n)))) + 1
+		if got := solveTD(t, gen.Cycle(n)); got != want {
+			t.Fatalf("td(C%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Treedepth is an isomorphism invariant: relabeling vertices by a seeded
+// random permutation never changes the answer.
+func TestMetamorphicIsomorphismInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		g := gen.RandomGNP(5+r.Intn(10), 0.25, r.Int63())
+		want := solveTD(t, g)
+		for _, permSeed := range []int64{r.Int63(), r.Int63()} {
+			pr := rand.New(rand.NewSource(permSeed))
+			perm := pr.Perm(g.NumVertices())
+			h := graph.New(g.NumVertices())
+			for _, e := range g.Edges() {
+				h.MustAddEdge(perm[e.U], perm[e.V])
+			}
+			if got := solveTD(t, h); got != want {
+				t.Fatalf("trial %d seed %d: td changed %d -> %d under relabeling", trial, permSeed, want, got)
+			}
+		}
+	}
+}
+
+// Adding an apex vertex adjacent to everything increases treedepth by
+// exactly one (root the apex above an optimal forest; conversely deleting
+// it drops td by at most one).
+func TestMetamorphicApexAddsOne(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(12)
+		g := gen.RandomGNP(n, 0.3, r.Int63())
+		want := solveTD(t, g) + 1
+		h := graph.New(n + 1)
+		for _, e := range g.Edges() {
+			h.MustAddEdge(e.U, e.V)
+		}
+		for v := 0; v < n; v++ {
+			h.MustAddEdge(v, n)
+		}
+		if got := solveTD(t, h); got != want {
+			t.Fatalf("trial %d: td(apex) = %d, want %d", trial, got, want)
+		}
+	}
+}

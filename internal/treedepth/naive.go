@@ -7,29 +7,18 @@ import (
 	"repro/internal/graph"
 )
 
-// exactLimit bounds the exhaustive-search algorithm; beyond this the state
-// space (all vertex subsets) is impractical.
-const exactLimit = 20
+// naiveLimit bounds the exhaustive-search oracle; beyond this the state
+// space (all vertex subsets of a uint64 mask) is impractical.
+const naiveLimit = 20
 
-// Exact computes the treedepth of g exactly using the recursive
-// characterization of Lemma 2.2, memoized over vertex subsets. It returns
-// ErrTooLarge for graphs with more than 20 vertices.
-func Exact(g *graph.Graph) (int, error) {
-	td, _, err := exact(g, false)
-	return td, err
-}
-
-// ExactForest computes the treedepth of g and an optimal elimination forest
-// witnessing it. It returns ErrTooLarge for graphs with more than 20
-// vertices.
-func ExactForest(g *graph.Graph) (int, *Forest, error) {
-	return exact(g, true)
-}
-
-func exact(g *graph.Graph, wantForest bool) (int, *Forest, error) {
+// exactNaive computes the treedepth of g with the recursive
+// characterization of Lemma 2.2, memoized over uint64 vertex subsets. It is
+// retained verbatim as the differential oracle for the branch-and-bound
+// solver in solver.go and returns ErrTooLarge beyond 20 vertices.
+func exactNaive(g *graph.Graph, wantForest bool) (int, *Forest, error) {
 	n := g.NumVertices()
-	if n > exactLimit {
-		return 0, nil, fmt.Errorf("%w: n=%d > %d", ErrTooLarge, n, exactLimit)
+	if n > naiveLimit {
+		return 0, nil, fmt.Errorf("%w: n=%d > %d", ErrTooLarge, n, naiveLimit)
 	}
 	if n == 0 {
 		return 0, &Forest{Parent: nil}, nil
@@ -39,7 +28,7 @@ func exact(g *graph.Graph, wantForest bool) (int, *Forest, error) {
 		adj[e.U] |= 1 << uint(e.V)
 		adj[e.V] |= 1 << uint(e.U)
 	}
-	s := &exactSolver{adj: adj, n: n, memo: make(map[uint64]int), bestRoot: make(map[uint64]int)}
+	s := &naiveSolver{adj: adj, n: n, memo: make(map[uint64]int), bestRoot: make(map[uint64]int)}
 	full := uint64(1)<<uint(n) - 1
 	td := s.solve(full)
 	if !wantForest {
@@ -53,7 +42,14 @@ func exact(g *graph.Graph, wantForest bool) (int, *Forest, error) {
 	return td, &Forest{Parent: parent}, nil
 }
 
-type exactSolver struct {
+// ExactNaive exposes the naive oracle (with witness forest) for external
+// cross-checks, e.g. the S6 experiment sweep. It returns ErrTooLarge beyond
+// 20 vertices.
+func ExactNaive(g *graph.Graph) (int, *Forest, error) {
+	return exactNaive(g, true)
+}
+
+type naiveSolver struct {
 	adj      []uint64
 	n        int
 	memo     map[uint64]int // mask of a *connected* subgraph -> treedepth
@@ -62,7 +58,7 @@ type exactSolver struct {
 
 // solve returns td(G[mask]) handling disconnected masks by taking the max
 // over components (Lemma 2.2).
-func (s *exactSolver) solve(mask uint64) int {
+func (s *naiveSolver) solve(mask uint64) int {
 	if mask == 0 {
 		return 0
 	}
@@ -75,7 +71,7 @@ func (s *exactSolver) solve(mask uint64) int {
 	return max
 }
 
-func (s *exactSolver) solveConnected(mask uint64) int {
+func (s *naiveSolver) solveConnected(mask uint64) int {
 	if bits.OnesCount64(mask) == 1 {
 		return 1
 	}
@@ -97,7 +93,7 @@ func (s *exactSolver) solveConnected(mask uint64) int {
 }
 
 // components splits mask into connected components of G[mask].
-func (s *exactSolver) components(mask uint64) []uint64 {
+func (s *naiveSolver) components(mask uint64) []uint64 {
 	var comps []uint64
 	remaining := mask
 	for remaining != 0 {
@@ -121,7 +117,7 @@ func (s *exactSolver) components(mask uint64) []uint64 {
 
 // reconstruct fills the parent array for the elimination forest of G[mask],
 // attaching component roots below attachTo (-1 for top level).
-func (s *exactSolver) reconstruct(mask uint64, attachTo int, parent []int) {
+func (s *naiveSolver) reconstruct(mask uint64, attachTo int, parent []int) {
 	for _, comp := range s.components(mask) {
 		var root int
 		if bits.OnesCount64(comp) == 1 {
@@ -138,35 +134,4 @@ func (s *exactSolver) reconstruct(mask uint64, attachTo int, parent []int) {
 			s.reconstruct(rest, root, parent)
 		}
 	}
-}
-
-// DFSForest returns an elimination forest of g whose edges are all edges of
-// g, built by depth-first search: every non-tree edge of an undirected DFS is
-// a back edge, so the DFS forest is an elimination forest. By Lemma 2.5 its
-// depth is at most 2^td(G). Roots are chosen as the minimum vertex of each
-// component, and neighbors are explored in increasing order, making the
-// construction deterministic.
-func DFSForest(g *graph.Graph) *Forest {
-	n := g.NumVertices()
-	parent := make([]int, n)
-	visited := make([]bool, n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	var dfs func(u int)
-	dfs = func(u int) {
-		visited[u] = true
-		for _, w := range g.Neighbors(u) {
-			if !visited[w] {
-				parent[w] = u
-				dfs(w)
-			}
-		}
-	}
-	for v := 0; v < n; v++ {
-		if !visited[v] {
-			dfs(v)
-		}
-	}
-	return &Forest{Parent: parent}
 }

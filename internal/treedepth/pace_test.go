@@ -1,0 +1,85 @@
+package treedepth
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The checked-in PACE instances under examples/pace encode their known
+// optimal treedepth in the filename (`..._td<k>.gr`). Re-solving each one
+// keeps the corpus honest and exercises the .gr reader on real files.
+func TestPACEExampleInstances(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "pace")
+	files, err := filepath.Glob(filepath.Join(dir, "*.gr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("expected at least 5 instances in %s, found %d", dir, len(files))
+	}
+	tdRe := regexp.MustCompile(`_td(\d+)\.gr$`)
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			m := tdRe.FindStringSubmatch(path)
+			if m == nil {
+				t.Fatalf("filename does not declare its treedepth: %s", path)
+			}
+			want, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			g, err := graph.ReadPACE(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, forest, _, err := SolveExact(g, SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("solved td = %d, filename claims %d", got, want)
+			}
+			if err := ValidateForest(g, forest, got); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Round-trip each instance through WritePACE and ReadPACE: the graph and the
+// bytes themselves must be stable.
+func TestPACEExampleRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "pace", "*.gr"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob: %v (%d files)", err, len(files))
+	}
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.ReadPACE(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		var buf bytes.Buffer
+		if err := graph.WritePACE(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), raw) {
+			t.Fatalf("%s: re-encoding changed the bytes", path)
+		}
+	}
+}

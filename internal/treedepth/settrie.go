@@ -1,0 +1,133 @@
+package treedepth
+
+// SetTrie is the solver's bound cache, following the tdULL cache discipline:
+// it maps vertex sets (encoded as strictly increasing index slices) to an
+// Entry holding a proven lower bound, a proven upper bound, and the root
+// witnessing that upper bound. The invariant maintained by the solver: every
+// stored set induces a connected subgraph with at least 3 vertices, and for
+// every entry with root >= 0, each component of the set minus its root that
+// has 3 or more vertices is also stored, with upper bounds consistent with
+// the parent's (so an optimal elimination forest can be reconstructed by
+// chasing roots). The trie shares prefixes between sets, so the memory cost
+// per cached subgraph is a handful of child slots rather than a full key
+// copy, and lookups walk one node per set element.
+type SetTrie struct {
+	nodes   []trieNode
+	entries []*trieEntryChunk
+	count   int
+}
+
+// trieEntry is one cached subgraph: [lower, upper] treedepth bounds and the
+// witnessing root (-1 until an upper-bound witness is recorded).
+type trieEntry struct {
+	lower int32
+	upper int32
+	root  int32
+}
+
+const trieChunkSize = 1024
+
+type trieEntryChunk = [trieChunkSize]trieEntry
+
+type trieNode struct {
+	vals  []int32 // sorted child labels (vertex indices)
+	kids  []int32 // child node indices, aligned with vals
+	entry int32   // index into the entry arena, -1 if no set ends here
+}
+
+// NewSetTrie returns an empty cache.
+func NewSetTrie() *SetTrie {
+	return &SetTrie{nodes: []trieNode{{entry: -1}}}
+}
+
+// Len returns the number of sets stored.
+func (t *SetTrie) Len() int { return t.count }
+
+// Get returns the entry stored for exactly this key, or nil. The key must be
+// strictly increasing.
+func (t *SetTrie) Get(key []int) *trieEntry {
+	cur := int32(0)
+	for _, v := range key {
+		nd := &t.nodes[cur]
+		i := findChild(nd.vals, int32(v))
+		if i < 0 {
+			return nil
+		}
+		cur = nd.kids[i]
+	}
+	if e := t.nodes[cur].entry; e >= 0 {
+		return t.entryAt(e)
+	}
+	return nil
+}
+
+// GetOrInsert returns the entry for the key, creating it (zero-valued) when
+// absent; created reports whether a new entry was allocated. The key must be
+// strictly increasing. Returned pointers stay valid across later inserts
+// (entries live in fixed-size chunks that are never moved).
+func (t *SetTrie) GetOrInsert(key []int) (e *trieEntry, created bool) {
+	cur := int32(0)
+	for _, v := range key {
+		nd := &t.nodes[cur]
+		i := findChild(nd.vals, int32(v))
+		if i < 0 {
+			next := int32(len(t.nodes))
+			t.nodes = append(t.nodes, trieNode{entry: -1})
+			nd = &t.nodes[cur] // re-take: append may have moved the backing array
+			i = insertChild(nd, int32(v), next)
+		}
+		cur = t.nodes[cur].kids[i]
+	}
+	nd := &t.nodes[cur]
+	if nd.entry >= 0 {
+		return t.entryAt(nd.entry), false
+	}
+	idx := int32(t.count)
+	if t.count%trieChunkSize == 0 {
+		t.entries = append(t.entries, new(trieEntryChunk))
+	}
+	t.count++
+	nd.entry = idx
+	return t.entryAt(idx), true
+}
+
+func (t *SetTrie) entryAt(i int32) *trieEntry {
+	return &t.entries[i/trieChunkSize][i%trieChunkSize]
+}
+
+// findChild returns the position of v in vals, or -1.
+func findChild(vals []int32, v int32) int {
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(vals) && vals[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// insertChild inserts (v, kid) keeping vals sorted and returns v's position.
+func insertChild(nd *trieNode, v, kid int32) int {
+	lo, hi := 0, len(nd.vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	nd.vals = append(nd.vals, 0)
+	copy(nd.vals[lo+1:], nd.vals[lo:])
+	nd.vals[lo] = v
+	nd.kids = append(nd.kids, 0)
+	copy(nd.kids[lo+1:], nd.kids[lo:])
+	nd.kids[lo] = kid
+	return lo
+}

@@ -1,0 +1,120 @@
+package treedepth
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSetTrieBasics(t *testing.T) {
+	tr := NewSetTrie()
+	if tr.Len() != 0 {
+		t.Fatal("new trie not empty")
+	}
+	if tr.Get([]int{1, 2}) != nil {
+		t.Fatal("Get on empty trie")
+	}
+	e, created := tr.GetOrInsert([]int{1, 2, 5})
+	if !created || tr.Len() != 1 {
+		t.Fatalf("insert: created=%v len=%d", created, tr.Len())
+	}
+	e.lower, e.upper, e.root = 2, 3, 5
+	// Exact key round-trips; prefixes, extensions, and siblings do not.
+	if got := tr.Get([]int{1, 2, 5}); got == nil || got.lower != 2 || got.upper != 3 || got.root != 5 {
+		t.Fatalf("Get = %+v", got)
+	}
+	for _, miss := range [][]int{{1, 2}, {1, 2, 5, 7}, {1, 3, 5}, {2, 5}, {}} {
+		if tr.Get(miss) != nil {
+			t.Fatalf("Get(%v) should miss", miss)
+		}
+	}
+	// Re-inserting returns the same entry.
+	e2, created := tr.GetOrInsert([]int{1, 2, 5})
+	if created || e2 != e {
+		t.Fatal("GetOrInsert must return the existing entry")
+	}
+	// A prefix of an existing key is a distinct set.
+	p, created := tr.GetOrInsert([]int{1, 2})
+	if !created || tr.Len() != 2 {
+		t.Fatal("prefix insert")
+	}
+	p.lower = 7
+	if got := tr.Get([]int{1, 2, 5}); got.lower != 2 {
+		t.Fatal("prefix insert corrupted extension entry")
+	}
+}
+
+// Entry pointers must stay valid as the trie grows past chunk boundaries.
+func TestSetTrieStablePointersAcrossGrowth(t *testing.T) {
+	tr := NewSetTrie()
+	first, _ := tr.GetOrInsert([]int{0})
+	first.lower = 42
+	for i := 0; i < 3*trieChunkSize; i++ {
+		e, _ := tr.GetOrInsert([]int{1, 2 + i})
+		e.lower = int32(i)
+	}
+	if first.lower != 42 || tr.Get([]int{0}).lower != 42 {
+		t.Fatal("entry pointer invalidated by growth")
+	}
+	if tr.Len() != 1+3*trieChunkSize {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// Differential property test: the trie behaves exactly like a map keyed by
+// the joined set, over random insert/lookup workloads.
+func TestSetTrieVsMap(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tr := NewSetTrie()
+	ref := map[string]int32{}
+	keyOf := func(key []int) string {
+		b := make([]byte, 0, 2*len(key))
+		for _, v := range key {
+			b = append(b, byte(v), ',')
+		}
+		return string(b)
+	}
+	randomKey := func() []int {
+		sz := r.Intn(8)
+		seen := map[int]bool{}
+		for len(seen) < sz {
+			seen[r.Intn(20)] = true
+		}
+		key := make([]int, 0, sz)
+		for v := range seen {
+			key = append(key, v)
+		}
+		sort.Ints(key)
+		return key
+	}
+	for i := 0; i < 5000; i++ {
+		key := randomKey()
+		if len(key) == 0 {
+			continue
+		}
+		if r.Intn(2) == 0 {
+			e, created := tr.GetOrInsert(key)
+			if _, ok := ref[keyOf(key)]; ok == created {
+				t.Fatalf("step %d: created=%v but ref has=%v for %v", i, created, ok, key)
+			}
+			if created {
+				e.lower = int32(i)
+				ref[keyOf(key)] = int32(i)
+			} else if e.lower != ref[keyOf(key)] {
+				t.Fatalf("step %d: entry %d != ref %d for %v", i, e.lower, ref[keyOf(key)], key)
+			}
+		} else {
+			e := tr.Get(key)
+			want, ok := ref[keyOf(key)]
+			if (e != nil) != ok {
+				t.Fatalf("step %d: presence mismatch for %v", i, key)
+			}
+			if ok && e.lower != want {
+				t.Fatalf("step %d: value mismatch for %v", i, key)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+}

@@ -1,0 +1,453 @@
+package treedepth
+
+// Branch-and-bound exact treedepth solver in the tdULL lineage (PACE 2020):
+// connected-subgraph search over bitsets, a SetTrie cache of
+// (lower, upper, root) bounds shared across components and deepening
+// iterations, search-window pruning (searchLbnd/searchUbnd), iterative
+// deepening on the component bounds, degree-guided root ordering, and cheap
+// lower bounds (degeneracy+1, greedy clique, log2 of a long path) to prune
+// early. Unlike the uint64 oracle in naive.go it has no 64-vertex ceiling.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// ErrBudget is returned by SolveExact when the search exceeds the configured
+// node budget before proving optimality.
+var ErrBudget = errors.New("treedepth: search node budget exhausted")
+
+// SolveOptions configures the exact solver.
+type SolveOptions struct {
+	// MaxNodes bounds the number of branch-and-bound passes (0 = unlimited).
+	// The budget is deterministic: the same graph and budget always fail or
+	// succeed identically, unlike a wall-clock limit.
+	MaxNodes int64
+}
+
+// SolveStats reports search effort, for the S6 sweep and for tuning.
+type SolveStats struct {
+	Nodes        int64 // branch-and-bound root passes executed
+	CacheHits    int64 // searches answered from cached bounds without branching
+	CacheEntries int   // subgraphs stored in the SetTrie
+	Components   int   // connected components of the input
+	LowerBound   int   // best initial lower bound over components
+	Heuristic    int   // initial heuristic upper bound (max over components)
+}
+
+// Exact computes the treedepth of g exactly.
+func Exact(g *graph.Graph) (int, error) {
+	td, _, _, err := SolveExact(g, SolveOptions{})
+	return td, err
+}
+
+// ExactForest computes the treedepth of g and an optimal elimination forest
+// witnessing it.
+func ExactForest(g *graph.Graph) (int, *Forest, error) {
+	td, f, _, err := SolveExact(g, SolveOptions{})
+	return td, f, err
+}
+
+// SolveExact computes the treedepth of g, an optimal elimination forest
+// witnessing it, and search statistics. With a MaxNodes budget it may return
+// ErrBudget (wrapped) before proving optimality.
+func SolveExact(g *graph.Graph, opts SolveOptions) (int, *Forest, SolveStats, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, &Forest{Parent: nil}, SolveStats{}, nil
+	}
+	s := newSolver(g, opts)
+	td := 0
+	for _, comp := range s.componentsOf(s.full) {
+		s.nComponents++
+		d, err := s.solveComponent(comp.set, comp.cnt)
+		if err != nil {
+			return 0, nil, s.stats(), err
+		}
+		if d > td {
+			td = d
+		}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	s.reconstruct(s.full, -1, parent)
+	return td, &Forest{Parent: parent}, s.stats(), nil
+}
+
+type solver struct {
+	g    *graph.Graph
+	n    int
+	adj  []*bitset.Set // neighbor bitsets over the full universe
+	full *bitset.Set
+	opts SolveOptions
+
+	cache *SetTrie
+	key   []int // scratch for cache keys
+
+	nodes       int64
+	hits        int64
+	nComponents int
+	lb0, ub0    int
+}
+
+type maskComp struct {
+	set *bitset.Set
+	cnt int
+}
+
+func newSolver(g *graph.Graph, opts SolveOptions) *solver {
+	n := g.NumVertices()
+	s := &solver{
+		g:     g,
+		n:     n,
+		adj:   make([]*bitset.Set, n),
+		full:  bitset.New(n),
+		opts:  opts,
+		cache: NewSetTrie(),
+		key:   make([]int, 0, n),
+	}
+	for v := 0; v < n; v++ {
+		s.adj[v] = bitset.New(n)
+		for _, w := range g.Neighbors(v) {
+			s.adj[v].Add(w)
+		}
+	}
+	s.full.Fill()
+	return s
+}
+
+func (s *solver) stats() SolveStats {
+	return SolveStats{
+		Nodes:        s.nodes,
+		CacheHits:    s.hits,
+		CacheEntries: s.cache.Len(),
+		Components:   s.nComponents,
+		LowerBound:   s.lb0,
+		Heuristic:    s.ub0,
+	}
+}
+
+func (s *solver) budgetExceeded() bool {
+	return s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes
+}
+
+// entryOf returns the cache entry for a connected mask with cnt >= 3
+// vertices, creating it with cheap initial bounds when absent.
+func (s *solver) entryOf(mask *bitset.Set, cnt int) *trieEntry {
+	s.key = mask.AppendIndices(s.key[:0])
+	e, created := s.cache.GetOrInsert(s.key)
+	if created {
+		// Connected with >= 2 vertices: there is an edge, so td >= 2; with a
+		// cycle (m >= cnt edges) a P4 or K3 is present, so td >= 3.
+		lower := int32(2)
+		m := 0
+		for _, v := range s.key {
+			m += s.adj[v].IntersectionCount(mask)
+		}
+		if m/2 >= cnt {
+			lower = 3
+		}
+		e.lower = lower
+		e.upper = int32(cnt)
+		e.root = -1
+	}
+	return e
+}
+
+// solveComponent computes td of the connected component exactly by iterative
+// deepening: decision windows (k, k+1) on the windowed search until the
+// cached bounds meet.
+func (s *solver) solveComponent(comp *bitset.Set, cnt int) (int, error) {
+	if cnt <= 2 {
+		return cnt, nil
+	}
+	e := s.entryOf(comp, cnt)
+	if lb := int32(s.lowerBound(comp, cnt)); lb > e.lower {
+		e.lower = lb
+	}
+	s.seedHeuristic(comp, cnt)
+	if int(e.lower) > s.lb0 {
+		s.lb0 = int(e.lower)
+	}
+	if int(e.upper) > s.ub0 {
+		s.ub0 = int(e.upper)
+	}
+	for k := int(e.lower); ; k++ {
+		if int(e.upper) <= k {
+			return int(e.upper), nil
+		}
+		s.search(comp, cnt, k, k+1)
+		if int(e.upper) <= k {
+			return int(e.upper), nil
+		}
+		if s.budgetExceeded() {
+			return 0, fmt.Errorf("%w: %d nodes, bounds [%d, %d]", ErrBudget, s.nodes, e.lower, e.upper)
+		}
+	}
+}
+
+// search refines the cached bounds of the connected subgraph mask
+// (cnt = |mask| >= 1) until they are exact, the lower bound reaches
+// searchUbnd (the caller already has an alternative at least this good), or
+// the upper bound drops to searchLbnd (a sibling component already forces
+// that depth, so further refinement cannot change the caller's maximum).
+// Returns the refined (lower, upper); masks with cnt <= 2 are immediate.
+func (s *solver) search(mask *bitset.Set, cnt, searchLbnd, searchUbnd int) (int, int) {
+	if cnt <= 2 {
+		return cnt, cnt
+	}
+	e := s.entryOf(mask, cnt)
+	branched := false
+	for {
+		lo, up := int(e.lower), int(e.upper)
+		if lo == up || lo >= searchUbnd || up <= searchLbnd || s.budgetExceeded() {
+			if !branched {
+				s.hits++
+			}
+			return lo, up
+		}
+		branched = true
+		s.pass(mask, cnt, e, searchLbnd, searchUbnd)
+		if int(e.lower) == lo && int(e.upper) == up {
+			// The windows pruned every refinement without moving either
+			// bound (not reachable from the decision-window driver, kept as
+			// a terminating fallback for other callers): close the gap
+			// exhaustively.
+			s.exactify(mask, cnt)
+		}
+	}
+}
+
+// pass runs one branch-and-bound sweep over candidate roots of mask,
+// tightening the cache entry in place. Roots are tried in decreasing
+// subgraph-degree order (high-degree roots shatter the graph fastest);
+// component subproblems inherit narrowed windows as in tdULL: a child is
+// only worth solving below min(searchUbnd, upper)-1, and not below the best
+// lower bound its sibling components already force.
+func (s *solver) pass(mask *bitset.Set, cnt int, e *trieEntry, searchLbnd, searchUbnd int) {
+	s.nodes++
+	roots := s.orderedRoots(mask, cnt)
+	rest := mask.Clone()
+	minOver := s.n + 2
+	for _, v := range roots {
+		bound := searchUbnd
+		if up := int(e.upper); up < bound {
+			bound = up
+		}
+		childUbnd := bound - 1 // a useful root needs every component below this
+		rest.CopyFrom(mask)
+		rest.Remove(v)
+		comps := s.componentsOf(rest)
+		// Larger components fail first and force sibling windows sooner.
+		sort.SliceStable(comps, func(i, j int) bool { return comps[i].cnt > comps[j].cnt })
+		rootLo, rootUp := 1, 1
+		failed := false
+		for _, c := range comps {
+			childLbnd := searchLbnd - 1
+			if rootLo-1 > childLbnd {
+				childLbnd = rootLo - 1
+			}
+			clo, cup := s.search(c.set, c.cnt, childLbnd, childUbnd)
+			if 1+clo > rootLo {
+				rootLo = 1 + clo
+			}
+			if 1+cup > rootUp {
+				rootUp = 1 + cup
+			}
+			if clo >= childUbnd {
+				failed = true
+				break
+			}
+		}
+		if rootLo < minOver {
+			minOver = rootLo
+		}
+		if !failed && rootUp < int(e.upper) {
+			e.upper = int32(rootUp)
+			e.root = int32(v)
+		}
+		if int(e.upper) <= searchLbnd || e.lower == e.upper {
+			return
+		}
+		if s.budgetExceeded() {
+			return
+		}
+	}
+	// Every root was tried: td = min over roots of (1 + td(G - root)), and
+	// rootLo underestimates each term, so minOver is a valid lower bound.
+	if minOver > int(e.lower) {
+		e.lower = int32(minOver)
+	}
+}
+
+// exactify closes the gap between the cached bounds of a connected mask by
+// exhaustive branching with only upper-bound pruning. It terminates
+// unconditionally (strictly smaller masks) and ignores the node budget by
+// design: it is the fallback that guarantees search cannot loop.
+func (s *solver) exactify(mask *bitset.Set, cnt int) int {
+	if cnt <= 2 {
+		return cnt
+	}
+	e := s.entryOf(mask, cnt)
+	if e.lower == e.upper {
+		return int(e.lower)
+	}
+	s.nodes++
+	rest := mask.Clone()
+	for _, v := range s.orderedRoots(mask, cnt) {
+		rest.CopyFrom(mask)
+		rest.Remove(v)
+		depth := 1
+		pruned := false
+		for _, c := range s.componentsOf(rest) {
+			if d := 1 + s.exactify(c.set, c.cnt); d > depth {
+				depth = d
+			}
+			if depth >= int(e.upper) && e.root >= 0 {
+				pruned = true
+				break
+			}
+		}
+		if !pruned && (depth < int(e.upper) || e.root < 0) {
+			e.upper = int32(depth)
+			e.root = int32(v)
+		}
+	}
+	e.lower = e.upper
+	return int(e.upper)
+}
+
+// seedHeuristic inserts a heuristic elimination forest for the connected
+// mask into the cache (roots witnessing upper bounds all the way down) and
+// returns its depth. The root choice is separator-like: the vertex whose
+// removal minimizes the largest remaining component, which is optimal on
+// paths and near-optimal on trees, so iterative deepening starts from a
+// tight upper bound.
+func (s *solver) seedHeuristic(mask *bitset.Set, cnt int) int {
+	if cnt <= 2 {
+		return cnt
+	}
+	e := s.entryOf(mask, cnt)
+	if int(e.upper) < cnt {
+		// Already seeded (or improved by search); don't redo the work.
+		return int(e.upper)
+	}
+	bestV, bestMax := -1, cnt+1
+	var bestComps []maskComp
+	rest := mask.Clone()
+	mask.ForEach(func(v int) {
+		rest.CopyFrom(mask)
+		rest.Remove(v)
+		comps := s.componentsOf(rest)
+		maxSz := 0
+		for _, c := range comps {
+			if c.cnt > maxSz {
+				maxSz = c.cnt
+			}
+		}
+		if maxSz < bestMax {
+			bestMax = maxSz
+			bestV = v
+			bestComps = comps
+		}
+	})
+	depth := 1
+	for _, c := range bestComps {
+		if d := 1 + s.seedHeuristic(c.set, c.cnt); d > depth {
+			depth = d
+		}
+	}
+	if depth < int(e.upper) || e.root < 0 {
+		e.upper = int32(depth)
+		e.root = int32(bestV)
+	}
+	return int(e.upper)
+}
+
+// orderedRoots returns the vertices of mask sorted by decreasing degree
+// within the mask, ties broken by increasing vertex index (deterministic).
+func (s *solver) orderedRoots(mask *bitset.Set, cnt int) []int {
+	verts := mask.AppendIndices(make([]int, 0, cnt))
+	deg := make([]int, len(verts))
+	for i, v := range verts {
+		deg[i] = s.adj[v].IntersectionCount(mask)
+	}
+	idx := make([]int, len(verts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if deg[idx[a]] != deg[idx[b]] {
+			return deg[idx[a]] > deg[idx[b]]
+		}
+		return verts[idx[a]] < verts[idx[b]]
+	})
+	out := make([]int, len(verts))
+	for i, j := range idx {
+		out[i] = verts[j]
+	}
+	return out
+}
+
+// componentsOf splits mask into connected components via bitset BFS, in
+// order of their minimum vertex.
+func (s *solver) componentsOf(mask *bitset.Set) []maskComp {
+	var comps []maskComp
+	remaining := mask.Clone()
+	frontier := bitset.New(s.n)
+	next := bitset.New(s.n)
+	for {
+		seed, ok := remaining.Min()
+		if !ok {
+			return comps
+		}
+		comp := bitset.New(s.n)
+		comp.Add(seed)
+		frontier.Clear()
+		frontier.Add(seed)
+		for !frontier.Empty() {
+			next.Clear()
+			frontier.ForEach(func(v int) {
+				next.UnionWith(s.adj[v])
+			})
+			next.IntersectWith(mask)
+			next.DifferenceWith(comp)
+			comp.UnionWith(next)
+			frontier.CopyFrom(next)
+		}
+		comps = append(comps, maskComp{set: comp, cnt: comp.Count()})
+		remaining.DifferenceWith(comp)
+	}
+}
+
+// reconstruct fills the parent array for an elimination forest of G[mask],
+// attaching component roots below attachTo (-1 for top level), by chasing
+// the witnessing roots stored in the cache. Masks with at most 2 vertices
+// (never cached) fall back to a min-vertex chain, which is optimal for them.
+func (s *solver) reconstruct(mask *bitset.Set, attachTo int, parent []int) {
+	for _, comp := range s.componentsOf(mask) {
+		root := -1
+		if comp.cnt >= 3 {
+			s.key = comp.set.AppendIndices(s.key[:0])
+			if e := s.cache.Get(s.key); e != nil && e.root >= 0 {
+				root = int(e.root)
+			}
+		}
+		if root < 0 {
+			root, _ = comp.set.Min()
+		}
+		parent[root] = attachTo
+		if comp.cnt == 1 {
+			continue
+		}
+		rest := comp.set
+		rest.Remove(root)
+		s.reconstruct(rest, root, parent)
+	}
+}

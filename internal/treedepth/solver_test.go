@@ -1,0 +1,161 @@
+package treedepth
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+// The branch-and-bound solver must reproduce closed-form treedepths far
+// beyond the naive oracle's 20-vertex ceiling.
+func TestSolverClosedFormsBeyondCap(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"P63", gen.Path(63), 6},
+		{"P64", gen.Path(64), 7},
+		{"P100", gen.Path(100), 7},
+		{"P127", gen.Path(127), 7},
+		{"P128", gen.Path(128), 8},
+		{"K32", gen.Complete(32), 32},
+		{"K64", gen.Complete(64), 64},
+		{"star100", gen.Star(100), 2},
+		{"C64", gen.Cycle(64), 7}, // td(C_n) = ceil(log2(n)) + 1
+		{"C100", gen.Cycle(100), 8},
+		{"bintree6", gen.CompleteBinaryTree(6), 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			td, f, stats, err := SolveExact(tc.g, SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if td != tc.want {
+				t.Fatalf("td = %d, want %d (stats %+v)", td, tc.want, stats)
+			}
+			if err := ValidateForest(tc.g, f, td); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSolverDisconnectedAndTiny(t *testing.T) {
+	td, f, _, err := SolveExact(graph.New(0), SolveOptions{})
+	if err != nil || td != 0 || f.NumVertices() != 0 {
+		t.Fatalf("empty graph: td=%d f=%v err=%v", td, f, err)
+	}
+	td, f, _, err = SolveExact(graph.New(5), SolveOptions{})
+	if err != nil || td != 1 {
+		t.Fatalf("edgeless: td=%d err=%v", td, err)
+	}
+	if err := ValidateForest(graph.New(5), f, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := gen.DisjointUnion(gen.Complete(6), gen.Path(40), gen.Star(9))
+	td, f, _, err = SolveExact(g, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6; td != want { // max(6, 6, 2)
+		t.Fatalf("td = %d, want %d", td, want)
+	}
+	if err := ValidateForest(g, f, td); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverBudget(t *testing.T) {
+	// A 3x5 grid needs real search; one node of budget cannot finish it.
+	g := gen.Grid(3, 5)
+	_, _, _, err := SolveExact(g, SolveOptions{MaxNodes: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// The budget is deterministic: the same call fails identically.
+	_, _, _, err2 := SolveExact(g, SolveOptions{MaxNodes: 1})
+	if err2 == nil || err.Error() != err2.Error() {
+		t.Fatalf("budget failure not deterministic: %v vs %v", err, err2)
+	}
+	// With no budget the instance solves, and Exact/ExactForest agree.
+	td, f, stats, err := SolveExact(g, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes == 0 {
+		t.Fatal("expected the grid to require branching")
+	}
+	if err := ValidateForest(g, f, td); err != nil {
+		t.Fatal(err)
+	}
+	td2, err := Exact(g)
+	if err != nil || td2 != td {
+		t.Fatalf("Exact = (%d, %v), SolveExact = %d", td2, err, td)
+	}
+}
+
+func TestSolverDeterministic(t *testing.T) {
+	g, _ := gen.BoundedTreedepth(40, 4, 0.3, 7)
+	td1, f1, st1, err := SolveExact(g, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td2, f2, st2, err := SolveExact(g, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td1 != td2 || st1 != st2 {
+		t.Fatalf("nondeterministic: (%d, %+v) vs (%d, %+v)", td1, st1, td2, st2)
+	}
+	for v := range f1.Parent {
+		if f1.Parent[v] != f2.Parent[v] {
+			t.Fatalf("forests differ at vertex %d", v)
+		}
+	}
+}
+
+// The witness invariant: the returned forest's depth always equals the
+// returned treedepth, across a spread of generator families.
+func TestSolverWitnessAcrossFamilies(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"caterpillar", gen.Caterpillar(12, 2)},
+		{"outerplanar", gen.MaximalOuterplanar(24, 3)},
+		{"degenerate", gen.RandomDegenerate(22, 2, 4)},
+		{"tree", gen.RandomTree(60, 5)},
+		{"gnp-sparse", gen.RandomGNP(28, 0.08, 6)},
+		{"gnp-dense", gen.RandomGNP(16, 0.5, 7)},
+		{"bipartite", gen.CompleteBipartite(5, 9)},
+		{"bounded-td", mustFirst(gen.BoundedTreedepth(48, 4, 0.25, 8))},
+	}
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			td, f, _, err := SolveExact(tc.g, SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateForest(tc.g, f, td); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func mustFirst(g *graph.Graph, _ []int) *graph.Graph { return g }
+
+func TestSolverStatsPopulated(t *testing.T) {
+	g := gen.RandomGNP(18, 0.3, 11)
+	_, _, stats, err := SolveExact(g, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Components == 0 || stats.CacheEntries == 0 || stats.LowerBound < 2 || stats.Heuristic == 0 {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+}

@@ -143,9 +143,18 @@ func TestExactDisconnected(t *testing.T) {
 	}
 }
 
-func TestExactTooLarge(t *testing.T) {
-	if _, err := Exact(gen.Path(21)); !errors.Is(err, ErrTooLarge) {
-		t.Fatalf("err = %v, want ErrTooLarge", err)
+func TestExactBeyondNaiveCap(t *testing.T) {
+	// The naive oracle still refuses n > 20; the branch-and-bound solver
+	// replaced it as the public Exact and has no such ceiling.
+	if _, _, err := exactNaive(gen.Path(21), false); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("exactNaive err = %v, want ErrTooLarge", err)
+	}
+	got, err := Exact(gen.Path(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := pathTD(21); got != want {
+		t.Fatalf("td(P21) = %d, want %d", got, want)
 	}
 }
 
