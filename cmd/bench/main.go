@@ -49,6 +49,7 @@ func run() error {
 	scalingOut := flag.String("scaling-out", "", "write the S1 scaling report as JSON to this path")
 	dpOut := flag.String("dp-out", "", "write the S2 DP-algebra report as JSON to this path")
 	faultsOut := flag.String("faults-out", "", "write the S3 fault-injection report as JSON to this path")
+	serveOut := flag.String("serve-out", "", "write the S4 dmcd load-test report as JSON to this path")
 	tdOut := flag.String("td-out", "", "write the S6 exact-treedepth report as JSON to this path")
 	flag.Parse()
 
@@ -95,6 +96,21 @@ func run() error {
 		}
 		faultsRep = rep
 	}
+	var serveRep *experiments.ServeReport
+	if *serveOut != "" {
+		rep, err := experiments.ServeSweep(*quick)
+		if rep != nil {
+			// Write the report even on divergence so the artifact shows which
+			// runs failed; the error still fails the command.
+			if werr := writeJSON(*serveOut, rep); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		serveRep = rep
+	}
 	var tdRep *experiments.TDReport
 	if *tdOut != "" {
 		rep, err := experiments.TDSweep(*quick)
@@ -135,6 +151,8 @@ func run() error {
 			tab = experiments.DPTable(dpRep)
 		case e.ID == "S3" && faultsRep != nil:
 			tab = experiments.FaultTable(faultsRep)
+		case e.ID == "S4" && serveRep != nil:
+			tab = experiments.ServeTable(serveRep)
 		case e.ID == "S6" && tdRep != nil:
 			tab = experiments.TDTable(tdRep)
 		default:

@@ -12,7 +12,8 @@
 // the branch-and-bound solver (internal/treedepth), validates the witness
 // elimination forest, and uses the verified optimum as the parameter d —
 // so the protocol never aborts with LARGE TREEDEPTH and never wastes rounds
-// on an overestimate:
+// on an overestimate. With -seq, the sequential run evaluates along the
+// witness forest itself instead of the DFS heuristic:
 //
 //	gengraph -family grid -rows 3 -cols 5 | dmc -problem acyclic -exact-d
 //
@@ -35,7 +36,13 @@
 //
 // The same -fault-seed replays the same chaos bit-for-bit. If the faults
 // exceed the adapter's retry budget, dmc exits nonzero with the offending
-// edge and round.
+// edge and round. A -faults schedule whose every rate is zero is a no-op:
+// dmc says so and runs the ordinary fault-free path (parallel delivery and
+// all) instead of paying for the injector and the reliable adapter.
+//
+// Flag interactions are explicit: -workers implies -parallel on its own,
+// and the sequential mode rejects every CONGEST-only flag (-parallel,
+// -workers, -seed, -faults, -trace) instead of silently ignoring it.
 package main
 
 import (
@@ -55,59 +62,84 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := runArgs(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dmc:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	graphPath := flag.String("graph", "-", "graph file in edge-list format ('-' = stdin)")
-	problem := flag.String("problem", "", "registered problem name (see -list)")
-	formula := flag.String("formula", "", "closed MSO formula (generic engine)")
-	d := flag.Int("d", 3, "treedepth parameter")
-	exactD := flag.Bool("exact-d", false, "compute the exact treedepth with the branch-and-bound solver and use it as d (overrides -d)")
-	seed := flag.Int64("seed", 0, "adversarial ID permutation seed (0 = identity)")
-	list := flag.Bool("list", false, "list registered problems and exit")
-	sequential := flag.Bool("seq", false, "run the sequential Algorithm 1 instead of the CONGEST protocol")
-	tracePath := flag.String("trace", "", "write an NDJSON round-level trace here ('-' = stdout, report moves to stderr)")
-	parallel := flag.Bool("parallel", false, "execute node programs on the worker pool (bit-identical to sequential)")
-	workers := flag.Int("workers", 0, "worker-pool size with -parallel (0 = GOMAXPROCS)")
-	faultsOn := flag.Bool("faults", false, "inject seed-driven network faults and wrap nodes in the reliable-delivery adapter")
-	faultSeed := flag.Int64("fault-seed", 1, "fault-schedule seed (same seed = same chaos, bit-for-bit)")
-	dropRate := flag.Float64("drop-rate", 0, "per-message drop probability with -faults")
-	dupRate := flag.Float64("dup-rate", 0, "per-message duplication probability with -faults")
-	reorderRate := flag.Float64("reorder-rate", 0, "per-message reorder probability with -faults")
-	reorderWindow := flag.Int("reorder-window", 4, "maximum extra delivery delay in rounds with -faults")
-	crashRate := flag.Float64("crash-rate", 0, "per-node per-round crash probability with -faults (outages of 1-4 rounds)")
-	flag.Parse()
+// runArgs is the whole CLI with its streams injected, so tests can drive
+// every flag combination in-process.
+func runArgs(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dmc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	graphPath := fs.String("graph", "-", "graph file in edge-list format ('-' = stdin)")
+	problem := fs.String("problem", "", "registered problem name (see -list)")
+	formula := fs.String("formula", "", "closed MSO formula (generic engine)")
+	d := fs.Int("d", 3, "treedepth parameter")
+	exactD := fs.Bool("exact-d", false, "compute the exact treedepth with the branch-and-bound solver and use it as d (overrides -d)")
+	seed := fs.Int64("seed", 0, "adversarial ID permutation seed (0 = identity)")
+	list := fs.Bool("list", false, "list registered problems and exit")
+	sequential := fs.Bool("seq", false, "run the sequential Algorithm 1 instead of the CONGEST protocol")
+	tracePath := fs.String("trace", "", "write an NDJSON round-level trace here ('-' = stdout, report moves to stderr)")
+	parallel := fs.Bool("parallel", false, "execute node programs on the worker pool (bit-identical to sequential; implied by -workers)")
+	workers := fs.Int("workers", 0, "worker-pool size, implies -parallel (0 = GOMAXPROCS with -parallel)")
+	faultsOn := fs.Bool("faults", false, "inject seed-driven network faults and wrap nodes in the reliable-delivery adapter")
+	faultSeed := fs.Int64("fault-seed", 1, "fault-schedule seed (same seed = same chaos, bit-for-bit)")
+	dropRate := fs.Float64("drop-rate", 0, "per-message drop probability with -faults")
+	dupRate := fs.Float64("dup-rate", 0, "per-message duplication probability with -faults")
+	reorderRate := fs.Float64("reorder-rate", 0, "per-message reorder probability with -faults")
+	reorderWindow := fs.Int("reorder-window", 4, "maximum extra delivery delay in rounds with -faults")
+	crashRate := fs.Float64("crash-rate", 0, "per-node per-round crash probability with -faults (outages of 1-4 rounds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *list {
 		for _, p := range core.Problems() {
-			fmt.Printf("%-26s %s\n", p.Name, p.Description)
+			fmt.Fprintf(stdout, "%-26s %s\n", p.Name, p.Description)
 		}
 		return nil
 	}
 
-	g, err := loadGraph(*graphPath)
+	// Flag interactions, made explicit instead of silently ignored:
+	// -workers on its own turns the worker pool on; the sequential mode has
+	// no CONGEST run for -parallel/-workers/-seed/-faults/-trace to act on.
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *workers > 0 {
+		*parallel = true
+	}
+	if *sequential {
+		switch {
+		case *parallel:
+			return fmt.Errorf("-parallel/-workers apply to the CONGEST run, not -seq")
+		case *seed != 0:
+			return fmt.Errorf("-seed applies to the CONGEST run, not -seq")
+		case *faultsOn:
+			return fmt.Errorf("-faults applies to the CONGEST run, not -seq")
+		case *tracePath != "":
+			return fmt.Errorf("-trace applies to the CONGEST run, not -seq")
+		}
+	}
+
+	g, err := loadGraph(*graphPath, stdin)
 	if err != nil {
 		return err
 	}
 
 	// The human-readable report goes to stdout, unless the trace stream
 	// claims stdout for piping into cmd/trace.
-	report := io.Writer(os.Stdout)
+	report := stdout
 	var tracer *congest.NDJSONTracer
-	if *faultsOn && *sequential {
-		return fmt.Errorf("-faults applies to the CONGEST run, not -seq")
-	}
 	if *tracePath != "" {
-		if *sequential {
-			return fmt.Errorf("-trace applies to the CONGEST run, not -seq")
-		}
-		sink := io.Writer(os.Stdout)
+		sink := stdout
 		if *tracePath == "-" {
-			report = os.Stderr
+			report = stderr
 		} else {
 			f, err := os.Create(*tracePath)
 			if err != nil {
@@ -143,6 +175,7 @@ func run() error {
 	}
 
 	fmt.Fprintf(report, "graph: n=%d m=%d diam=%d\n", g.NumVertices(), g.NumEdges(), g.Diameter())
+	var witness *treedepth.Forest
 	if *exactD {
 		td, forest, stats, err := treedepth.SolveExact(g, treedepth.SolveOptions{})
 		if err != nil {
@@ -154,11 +187,19 @@ func run() error {
 		fmt.Fprintf(report, "treedepth: td=%d (verified optimal; %d branch nodes, %d cached sets)\n",
 			td, stats.Nodes, stats.CacheEntries)
 		*d = td
+		witness = forest
 	}
 	fmt.Fprintf(report, "problem: %s (d=%d)\n", prob.Name, *d)
 
 	if *sequential {
-		sol, err := core.SolveSequential(g, prob)
+		var sol *core.Solution
+		if witness != nil {
+			// The exact run already paid for an optimal elimination forest;
+			// evaluate along it instead of the DFS heuristic.
+			sol, err = core.SolveSequentialForest(g, prob, witness)
+		} else {
+			sol, err = core.SolveSequential(g, prob)
+		}
 		if err != nil {
 			return err
 		}
@@ -181,11 +222,19 @@ func run() error {
 			MinOutage:     1,
 			MaxOutage:     4,
 		}
-		opts.Injector = faults.New(fcfg)
-		// The reliable adapter needs frame headroom beyond the default
-		// bandwidth; the wrapped protocol still sees the default budget.
-		opts.BandwidthFactor = protocols.ReliableBandwidthFactor(g.NumVertices())
-		fmt.Fprintf(report, "faults: %v (reliable delivery on)\n", fcfg)
+		if fcfg.Noop() {
+			// A schedule that can never fire would still force serial
+			// delivery and the ARQ adapter's overhead; say so and run the
+			// ordinary path instead.
+			fmt.Fprintf(report, "faults: schedule is a no-op (all rates zero); running fault-free\n")
+			*faultsOn = false
+		} else {
+			opts.Injector = faults.New(fcfg)
+			// The reliable adapter needs frame headroom beyond the default
+			// bandwidth; the wrapped protocol still sees the default budget.
+			opts.BandwidthFactor = protocols.ReliableBandwidthFactor(g.NumVertices())
+			fmt.Fprintf(report, "faults: %v (reliable delivery on)\n", fcfg)
+		}
 	}
 	var sol *core.Solution
 	if *faultsOn {
@@ -222,9 +271,9 @@ func run() error {
 	return nil
 }
 
-func loadGraph(path string) (*graph.Graph, error) {
+func loadGraph(path string, stdin io.Reader) (*graph.Graph, error) {
 	if path == "-" {
-		return graph.ReadEdgeList(os.Stdin)
+		return graph.ReadEdgeList(stdin)
 	}
 	f, err := os.Open(path)
 	if err != nil {

@@ -9,6 +9,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"math/bits"
 	"math/rand"
@@ -31,6 +32,11 @@ var ErrBandwidthExceeded = errors.New("congest: per-edge bandwidth exceeded")
 // ErrRoundLimit is returned when a protocol exceeds the configured maximum
 // number of rounds without halting.
 var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// ErrCanceled is returned when Options.Context is canceled mid-run; the
+// underlying context error (context.Canceled or context.DeadlineExceeded)
+// is wrapped and recoverable with errors.Is.
+var ErrCanceled = errors.New("congest: run canceled")
 
 // DefaultBandwidthFactor is the constant c in B = c * ceil(log2 n) bits.
 const DefaultBandwidthFactor = 4
@@ -233,6 +239,16 @@ type Options struct {
 	// installed injector routes delivery through the serial pass so the
 	// fault stream is deterministic at any worker count.
 	Injector FaultInjector
+	// Context, when non-nil, cancels the simulation: the engine checks it at
+	// every round barrier and returns ctx.Err() (wrapped in ErrCanceled)
+	// with the stats accumulated so far. Cancellation never affects the
+	// result of a run that completes — it only bounds how long a run may
+	// take, which is what a serving deadline needs.
+	Context context.Context
+	// Scratch, when non-nil, recycles the engine's per-run buffer state
+	// (inboxes, arenas, shard routes) across simulations with the same
+	// layout. Share one pool across a process; results are unaffected.
+	Scratch *ScratchPool
 }
 
 // BandwidthBits reports the per-edge per-round budget these options yield on

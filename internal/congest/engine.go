@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -147,6 +148,13 @@ type engine struct {
 	trace  traceSink
 	faults *rand.Rand
 
+	// ctx, when non-nil, is polled at every round barrier.
+	ctx context.Context
+	// scratch owns the recyclable buffers above; spool (when non-nil) is
+	// where they return after the run.
+	scratch *engineScratch
+	spool   *ScratchPool
+
 	// Fault-injection state (nil/empty unless Options.Injector is set).
 	inj     FaultInjector
 	down    []bool // vertex -> crashed this round
@@ -173,19 +181,11 @@ func newEngine(s *Simulator, nodes []Node, envs []*Env, bandwidth int) *engine {
 		unbounded: s.opts.Unbounded,
 		nodes:     nodes,
 		envs:      envs,
-		halted:    make([]bool, n),
-		dones:     make([]bool, n),
-		outs:      make([][]Outgoing, n),
 		trace:     newTraceSink(s.opts.Tracer),
+		ctx:       s.opts.Context,
 	}
-	e.inboxes[0] = make([][]Incoming, n)
-	e.inboxes[1] = make([][]Incoming, n)
 	if s.opts.CorruptProb > 0 {
 		e.faults = rand.New(rand.NewSource(s.opts.CorruptSeed))
-	}
-	if s.opts.Injector != nil {
-		e.inj = s.opts.Injector
-		e.down = make([]bool, n)
 	}
 
 	// Shard layout. The shard count is independent of the execution mode
@@ -210,20 +210,28 @@ func newEngine(s *Simulator, nodes []Node, envs []*Env, bandwidth int) *engine {
 			maxDeg = d
 		}
 	}
-	e.shards = make([]*shard, nShards)
-	for i := range e.shards {
-		lo := i * e.shardSize
-		hi := lo + e.shardSize
-		if hi > n {
-			hi = n
-		}
-		sh := &shard{lo: lo, hi: hi, routes: make([][]routed, nShards), portBits: make([]int, maxDeg)}
-		sh.active = make([]int32, 0, hi-lo)
-		for v := lo; v < hi; v++ {
-			sh.active = append(sh.active, int32(v))
-		}
-		e.shards[i] = sh
+
+	// The slice state lives in an engineScratch so a ScratchPool can recycle
+	// it across runs; without a pool the scratch is engine-private and the
+	// code path is identical.
+	key := scratchKey{n: n, shardSize: e.shardSize, maxDeg: maxDeg}
+	if s.opts.Scratch != nil {
+		e.spool = s.opts.Scratch
+		e.scratch = e.spool.acquire(key)
+	} else {
+		e.scratch = newEngineScratch(key)
+		e.scratch.reset()
 	}
+	e.halted = e.scratch.halted
+	e.dones = e.scratch.dones
+	e.outs = e.scratch.outs
+	e.inboxes = e.scratch.inboxes
+	e.shards = e.scratch.shards
+	if s.opts.Injector != nil {
+		e.inj = s.opts.Injector
+		e.down = e.scratch.down
+	}
+
 	if s.opts.Parallel && workers > 1 && nShards > 1 {
 		if workers > nShards {
 			workers = nShards
@@ -261,6 +269,12 @@ func (e *engine) run() (Stats, error) {
 	if e.pool != nil {
 		defer e.pool.close()
 	}
+	if e.spool != nil {
+		// Recycle the buffer state once the run is over; payloads handed to
+		// node programs are only valid during their Round call, so nothing
+		// the caller keeps can alias the pooled memory.
+		defer e.spool.release(e.scratch)
+	}
 	e.stats = Stats{Bandwidth: e.bandwidth}
 	e.trace.runStart(RunInfo{N: e.n, Edges: e.s.g.NumEdges(), Bandwidth: e.bandwidth})
 	if e.inj != nil {
@@ -280,6 +294,12 @@ func (e *engine) run() (Stats, error) {
 	e.trace.roundEnd(0, e.n, 0)
 
 	for round := 1; e.haltedCount < e.n; round++ {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				e.trace.runEnd(e.stats)
+				return e.stats, fmt.Errorf("%w: %w", ErrCanceled, err)
+			}
+		}
 		if round > e.limit {
 			e.trace.runEnd(e.stats)
 			return e.stats, fmt.Errorf("%w: %d rounds", ErrRoundLimit, e.limit)

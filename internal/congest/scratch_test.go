@@ -1,0 +1,114 @@
+package congest
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph/gen"
+)
+
+// TestScratchPoolBitIdentical: runs recycling one pool's buffers must be
+// bit-identical to fresh-allocation runs, across execution modes and
+// repeated reuse of the same scratch.
+func TestScratchPoolBitIdentical(t *testing.T) {
+	g := gen.Grid(5, 7)
+	run := func(opts Options) (Stats, []int) {
+		sim, err := NewSimulator(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := make([]*floodMinNode, g.NumVertices())
+		stats, err := sim.Run(func(v int) Node {
+			nodes[v] = &floodMinNode{maxRound: 15}
+			return nodes[v]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mins := make([]int, len(nodes))
+		for v, n := range nodes {
+			mins[v] = n.min
+		}
+		return stats, mins
+	}
+
+	for _, parallel := range []bool{false, true} {
+		base := Options{Parallel: parallel, Workers: 3, IDSeed: 99}
+		wantStats, wantMins := run(base)
+		pool := NewScratchPool()
+		pooled := base
+		pooled.Scratch = pool
+		for rep := 0; rep < 3; rep++ {
+			stats, mins := run(pooled)
+			if stats != wantStats {
+				t.Fatalf("parallel=%v rep %d: pooled stats %+v != fresh %+v", parallel, rep, stats, wantStats)
+			}
+			for v := range wantMins {
+				if mins[v] != wantMins[v] {
+					t.Fatalf("parallel=%v rep %d: node %d state differs under pooling", parallel, rep, v)
+				}
+			}
+		}
+		if pool.Idle() == 0 {
+			t.Fatal("completed runs should have returned scratch to the pool")
+		}
+	}
+}
+
+// TestScratchPoolAfterError: a run that fails validation mid-round must
+// still return its scratch, and the next run adopting it must be clean.
+func TestScratchPoolAfterError(t *testing.T) {
+	g := gen.Path(6)
+	pool := NewScratchPool()
+	opts := Options{Scratch: pool}
+	sim, err := NewSimulator(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(func(int) Node { return badPortNode{} }); err == nil {
+		t.Fatal("invalid port must error")
+	}
+	if pool.Idle() != 1 {
+		t.Fatalf("Idle = %d after failed run, want 1", pool.Idle())
+	}
+	// The recycled scratch must not leak the failed run's state.
+	sim2, err := NewSimulator(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim2.Run(func(int) Node { return &staggerNode{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HaltedNodes != 6 {
+		t.Fatalf("stats after adopting dirty scratch: %+v", stats)
+	}
+}
+
+// TestContextCancellation: a canceled context stops the round loop with
+// ErrCanceled wrapping the context's error, in both execution modes.
+func TestContextCancellation(t *testing.T) {
+	g := gen.Path(8)
+	for _, parallel := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // already canceled: the run must stop at the first barrier
+		sim, err := NewSimulator(g, Options{Parallel: parallel, Workers: 2, Context: ctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sim.Run(func(int) Node { return neverHaltNode{} })
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%v: err = %v, want ErrCanceled wrapping context.Canceled", parallel, err)
+		}
+	}
+	// A nil context (the default) must not alter behavior: the same protocol
+	// runs into the round limit instead.
+	sim, err := NewSimulator(g, Options{RoundLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(func(int) Node { return neverHaltNode{} }); !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+}

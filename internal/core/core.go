@@ -223,7 +223,15 @@ type Solution struct {
 // SolveDistributed runs the problem's distributed protocol with treedepth
 // parameter d.
 func SolveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options) (*Solution, error) {
-	return solveDistributed(g, prob, d, opts, false, protocols.ReliableConfig{})
+	return solveDistributed(g, prob, d, opts, false, protocols.ReliableConfig{}, nil)
+}
+
+// SolveDistributedCached is SolveDistributed with every node evaluating its
+// DP through a handle of the given process-lifetime shared cache (which must
+// wrap the same predicate the problem builds). Results are bit-identical to
+// SolveDistributed; only work is saved.
+func SolveDistributedCached(g *graph.Graph, prob Problem, d int, opts congest.Options, cache *regular.Shared) (*Solution, error) {
+	return solveDistributed(g, prob, d, opts, false, protocols.ReliableConfig{}, cache)
 }
 
 // SolveDistributedReliable is SolveDistributed with every node wrapped in
@@ -233,15 +241,15 @@ func SolveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options)
 // (protocols.ReliableBandwidthFactor is the standard choice). When injected
 // faults exceed the retry budget the error wraps protocols.ErrUnrecoverable.
 func SolveDistributedReliable(g *graph.Graph, prob Problem, d int, opts congest.Options, rel protocols.ReliableConfig) (*Solution, error) {
-	return solveDistributed(g, prob, d, opts, true, rel)
+	return solveDistributed(g, prob, d, opts, true, rel, nil)
 }
 
-func solveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options, reliable bool, rel protocols.ReliableConfig) (*Solution, error) {
+func solveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options, reliable bool, rel protocols.ReliableConfig, cache *regular.Shared) (*Solution, error) {
 	pred, err := prob.Build()
 	if err != nil {
 		return nil, err
 	}
-	cfg := protocols.Config{Pred: pred, D: d, Reliable: reliable, Rel: rel}
+	cfg := protocols.Config{Pred: pred, D: d, Reliable: reliable, Rel: rel, Cache: cache}
 	switch prob.Kind {
 	case KindDecision:
 		cfg.Mode = protocols.ModeDecide
@@ -276,16 +284,38 @@ func solveDistributed(g *graph.Graph, prob Problem, d int, opts congest.Options,
 // SolveSequential runs the problem centrally with Algorithm 1 over a DFS
 // elimination tree (the baseline of the benchmark harness).
 func SolveSequential(g *graph.Graph, prob Problem) (*Solution, error) {
+	return SolveSequentialForest(g, prob, treedepth.DFSForest(g))
+}
+
+// SolveSequentialForest is SolveSequential over a caller-supplied elimination
+// forest — e.g. an exact-treedepth witness instead of the DFS heuristic.
+func SolveSequentialForest(g *graph.Graph, prob Problem, forest *treedepth.Forest) (*Solution, error) {
 	pred, err := prob.Build()
 	if err != nil {
 		return nil, err
 	}
-	forest := treedepth.DFSForest(g)
 	run, err := seq.New(g, forest, pred)
 	if err != nil {
 		return nil, err
 	}
+	return finishSequential(run, prob)
+}
+
+// SolveSequentialCached is SolveSequential evaluating through a handle of the
+// given process-lifetime shared cache (which must wrap the same predicate the
+// problem builds). Results are bit-identical to SolveSequential.
+func SolveSequentialCached(g *graph.Graph, prob Problem, cache *regular.Shared) (*Solution, error) {
+	run, err := seq.NewWithCache(g, treedepth.DFSForest(g), cache.Handle())
+	if err != nil {
+		return nil, err
+	}
+	return finishSequential(run, prob)
+}
+
+// finishSequential drives a constructed runner through the problem's phase.
+func finishSequential(run *seq.Runner, prob Problem) (*Solution, error) {
 	out := &Solution{}
+	var err error
 	switch prob.Kind {
 	case KindDecision:
 		out.Accepted, err = run.Decide()

@@ -67,6 +67,17 @@ type Config struct {
 	MaxOutage int
 }
 
+// Noop reports whether the schedule can never perturb a run: every effective
+// rate is zero after clamping (a positive ReorderRate is still inert when the
+// window clamps to zero). Drivers use this to skip the injector — and the
+// serial delivery it forces — when the requested chaos is vacuous.
+func (c Config) Noop() bool {
+	return clamp01(c.DropRate) == 0 &&
+		clamp01(c.DupRate) == 0 &&
+		clamp01(c.CrashRate) == 0 &&
+		(clamp01(c.ReorderRate) == 0 || c.ReorderWindow <= 0)
+}
+
 func clamp01(x float64) float64 {
 	// NaN compares false to everything; map it to 0 explicitly.
 	if !(x > 0) {

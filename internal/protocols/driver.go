@@ -54,6 +54,10 @@ func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
 	if len(cfg.VertexLabelNames) > 32 || len(cfg.EdgeLabelNames) > 32 {
 		return nil, fmt.Errorf("%w: at most 32 vertex and edge labels supported", ErrProtocol)
 	}
+	if cfg.Cache != nil && cfg.Cache.Predicate().Name() != cfg.Pred.Name() {
+		return nil, fmt.Errorf("%w: shared cache wraps predicate %q, run wants %q",
+			ErrProtocol, cfg.Cache.Predicate().Name(), cfg.Pred.Name())
+	}
 	sim, err := congest.NewSimulator(g, opts)
 	if err != nil {
 		return nil, err

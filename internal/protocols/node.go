@@ -49,6 +49,14 @@ type Config struct {
 	Reliable bool
 	// Rel tunes the adapter when Reliable is set (zero value = defaults).
 	Rel ReliableConfig
+	// Cache, when non-nil, is a process-lifetime shared DP cache for Pred:
+	// every node draws a handle from it instead of building a private
+	// interner/memo, so classes and compositions interned by earlier runs
+	// (earlier requests, in a daemon) are reused. Must wrap the same
+	// predicate as Pred. Caching stays computation-local either way —
+	// verdicts, wire bytes, and round counts are bit-identical to private
+	// per-node caches.
+	Cache *regular.Shared
 }
 
 // depthBound is 2^d, the elimination-tree depth bound of Lemma 2.5.

@@ -105,15 +105,20 @@ func (n *dpNode) baseGraph() (*wterm.TerminalGraph, error) {
 }
 
 // buildBaseTables initializes the DP tables from the base graph. This is
-// also where the node's private DP cache is born: per-node instances keep
-// every memo computation-local, so the protocol's round count and wire bytes
-// are untouched by caching.
+// also where the node's DP cache is born: a handle on the run-spanning
+// shared cache when Config.Cache is set, a private instance otherwise.
+// Either way every memo stays computation-local, so the protocol's round
+// count and wire bytes are untouched by caching.
 func (n *dpNode) buildBaseTables() error {
 	base, err := n.baseGraph()
 	if err != nil {
 		return err
 	}
-	n.cache = regular.NewCached(n.cfg.Pred)
+	if n.cfg.Cache != nil {
+		n.cache = n.cfg.Cache.Handle()
+	} else {
+		n.cache = regular.NewCached(n.cfg.Pred)
+	}
 	switch n.cfg.Mode {
 	case ModeDecide:
 		n.finalDecide, err = n.cache.BaseDenseSet(base)
@@ -332,33 +337,31 @@ func (n *dpNode) markedEntriesOut() []tableEntry {
 	if n.cfg.Mode != ModeCheckMarked {
 		return nil
 	}
-	in := n.cache.Interner()
 	entries := make([]tableEntry, 0, len(n.finalMarked.IDs))
 	for _, id := range n.finalMarked.IDs {
-		entries = append(entries, tableEntry{key: []byte(in.Key(id))})
+		entries = append(entries, tableEntry{key: []byte(n.cache.KeyOf(id))})
 	}
 	return entries
 }
 
 func (n *dpNode) mainEntriesOut() []tableEntry {
-	in := n.cache.Interner()
 	switch n.cfg.Mode {
 	case ModeDecide:
 		entries := make([]tableEntry, 0, len(n.finalDecide.IDs))
 		for _, id := range n.finalDecide.IDs {
-			entries = append(entries, tableEntry{key: []byte(in.Key(id))})
+			entries = append(entries, tableEntry{key: []byte(n.cache.KeyOf(id))})
 		}
 		return entries
 	case ModeOptimize, ModeCheckMarked:
 		entries := make([]tableEntry, 0, len(n.finalOpt.IDs))
 		for i, id := range n.finalOpt.IDs {
-			entries = append(entries, tableEntry{key: []byte(in.Key(id)), value: n.finalOpt.Weights[i]})
+			entries = append(entries, tableEntry{key: []byte(n.cache.KeyOf(id)), value: n.finalOpt.Weights[i]})
 		}
 		return entries
 	case ModeCount:
 		entries := make([]tableEntry, 0, len(n.finalCount.IDs))
 		for i, id := range n.finalCount.IDs {
-			entries = append(entries, tableEntry{key: []byte(in.Key(id)), value: n.finalCount.Counts[i]})
+			entries = append(entries, tableEntry{key: []byte(n.cache.KeyOf(id)), value: n.finalCount.Counts[i]})
 		}
 		return entries
 	}
@@ -454,14 +457,13 @@ func insertSorted(xs []int, v int) []int {
 func (n *dpNode) decodeWire(entries []tableEntry) ([]regular.ClassID, []int64, error) {
 	ids := make([]regular.ClassID, 0, len(entries))
 	vals := make([]int64, 0, len(entries))
-	in := n.cache.Interner()
 	canonical := true
 	for i, e := range entries {
 		id, err := n.cache.InternWire(e.key)
 		if err != nil {
 			return nil, nil, err
 		}
-		if i > 0 && in.Key(ids[len(ids)-1]) >= in.Key(id) {
+		if i > 0 && n.cache.KeyOf(ids[len(ids)-1]) >= n.cache.KeyOf(id) {
 			canonical = false
 		}
 		ids = append(ids, id)
@@ -479,7 +481,7 @@ func (n *dpNode) decodeWire(entries []tableEntry) ([]regular.ClassID, []int64, e
 		}
 		byID[id] = vals[i]
 	}
-	in.SortCanonical(uniq)
+	n.cache.SortCanonical(uniq)
 	vals = vals[:0]
 	for _, id := range uniq {
 		vals = append(vals, byID[id])
@@ -655,7 +657,6 @@ func (n *dpNode) applyTarget(id regular.ClassID) {
 	}
 	// Walk stages backwards to find each child's target class.
 	cur := id
-	in := n.cache.Interner()
 	targets := make(map[int]string, len(n.stages))
 	for s := len(n.stages) - 1; s >= 0; s-- {
 		st := n.stages[s]
@@ -665,7 +666,7 @@ func (n *dpNode) applyTarget(id regular.ClassID) {
 			n.broadcastVerdict()
 			return
 		}
-		targets[st.childID] = in.Key(b.Child)
+		targets[st.childID] = n.cache.KeyOf(b.Child)
 		cur = b.Acc
 	}
 	n.env.Tag(KindTarget)
@@ -713,7 +714,7 @@ func (n *dpNode) handleTarget(r *wireReader) error {
 	// The target is one of our table's classes, so its key is already
 	// interned; an unknown key is a protocol violation, reported by the
 	// denseOptHas check inside applyTarget.
-	id, ok := n.cache.Interner().Lookup(string(key))
+	id, ok := n.cache.LookupKey(string(key))
 	if !ok {
 		n.fail(failInvalid)
 		n.broadcastVerdict()

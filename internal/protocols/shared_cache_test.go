@@ -1,0 +1,89 @@
+package protocols_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/graph/gen"
+	"repro/internal/protocols"
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+)
+
+// fingerprintRun flattens everything observable about a run — stats, verdict,
+// selection, and every per-vertex output — into one comparable string.
+func fingerprintRun(res *protocols.RunResult, err error) string {
+	if err != nil {
+		return "err:" + err.Error()
+	}
+	s := fmt.Sprintf("stats=%+v td=%v acc=%v found=%v w=%d cnt=%d",
+		res.Stats, res.TdExceeded, res.Accepted, res.Found, res.Weight, res.Count)
+	if res.Selected != nil {
+		s += " sel=" + res.Selected.String()
+	}
+	if res.SelectedEdges != nil {
+		s += " seledges=" + res.SelectedEdges.String()
+	}
+	for v, out := range res.Outputs {
+		s += fmt.Sprintf(" [%d]=p%d,f%d,a%v,s%v,e%v", v, out.ParentID, out.Failure, out.Accepted, out.Selected, out.SelectedEdges)
+	}
+	return s
+}
+
+// TestSharedCacheMatchesPrivate: distributed runs evaluating through handles
+// of one process-lifetime Shared cache must be bit-identical to runs with
+// per-node private caches, in both execution modes, including warm repeats
+// against the already-populated cache.
+func TestSharedCacheMatchesPrivate(t *testing.T) {
+	type scenario struct {
+		name string
+		cfg  protocols.Config
+	}
+	scenarios := []scenario{
+		{"decide-acyclic", protocols.Config{Pred: predicates.Acyclicity{}, Mode: protocols.ModeDecide, D: 3}},
+		{"opt-mis", protocols.Config{Pred: predicates.IndependentSet{}, Mode: protocols.ModeOptimize, Maximize: true, D: 3}},
+		{"count-matchings", protocols.Config{Pred: predicates.Matching{Perfect: true}, Mode: protocols.ModeCount, D: 3}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			shared := regular.NewShared(sc.cfg.Pred)
+			for _, parallel := range []bool{false, true} {
+				for rep := 0; rep < 2; rep++ {
+					for i := 0; i < 3; i++ {
+						g, _ := gen.BoundedTreedepth(10+4*i, 3, 0.4, int64(7000+i))
+						gen.AssignRandomWeights(g, 9, int64(8000+i))
+						opts := congest.Options{IDSeed: int64(0xACE + i), Parallel: parallel, Workers: 3}
+						want := fingerprintRun(protocols.Run(g, sc.cfg, opts))
+						cachedCfg := sc.cfg
+						cachedCfg.Cache = shared
+						got := fingerprintRun(protocols.Run(g, cachedCfg, opts))
+						if got != want {
+							t.Fatalf("parallel=%v rep=%d graph=%d: shared-cache run diverged\n  shared:  %s\n  private: %s",
+								parallel, rep, i, got, want)
+						}
+					}
+				}
+			}
+			st := shared.Stats()
+			if st.ComposeHits+st.AcceptHits+st.SelectionHits+st.DecodeHits == 0 {
+				t.Fatalf("warm repeats produced no cross-request hits: %+v", st)
+			}
+		})
+	}
+}
+
+// TestSharedCachePredicateMismatch: a shared cache wrapping a different
+// predicate than the run's must be rejected up front, not silently mix
+// class universes.
+func TestSharedCachePredicateMismatch(t *testing.T) {
+	g := gen.Path(6)
+	shared := regular.NewShared(predicates.Connectivity{})
+	cfg := protocols.Config{Pred: predicates.Acyclicity{}, Mode: protocols.ModeDecide, D: 3, Cache: shared}
+	_, err := protocols.Run(g, cfg, congest.Options{})
+	if !errors.Is(err, protocols.ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol for predicate mismatch", err)
+	}
+}

@@ -1,6 +1,8 @@
 package regular
 
 import (
+	"sync"
+
 	"repro/internal/wterm"
 )
 
@@ -61,6 +63,17 @@ func (s CacheStats) ComposeHitRate() float64 {
 	return float64(s.ComposeHits) / float64(total)
 }
 
+// LookupHitRate returns the fraction of all memo lookups (compose, accept,
+// selection, decode) served without touching the wrapped predicate.
+func (s CacheStats) LookupHitRate() float64 {
+	hits := s.ComposeHits + s.AcceptHits + s.SelectionHits + s.DecodeHits
+	total := hits + s.ComposeMisses + s.AcceptMisses + s.SelectionMisses + s.DecodeMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
 type composeKey struct {
 	g    GluingID
 	a, b ClassID
@@ -69,28 +82,30 @@ type composeKey struct {
 // composeVal is NoClass when the pair is incompatible under the gluing.
 type composeVal struct{ id ClassID }
 
-// Cached wraps a Predicate with a per-run interner and deterministic
-// memoization of the expensive calls: Compose per (gluing signature,
-// ClassID, ClassID), Accepting and Selection per ClassID, and wire decoding
-// per key. Because Predicate implementations are required to be
-// deterministic functions of their arguments, replaying a memoized result is
-// observationally identical to recomputing it — cached and uncached runs
-// produce byte-identical tables regardless of hit pattern or evictions.
-//
-// Cached itself implements Predicate, so it is a drop-in wrapper for the
-// map-based fold functions; the dense fold methods in dense.go skip the
-// string keys entirely and are the fast path.
-//
-// Cached is not safe for concurrent use; give each goroutine (each simulated
-// node) its own instance.
-type Cached struct {
+// cacheCore holds all memoized state: the interner, the gluing table, the
+// two-generation ⊙_f memo, and the dense per-class Accepting/Selection
+// memos. A private core (mu nil) is owned by exactly one Cached and is
+// accessed without synchronization; a shared core (mu set) is owned by a
+// Shared and accessed concurrently through per-goroutine handles.
+type cacheCore struct {
 	pred Predicate
-	in   *Interner
+	// mu, when non-nil, guards every field below. Lookups take the read
+	// lock; interning, memo inserts, and calls into the wrapped predicate
+	// take the write lock (predicates need only be single-threaded safe).
+	mu *sync.RWMutex
+
+	in *Interner
 
 	gluingIDs map[string]GluingID
 	gluings   []wterm.Gluing
 
-	compose    map[composeKey]composeVal
+	// Compose memo in two generations (segments): lookups consult cur then
+	// prev; inserts go to cur. When cur fills half the cap, the prev segment
+	// is dropped whole — a deterministic eviction (no map-iteration order
+	// involved) that sheds at most half the memo, so sustained workloads see
+	// a sliding window of recent compositions instead of the periodic
+	// latency cliff a full flush caused.
+	cur, prev  map[composeKey]composeVal
 	composeCap int
 
 	// Dense per-ClassID memos, grown on demand.
@@ -98,47 +113,140 @@ type Cached struct {
 	sel    []Selection
 	selOK  []bool
 
+	// evictions counts entries dropped at the cap — incremented exactly once
+	// per dropped entry, at the rotation that drops its whole segment.
+	evictions int64
+}
+
+func newCacheCore(pred Predicate) *cacheCore {
+	return &cacheCore{
+		pred:       pred,
+		in:         NewInterner(),
+		gluingIDs:  make(map[string]GluingID),
+		cur:        make(map[composeKey]composeVal),
+		composeCap: DefaultComposeCap,
+	}
+}
+
+// segCap is the per-generation entry bound: half the configured cap, so the
+// two live generations together never exceed it.
+func (k *cacheCore) segCap() int {
+	half := k.composeCap / 2
+	if half < 1 {
+		half = 1
+	}
+	return half
+}
+
+// lookupCompose consults both generations; the caller holds the appropriate
+// lock in shared mode.
+func (k *cacheCore) lookupCompose(key composeKey) (composeVal, bool) {
+	if v, ok := k.cur[key]; ok {
+		return v, true
+	}
+	v, ok := k.prev[key]
+	return v, ok
+}
+
+// insertCompose stores a freshly computed entry, rotating the generations at
+// the cap. The caller holds the write lock in shared mode.
+func (k *cacheCore) insertCompose(key composeKey, v composeVal) {
+	if len(k.cur) >= k.segCap() {
+		k.evictions += int64(len(k.prev))
+		k.prev = k.cur
+		k.cur = make(map[composeKey]composeVal, len(k.prev))
+	}
+	k.cur[key] = v
+}
+
+// liveCompose is the current memo size across both generations.
+func (k *cacheCore) liveCompose() int { return len(k.cur) + len(k.prev) }
+
+// Cached wraps a Predicate with an interner and deterministic memoization of
+// the expensive calls: Compose per (gluing signature, ClassID, ClassID),
+// Accepting and Selection per ClassID, and wire decoding per key. Because
+// Predicate implementations are required to be deterministic functions of
+// their arguments, replaying a memoized result is observationally identical
+// to recomputing it — cached and uncached runs produce byte-identical tables
+// regardless of hit pattern or evictions.
+//
+// Cached itself implements Predicate, so it is a drop-in wrapper for the
+// map-based fold functions; the dense fold methods in dense.go skip the
+// string keys entirely and are the fast path.
+//
+// A Cached built by NewCached owns its memo state privately and is not safe
+// for concurrent use; give each goroutine (each simulated node) its own
+// instance. A Cached returned by Shared.Handle shares the process-lifetime
+// memo state of its Shared, is safe to use from one goroutine at a time, and
+// any number of handles may run concurrently.
+type Cached struct {
+	*cacheCore
+
+	// sh points back to the owning Shared for handles, so global counters
+	// can be maintained alongside the handle-local ones (nil for private
+	// caches).
+	sh *Shared
+
 	// Fold scratch: slot[id] = output index in the fold in progress, valid
 	// when stamp[id] == epoch. Reusing it across folds keeps the inner loop
-	// free of map operations and allocations.
+	// free of map operations and allocations. Always handle-local.
 	slot  []int32
 	stamp []uint32
 	epoch uint32
 
+	// stats counts this handle's own traffic (never shared, so reads and
+	// writes need no synchronization).
 	stats CacheStats
 }
 
 var _ Predicate = (*Cached)(nil)
 
-// NewCached wraps pred with a fresh interner and empty memo tables.
+// NewCached wraps pred with a fresh private interner and empty memo tables.
 func NewCached(pred Predicate) *Cached {
-	return &Cached{
-		pred:       pred,
-		in:         NewInterner(),
-		gluingIDs:  make(map[string]GluingID),
-		compose:    make(map[composeKey]composeVal),
-		composeCap: DefaultComposeCap,
-	}
+	return &Cached{cacheCore: newCacheCore(pred)}
 }
 
 // SetComposeCap overrides the compose-memo entry bound (n <= 0 restores the
-// default).
+// default). The bound is enforced per generation at n/2, so at most n
+// entries are ever live and at most n/2 drop in one eviction.
 func (c *Cached) SetComposeCap(n int) {
 	if n <= 0 {
 		n = DefaultComposeCap
 	}
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	c.composeCap = n
 }
 
-// Interner exposes the class interner (ID <-> key/class lookups).
+// Predicate returns the wrapped predicate.
+func (c *Cached) Predicate() Predicate { return c.pred }
+
+// Interner exposes the class interner (ID <-> key/class lookups). It is only
+// safe to use directly on a private Cached; shared handles must go through
+// the locked accessors (KeyOf, ClassOf, LookupKey).
 func (c *Cached) Interner() *Interner { return c.in }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of this instance's counters. For a private Cached
+// the gauges describe the whole cache; for a shared handle the counters
+// describe this handle's traffic only and ComposeEvictions is reported as
+// zero — evictions happen once at the shared core and are reported by
+// Shared.Stats, so summing handle stats never double-counts them.
 func (c *Cached) Stats() CacheStats {
 	s := c.stats
+	if c.mu != nil {
+		c.mu.RLock()
+		s.Classes = c.in.Len()
+		s.Gluings = len(c.gluings)
+		s.ComposeEntries = c.liveCompose()
+		c.mu.RUnlock()
+		return s
+	}
 	s.Classes = c.in.Len()
 	s.Gluings = len(c.gluings)
-	s.ComposeEntries = len(c.compose)
+	s.ComposeEntries = c.liveCompose()
+	s.ComposeEvictions = c.evictions
 	return s
 }
 
@@ -156,6 +264,21 @@ func GluingKey(f wterm.Gluing) string {
 // InternGluing interns f's signature and returns its dense ID.
 func (c *Cached) InternGluing(f wterm.Gluing) GluingID {
 	key := GluingKey(f)
+	if c.mu == nil {
+		return c.internGluingLocked(key, f)
+	}
+	c.mu.RLock()
+	id, ok := c.gluingIDs[key]
+	c.mu.RUnlock()
+	if ok {
+		return id
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.internGluingLocked(key, f)
+}
+
+func (c *Cached) internGluingLocked(key string, f wterm.Gluing) GluingID {
 	if id, ok := c.gluingIDs[key]; ok {
 		return id
 	}
@@ -166,18 +289,88 @@ func (c *Cached) InternGluing(f wterm.Gluing) GluingID {
 }
 
 // Intern interns a class and returns its ID.
-func (c *Cached) Intern(cl Class) ClassID { return c.in.Intern(cl) }
+func (c *Cached) Intern(cl Class) ClassID {
+	if c.mu == nil {
+		return c.in.Intern(cl)
+	}
+	key := cl.Key()
+	c.mu.RLock()
+	id, ok := c.in.Lookup(key)
+	c.mu.RUnlock()
+	if ok {
+		return id
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.in.InternKeyed(key, cl)
+}
+
+// KeyOf returns the canonical key for an interned ID (the locked counterpart
+// of Interner().Key).
+func (c *Cached) KeyOf(id ClassID) string {
+	if c.mu == nil {
+		return c.in.Key(id)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.in.Key(id)
+}
+
+// ClassOf returns the stored representative for an interned ID (the locked
+// counterpart of Interner().Class).
+func (c *Cached) ClassOf(id ClassID) Class {
+	if c.mu == nil {
+		return c.in.Class(id)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.in.Class(id)
+}
+
+// LookupKey resolves a canonical key to its interned ID, if any (the locked
+// counterpart of Interner().Lookup).
+func (c *Cached) LookupKey(key string) (ClassID, bool) {
+	if c.mu == nil {
+		return c.in.Lookup(key)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.in.Lookup(key)
+}
 
 // InternWire resolves a class wire encoding to an ID. Keys double as the
 // wire format, so an encoding seen before resolves without calling
 // DecodeClass at all — the fast path for repeated table entries arriving
-// from children.
+// from children (and, for shared caches, from earlier requests).
 func (c *Cached) InternWire(data []byte) (ClassID, error) {
-	if id, ok := c.in.Lookup(string(data)); ok {
+	if c.mu == nil {
+		if id, ok := c.in.Lookup(string(data)); ok {
+			c.stats.DecodeHits++
+			return id, nil
+		}
+		c.stats.DecodeMisses++
+		cl, err := c.pred.DecodeClass(data)
+		if err != nil {
+			return NoClass, err
+		}
+		return c.in.Intern(cl), nil
+	}
+	c.mu.RLock()
+	id, ok := c.in.Lookup(string(data))
+	c.mu.RUnlock()
+	if ok {
 		c.stats.DecodeHits++
+		c.sh.decodeHits.Add(1)
 		return id, nil
 	}
 	c.stats.DecodeMisses++
+	c.sh.decodeMisses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.in.Lookup(string(data)); ok {
+		// Another handle decoded the same bytes while we waited.
+		return id, nil
+	}
 	cl, err := c.pred.DecodeClass(data)
 	if err != nil {
 		return NoClass, err
@@ -190,12 +383,40 @@ func (c *Cached) InternWire(data []byte) (ClassID, error) {
 // under the gluing (also memoized).
 func (c *Cached) ComposeIDs(g GluingID, a, b ClassID) (ClassID, bool, error) {
 	key := composeKey{g: g, a: a, b: b}
-	if v, ok := c.compose[key]; ok {
+	if c.mu == nil {
+		if v, ok := c.lookupCompose(key); ok {
+			c.stats.ComposeHits++
+			return v.id, v.id != NoClass, nil
+		}
+		c.stats.ComposeMisses++
+		return c.composeMissLocked(key)
+	}
+	c.mu.RLock()
+	v, ok := c.lookupCompose(key)
+	c.mu.RUnlock()
+	if ok {
 		c.stats.ComposeHits++
+		c.sh.composeHits.Add(1)
 		return v.id, v.id != NoClass, nil
 	}
 	c.stats.ComposeMisses++
-	cl, ok, err := c.pred.Compose(c.gluings[g], c.in.Class(a), c.in.Class(b))
+	c.sh.composeMisses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.lookupCompose(key); ok {
+		// Another handle computed the same entry while we waited; the result
+		// is identical either way (Compose is deterministic), so serve it
+		// without re-deriving.
+		return v.id, v.id != NoClass, nil
+	}
+	return c.composeMissLocked(key)
+}
+
+// composeMissLocked computes, interns, and memoizes one ⊙_f entry. The
+// caller holds the write lock in shared mode (the wrapped predicate is only
+// ever called single-threaded).
+func (c *Cached) composeMissLocked(key composeKey) (ClassID, bool, error) {
+	cl, ok, err := c.pred.Compose(c.gluings[key.g], c.in.Class(key.a), c.in.Class(key.b))
 	if err != nil {
 		return NoClass, false, err
 	}
@@ -203,25 +424,44 @@ func (c *Cached) ComposeIDs(g GluingID, a, b ClassID) (ClassID, bool, error) {
 	if ok {
 		v.id = c.in.Intern(cl)
 	}
-	if len(c.compose) >= c.composeCap {
-		// Bounded, seed-free eviction: drop the whole memo. A flush is
-		// deterministic (no map-iteration order involved) and, because every
-		// entry is a pure function of its key, harmless to correctness.
-		c.stats.ComposeEvictions += int64(len(c.compose))
-		c.compose = make(map[composeKey]composeVal)
-	}
-	c.compose[key] = v
+	c.insertCompose(key, v)
 	return v.id, ok, nil
 }
 
 // AcceptingID is the memoized acceptance test.
 func (c *Cached) AcceptingID(id ClassID) (bool, error) {
-	c.growClassMemos()
-	if v := c.accept[id]; v != 0 {
+	if c.mu == nil {
+		c.growClassMemos()
+		if v := c.accept[id]; v != 0 {
+			c.stats.AcceptHits++
+			return v == 2, nil
+		}
+		c.stats.AcceptMisses++
+		return c.acceptMissLocked(id)
+	}
+	c.mu.RLock()
+	var v uint8
+	if int(id) < len(c.accept) {
+		v = c.accept[id]
+	}
+	c.mu.RUnlock()
+	if v != 0 {
 		c.stats.AcceptHits++
+		c.sh.acceptHits.Add(1)
 		return v == 2, nil
 	}
 	c.stats.AcceptMisses++
+	c.sh.acceptMisses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.growClassMemos()
+	if v := c.accept[id]; v != 0 {
+		return v == 2, nil
+	}
+	return c.acceptMissLocked(id)
+}
+
+func (c *Cached) acceptMissLocked(id ClassID) (bool, error) {
 	ok, err := c.pred.Accepting(c.in.Class(id))
 	if err != nil {
 		return false, err
@@ -236,12 +476,39 @@ func (c *Cached) AcceptingID(id ClassID) (bool, error) {
 
 // SelectionID is the memoized selection decoding.
 func (c *Cached) SelectionID(id ClassID) (Selection, error) {
-	c.growClassMemos()
-	if c.selOK[id] {
+	if c.mu == nil {
+		c.growClassMemos()
+		if c.selOK[id] {
+			c.stats.SelectionHits++
+			return c.sel[id], nil
+		}
+		c.stats.SelectionMisses++
+		return c.selectionMissLocked(id)
+	}
+	c.mu.RLock()
+	var sel Selection
+	ok := false
+	if int(id) < len(c.selOK) && c.selOK[id] {
+		sel, ok = c.sel[id], true
+	}
+	c.mu.RUnlock()
+	if ok {
 		c.stats.SelectionHits++
-		return c.sel[id], nil
+		c.sh.selectionHits.Add(1)
+		return sel, nil
 	}
 	c.stats.SelectionMisses++
+	c.sh.selectionMisses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.growClassMemos()
+	if c.selOK[id] {
+		return c.sel[id], nil
+	}
+	return c.selectionMissLocked(id)
+}
+
+func (c *Cached) selectionMissLocked(id ClassID) (Selection, error) {
 	sel, err := c.pred.Selection(c.in.Class(id))
 	if err != nil {
 		return Selection{}, err
@@ -252,7 +519,7 @@ func (c *Cached) SelectionID(id ClassID) (Selection, error) {
 }
 
 // growClassMemos extends the dense per-class memo slices to cover every
-// interned ID.
+// interned ID. The caller holds the write lock in shared mode.
 func (c *Cached) growClassMemos() {
 	n := c.in.Len()
 	for len(c.accept) < n {
@@ -264,6 +531,32 @@ func (c *Cached) growClassMemos() {
 	}
 }
 
+// homBase enumerates base classes through the wrapped predicate, serialized
+// in shared mode (predicates may keep single-threaded internal memos, e.g.
+// the generic MSO engine's pattern cache).
+func (c *Cached) homBase(base *wterm.TerminalGraph) ([]BaseClass, error) {
+	if c.mu == nil {
+		return c.pred.HomBase(base)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pred.HomBase(base)
+}
+
+// SortCanonical sorts ids into canonical key order — the lock-aware
+// counterpart of Interner().SortCanonical, safe on shared handles.
+func (c *Cached) SortCanonical(ids []ClassID) { c.sortCanonical(ids) }
+
+// sortCanonical is Interner.SortCanonical behind the shared lock (rank
+// maintenance mutates the interner even on the read path).
+func (c *Cached) sortCanonical(ids []ClassID) {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.in.SortCanonical(ids)
+}
+
 // --- Predicate interface (drop-in wrapper form) ---
 
 // Name implements Predicate.
@@ -272,29 +565,29 @@ func (c *Cached) Name() string { return c.pred.Name() }
 // SetKind implements Predicate.
 func (c *Cached) SetKind() SetKind { return c.pred.SetKind() }
 
-// HomBase implements Predicate (delegated; base enumeration is already
-// linear in its output).
+// HomBase implements Predicate (base enumeration is already linear in its
+// output; shared handles serialize the underlying call).
 func (c *Cached) HomBase(base *wterm.TerminalGraph) ([]BaseClass, error) {
-	return c.pred.HomBase(base)
+	return c.homBase(base)
 }
 
 // Compose implements Predicate with memoization keyed on interned operands.
 func (c *Cached) Compose(f wterm.Gluing, c1, c2 Class) (Class, bool, error) {
-	id, ok, err := c.ComposeIDs(c.InternGluing(f), c.in.Intern(c1), c.in.Intern(c2))
+	id, ok, err := c.ComposeIDs(c.InternGluing(f), c.Intern(c1), c.Intern(c2))
 	if err != nil || !ok {
 		return nil, ok, err
 	}
-	return c.in.Class(id), true, nil
+	return c.ClassOf(id), true, nil
 }
 
 // Accepting implements Predicate with per-class memoization.
 func (c *Cached) Accepting(cl Class) (bool, error) {
-	return c.AcceptingID(c.in.Intern(cl))
+	return c.AcceptingID(c.Intern(cl))
 }
 
 // Selection implements Predicate with per-class memoization.
 func (c *Cached) Selection(cl Class) (Selection, error) {
-	return c.SelectionID(c.in.Intern(cl))
+	return c.SelectionID(c.Intern(cl))
 }
 
 // DecodeClass implements Predicate via the intern-by-wire fast path.
@@ -303,5 +596,5 @@ func (c *Cached) DecodeClass(data []byte) (Class, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.in.Class(id), nil
+	return c.ClassOf(id), nil
 }

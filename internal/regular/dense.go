@@ -88,7 +88,7 @@ func (c *Cached) FoldDecideDense(g GluingID, acc, child DenseSet) (DenseSet, err
 			}
 		}
 	}
-	c.in.SortCanonical(out)
+	c.sortCanonical(out)
 	return DenseSet{IDs: out}, nil
 }
 
@@ -177,8 +177,14 @@ func (c *Cached) FoldCountDense(g GluingID, acc, child DenseCount) (DenseCount, 
 	return out, nil
 }
 
-// sortOpt establishes canonical order on a freshly-folded OPT table.
+// sortOpt establishes canonical order on a freshly-folded OPT table. It
+// takes the write lock in shared mode: rank maintenance mutates the interner
+// even on the read path.
 func (c *Cached) sortOpt(t *DenseOpt) {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	if isCanonical(c.in, t.IDs) {
 		return
 	}
@@ -198,8 +204,13 @@ func (c *Cached) sortOpt(t *DenseOpt) {
 	t.IDs, t.Weights = ids, ws
 }
 
-// sortCount establishes canonical order on a freshly-folded COUNT table.
+// sortCount establishes canonical order on a freshly-folded COUNT table
+// (write-locked in shared mode, as sortOpt).
 func (c *Cached) sortCount(t *DenseCount) {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	if isCanonical(c.in, t.IDs) {
 		return
 	}
@@ -301,28 +312,28 @@ func (c *Cached) TotalAcceptingDense(t DenseCount) (int64, error) {
 
 // BaseDenseSet builds the decision table of a base graph.
 func (c *Cached) BaseDenseSet(base *wterm.TerminalGraph) (DenseSet, error) {
-	classes, err := c.pred.HomBase(base)
+	classes, err := c.homBase(base)
 	if err != nil {
 		return DenseSet{}, err
 	}
 	c.nextEpoch()
 	out := make([]ClassID, 0, len(classes))
 	for _, bc := range classes {
-		id := c.in.Intern(bc.Class)
+		id := c.Intern(bc.Class)
 		c.ensureScratch(id)
 		if c.stamp[id] != c.epoch {
 			c.stamp[id] = c.epoch
 			out = append(out, id)
 		}
 	}
-	c.in.SortCanonical(out)
+	c.sortCanonical(out)
 	return DenseSet{IDs: out}, nil
 }
 
 // BaseDenseOpt builds OPT(base), keeping the best weight per class in
 // enumeration order (first-better wins, as BaseOptTable).
 func (c *Cached) BaseDenseOpt(base *wterm.TerminalGraph, ownerRank int, maximize bool) (DenseOpt, error) {
-	classes, err := c.pred.HomBase(base)
+	classes, err := c.homBase(base)
 	if err != nil {
 		return DenseOpt{}, err
 	}
@@ -334,7 +345,7 @@ func (c *Cached) BaseDenseOpt(base *wterm.TerminalGraph, ownerRank int, maximize
 		if err != nil {
 			return DenseOpt{}, err
 		}
-		id := c.in.Intern(bc.Class)
+		id := c.Intern(bc.Class)
 		c.ensureScratch(id)
 		if c.stamp[id] != c.epoch {
 			c.stamp[id] = c.epoch
@@ -353,7 +364,7 @@ func (c *Cached) BaseDenseOpt(base *wterm.TerminalGraph, ownerRank int, maximize
 // BaseDenseCount builds COUNT(base): one assignment per enumerated
 // selection.
 func (c *Cached) BaseDenseCount(base *wterm.TerminalGraph) (DenseCount, error) {
-	classes, err := c.pred.HomBase(base)
+	classes, err := c.homBase(base)
 	if err != nil {
 		return DenseCount{}, err
 	}
@@ -361,7 +372,7 @@ func (c *Cached) BaseDenseCount(base *wterm.TerminalGraph) (DenseCount, error) {
 	ids := make([]ClassID, 0, len(classes))
 	counts := make([]int64, 0, len(classes))
 	for _, bc := range classes {
-		id := c.in.Intern(bc.Class)
+		id := c.Intern(bc.Class)
 		c.ensureScratch(id)
 		if c.stamp[id] != c.epoch {
 			c.stamp[id] = c.epoch
@@ -386,6 +397,10 @@ func (c *Cached) BaseDenseCount(base *wterm.TerminalGraph) (DenseCount, error) {
 
 // InternClassSet interns a map table into canonical dense form.
 func (c *Cached) InternClassSet(s ClassSet) DenseSet {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	out := make([]ClassID, 0, len(s))
 	for _, k := range s.Keys() {
 		out = append(out, c.in.InternKeyed(k, s[k]))
@@ -396,6 +411,10 @@ func (c *Cached) InternClassSet(s ClassSet) DenseSet {
 
 // InternOptTable interns a map OPT table into canonical dense form.
 func (c *Cached) InternOptTable(t OptTable) DenseOpt {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	keys := t.Keys()
 	out := DenseOpt{
 		IDs:     make([]ClassID, 0, len(keys)),
@@ -410,6 +429,10 @@ func (c *Cached) InternOptTable(t OptTable) DenseOpt {
 
 // InternCountTable interns a map COUNT table into canonical dense form.
 func (c *Cached) InternCountTable(t CountTable) DenseCount {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	keys := t.Keys()
 	out := DenseCount{
 		IDs:    make([]ClassID, 0, len(keys)),
@@ -424,6 +447,10 @@ func (c *Cached) InternCountTable(t CountTable) DenseCount {
 
 // ClassSetOf converts a dense set back to the map form.
 func (c *Cached) ClassSetOf(s DenseSet) ClassSet {
+	if c.mu != nil {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+	}
 	out := make(ClassSet, len(s.IDs))
 	for _, id := range s.IDs {
 		out[c.in.Key(id)] = c.in.Class(id)
@@ -433,6 +460,10 @@ func (c *Cached) ClassSetOf(s DenseSet) ClassSet {
 
 // OptTableOf converts a dense OPT table back to the map form.
 func (c *Cached) OptTableOf(t DenseOpt) OptTable {
+	if c.mu != nil {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+	}
 	out := make(OptTable, len(t.IDs))
 	for i, id := range t.IDs {
 		out[c.in.Key(id)] = OptEntry{Class: c.in.Class(id), Weight: t.Weights[i]}
@@ -442,6 +473,10 @@ func (c *Cached) OptTableOf(t DenseOpt) OptTable {
 
 // CountTableOf converts a dense COUNT table back to the map form.
 func (c *Cached) CountTableOf(t DenseCount) CountTable {
+	if c.mu != nil {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+	}
 	out := make(CountTable, len(t.IDs))
 	for i, id := range t.IDs {
 		out[c.in.Key(id)] = CountEntry{Class: c.in.Class(id), Count: t.Counts[i]}

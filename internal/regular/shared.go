@@ -1,0 +1,91 @@
+package regular
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Shared is a process-lifetime, concurrency-safe cache for one predicate:
+// the interner, gluing table, ⊙_f memo, and per-class memos live once and
+// are shared by every handle. A daemon keeps one Shared per predicate and
+// gives each request (each node goroutine) its own Handle; repeated queries
+// then hit classes and compositions interned by earlier requests instead of
+// rebuilding the tables from scratch.
+//
+// Safety model: handles take a read lock for memo lookups and the write lock
+// for interning, memo inserts, and every call into the wrapped predicate —
+// so the predicate itself only ever runs single-threaded, which keeps
+// stateful predicate implementations (e.g. the generic MSO engine's internal
+// memo) safe without their own locking. Because predicates are deterministic,
+// two handles racing on the same miss compute the same entry; the
+// double-checked insert under the write lock keeps the memo consistent
+// either way, and answers are byte-identical to a private per-run cache.
+type Shared struct {
+	core *cacheCore
+
+	// Cache-traffic counters, aggregated across every handle that ever
+	// existed (handles also keep their own per-run copies for RunResult
+	// reporting). Atomics so the hot read path bumps them outside the lock.
+	composeHits     atomic.Int64
+	composeMisses   atomic.Int64
+	acceptHits      atomic.Int64
+	acceptMisses    atomic.Int64
+	selectionHits   atomic.Int64
+	selectionMisses atomic.Int64
+	decodeHits      atomic.Int64
+	decodeMisses    atomic.Int64
+}
+
+// NewShared builds a process-lifetime cache around pred. The predicate is
+// called only under the cache's write lock and must not be used elsewhere
+// concurrently.
+func NewShared(pred Predicate) *Shared {
+	core := newCacheCore(pred)
+	core.mu = new(sync.RWMutex)
+	return &Shared{core: core}
+}
+
+// Predicate returns the wrapped predicate.
+func (s *Shared) Predicate() Predicate { return s.core.pred }
+
+// SetComposeCap overrides the compose-memo entry bound (n <= 0 restores the
+// default), as Cached.SetComposeCap.
+func (s *Shared) SetComposeCap(n int) {
+	if n <= 0 {
+		n = DefaultComposeCap
+	}
+	s.core.mu.Lock()
+	s.core.composeCap = n
+	s.core.mu.Unlock()
+}
+
+// Handle returns a new view onto the shared cache. A handle is cheap (only
+// fold scratch and counters), must be used by one goroutine at a time, and
+// any number of handles may run concurrently.
+func (s *Shared) Handle() *Cached {
+	return &Cached{cacheCore: s.core, sh: s}
+}
+
+// Stats snapshots the global cache state: gauges from the shared core plus
+// traffic counters summed over all handles. ComposeEvictions is counted
+// here and only here (handle stats report it as zero), so aggregating
+// handle stats alongside a Shared's never double-counts an eviction.
+func (s *Shared) Stats() CacheStats {
+	s.core.mu.RLock()
+	st := CacheStats{
+		Classes:          s.core.in.Len(),
+		Gluings:          len(s.core.gluings),
+		ComposeEntries:   s.core.liveCompose(),
+		ComposeEvictions: s.core.evictions,
+	}
+	s.core.mu.RUnlock()
+	st.ComposeHits = s.composeHits.Load()
+	st.ComposeMisses = s.composeMisses.Load()
+	st.AcceptHits = s.acceptHits.Load()
+	st.AcceptMisses = s.acceptMisses.Load()
+	st.SelectionHits = s.selectionHits.Load()
+	st.SelectionMisses = s.selectionMisses.Load()
+	st.DecodeHits = s.decodeHits.Load()
+	st.DecodeMisses = s.decodeMisses.Load()
+	return st
+}

@@ -1,0 +1,310 @@
+package regular_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/regular"
+	"repro/internal/regular/predicates"
+	"repro/internal/wterm"
+)
+
+// composePairs builds the full (gluing, class, class) workload off the edge
+// base: every ordered pair of base classes under the identity-ish gluing.
+func composePairs(t *testing.T, c *regular.Cached) (regular.GluingID, []regular.ClassID) {
+	t.Helper()
+	base := edgeBase(t)
+	classes, err := c.HomBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glue, err := wterm.GluingFromBags([]int{0, 1}, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]regular.ClassID, 0, len(classes))
+	for _, bc := range classes {
+		ids = append(ids, c.Intern(bc.Class))
+	}
+	return c.InternGluing(glue), ids
+}
+
+// TestEvictionStatsPinned pins the exact counter arithmetic of the
+// two-generation eviction: a model of the documented policy (rotate when the
+// current segment holds cap/2 entries, count each dropped entry once) must
+// reproduce ComposeEvictions, ComposeEntries, ComposeHits, and ComposeMisses
+// exactly. The old whole-memo flush failed this two ways: it dropped every
+// entry at once (entries gauge collapsing to 1 after each flush) and its
+// counter charged the full live size per flush, so an entry could be counted
+// as evicted more than once across interleaved decode-path inserts.
+func TestEvictionStatsPinned(t *testing.T) {
+	const cap = 4
+	c := regular.NewCached(predicates.IndependentSet{})
+	c.SetComposeCap(cap)
+	g, ids := composePairs(t, c)
+
+	// Model state mirroring the documented policy.
+	segCap := cap / 2
+	cur := map[[2]regular.ClassID]bool{}
+	prev := map[[2]regular.ClassID]bool{}
+	var wantEvict, wantHits, wantMisses int64
+
+	for pass := 0; pass < 3; pass++ {
+		for _, a := range ids {
+			for _, b := range ids {
+				k := [2]regular.ClassID{a, b}
+				if _, _, err := c.ComposeIDs(g, a, b); err != nil {
+					t.Fatal(err)
+				}
+				if cur[k] || prev[k] {
+					wantHits++
+					continue
+				}
+				wantMisses++
+				if len(cur) >= segCap {
+					wantEvict += int64(len(prev))
+					prev, cur = cur, map[[2]regular.ClassID]bool{}
+				}
+				cur[k] = true
+			}
+		}
+	}
+
+	st := c.Stats()
+	if st.ComposeHits != wantHits || st.ComposeMisses != wantMisses {
+		t.Fatalf("hits/misses = %d/%d, model wants %d/%d", st.ComposeHits, st.ComposeMisses, wantHits, wantMisses)
+	}
+	if st.ComposeEvictions != wantEvict {
+		t.Fatalf("ComposeEvictions = %d, model wants %d", st.ComposeEvictions, wantEvict)
+	}
+	if st.ComposeEntries != len(cur)+len(prev) {
+		t.Fatalf("ComposeEntries = %d, model wants %d", st.ComposeEntries, len(cur)+len(prev))
+	}
+	if st.ComposeEntries > cap {
+		t.Fatalf("live entries %d exceed cap %d", st.ComposeEntries, cap)
+	}
+	// Each inserted entry is evicted at most once: the total ever evicted
+	// can never exceed the total ever inserted (the double-count bug).
+	if st.ComposeEvictions > st.ComposeMisses {
+		t.Fatalf("evicted %d entries but only %d were ever inserted", st.ComposeEvictions, st.ComposeMisses)
+	}
+	if wantEvict == 0 {
+		t.Fatal("fixture did not force an eviction; shrink the cap")
+	}
+}
+
+// TestSharedMatchesPrivate is the golden-trace check: every answer a shared
+// handle gives (compose results, acceptance, selections, wire decoding) must
+// be byte-identical to a fresh private per-run cache, including while the
+// shared memo is evicting under a tiny cap, and the Shared's global stats
+// must count each eviction exactly once even with handle stats aggregated
+// alongside.
+func TestSharedMatchesPrivate(t *testing.T) {
+	pred := predicates.IndependentSet{}
+	sh := regular.NewShared(pred)
+	sh.SetComposeCap(2)
+
+	for run := 0; run < 3; run++ {
+		h := sh.Handle()
+		p := regular.NewCached(pred)
+		g, ids := composePairs(t, h)
+		gp, idsP := composePairs(t, p)
+		if len(ids) != len(idsP) {
+			t.Fatalf("class universes diverged: %d vs %d", len(ids), len(idsP))
+		}
+		for i, a := range ids {
+			for j, b := range ids {
+				id, ok, err := h.ComposeIDs(g, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idP, okP, err := p.ComposeIDs(gp, idsP[i], idsP[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != okP {
+					t.Fatalf("run %d: compatibility diverged at (%d,%d)", run, i, j)
+				}
+				if !ok {
+					continue
+				}
+				if h.KeyOf(id) != p.KeyOf(idP) {
+					t.Fatalf("run %d: compose key diverged at (%d,%d): %q vs %q",
+						run, i, j, h.KeyOf(id), p.KeyOf(idP))
+				}
+				wid, err := h.InternWire([]byte(p.KeyOf(idP)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wid != id {
+					t.Fatalf("run %d: wire round-trip diverged at (%d,%d)", run, i, j)
+				}
+			}
+		}
+		for i, id := range ids {
+			accS, err := h.AcceptingID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accP, err := p.AcceptingID(idsP[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if accS != accP {
+				t.Fatalf("run %d: Accepting diverged for class %d", run, i)
+			}
+			selS, err := h.SelectionID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			selP, err := p.SelectionID(idsP[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if selS.VertexMask != selP.VertexMask || fmt.Sprint(selS.EdgePairs) != fmt.Sprint(selP.EdgePairs) {
+				t.Fatalf("run %d: Selection diverged for class %d", run, i)
+			}
+		}
+		// Handle stats never report core-global evictions...
+		if hs := h.Stats(); hs.ComposeEvictions != 0 {
+			t.Fatalf("handle reported global evictions: %+v", hs)
+		}
+	}
+	// ...the Shared does, bounded by the entries ever inserted.
+	gs := sh.Stats()
+	if gs.ComposeEvictions == 0 {
+		t.Fatalf("cap 2 across 3 runs should have evicted: %+v", gs)
+	}
+	if gs.ComposeEvictions > gs.ComposeMisses {
+		t.Fatalf("evictions %d exceed insertions %d", gs.ComposeEvictions, gs.ComposeMisses)
+	}
+	if gs.ComposeEntries > 2 {
+		t.Fatalf("live entries %d exceed cap 2", gs.ComposeEntries)
+	}
+	// Runs 2 and 3 replay run 1's universe: the warm shared cache must show
+	// cross-run reuse on the never-evicted memos (per-class accept/selection,
+	// decode-by-key). The compose memo itself cannot hold the 9-pair working
+	// set under cap 2 — that starvation is exactly what the eviction test
+	// above models.
+	if gs.AcceptHits == 0 || gs.SelectionHits == 0 || gs.DecodeHits == 0 {
+		t.Fatalf("warm runs produced no shared hits: %+v", gs)
+	}
+}
+
+// TestSharedRaceStress hammers one Shared from many goroutines issuing mixed
+// Compose/Accepting/Selection/decode lookups while a tiny cap forces
+// continuous eviction. Each goroutine checks every answer against its own
+// private cache, so the test fails on wrong answers as well as data races
+// (run under -race in CI).
+func TestSharedRaceStress(t *testing.T) {
+	pred := predicates.IndependentSet{}
+	sh := regular.NewShared(pred)
+	sh.SetComposeCap(4)
+
+	base := edgeBase(t)
+	glue, err := wterm.GluingFromBags([]int{0, 1}, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// intern builds one cache's view of the workload (error-returning so
+	// worker goroutines never call t.Fatal).
+	intern := func(c *regular.Cached) (regular.GluingID, []regular.ClassID, error) {
+		classes, err := c.HomBase(base)
+		if err != nil {
+			return 0, nil, err
+		}
+		ids := make([]regular.ClassID, 0, len(classes))
+		for _, bc := range classes {
+			ids = append(ids, c.Intern(bc.Class))
+		}
+		return c.InternGluing(glue), ids, nil
+	}
+
+	const goroutines = 8
+	const passes = 50
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := sh.Handle()
+			p := regular.NewCached(pred)
+			g, ids, err := intern(h)
+			if err != nil {
+				errc <- err
+				return
+			}
+			gp, idsP, err := intern(p)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for pass := 0; pass < passes; pass++ {
+				for i, a := range ids {
+					for j, b := range ids {
+						id, ok, err := h.ComposeIDs(g, a, b)
+						if err != nil {
+							errc <- err
+							return
+						}
+						idP, okP, err := p.ComposeIDs(gp, idsP[i], idsP[j])
+						if err != nil {
+							errc <- err
+							return
+						}
+						if ok != okP || (ok && h.KeyOf(id) != p.KeyOf(idP)) {
+							errc <- fmt.Errorf("goroutine %d pass %d: compose diverged at (%d,%d)", w, pass, i, j)
+							return
+						}
+					}
+				}
+				for i, id := range ids {
+					accS, err := h.AcceptingID(id)
+					if err != nil {
+						errc <- err
+						return
+					}
+					accP, err := p.AcceptingID(idsP[i])
+					if err != nil {
+						errc <- err
+						return
+					}
+					selS, err := h.SelectionID(id)
+					if err != nil {
+						errc <- err
+						return
+					}
+					selP, err := p.SelectionID(idsP[i])
+					if err != nil {
+						errc <- err
+						return
+					}
+					if accS != accP || selS.VertexMask != selP.VertexMask {
+						errc <- fmt.Errorf("goroutine %d pass %d: accept/selection diverged for class %d", w, pass, i)
+						return
+					}
+					if _, err := h.InternWire([]byte(p.KeyOf(idsP[i]))); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < goroutines; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	gs := sh.Stats()
+	if gs.ComposeEvictions == 0 {
+		t.Fatalf("stress run with cap 4 should have evicted: %+v", gs)
+	}
+	if gs.ComposeEvictions > gs.ComposeMisses {
+		t.Fatalf("evictions %d exceed insertions %d", gs.ComposeEvictions, gs.ComposeMisses)
+	}
+}

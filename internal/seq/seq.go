@@ -50,6 +50,21 @@ func New(g *graph.Graph, forest *treedepth.Forest, pred regular.Predicate) (*Run
 	return r, nil
 }
 
+// NewWithCache builds a runner that evaluates through an existing cached
+// algebra (for example a handle of a process-lifetime regular.Shared). The
+// predicate is taken from the cache; results are bit-identical to New.
+func NewWithCache(g *graph.Graph, forest *treedepth.Forest, cache *regular.Cached) (*Runner, error) {
+	if cache == nil {
+		return nil, errors.New("seq: NewWithCache requires a non-nil cache")
+	}
+	r, err := NewUncached(g, forest, cache.Predicate())
+	if err != nil {
+		return nil, err
+	}
+	r.cache = cache
+	return r, nil
+}
+
 // NewUncached builds a runner on the original map-based tables with no
 // interning or memoization — the reference path cached runs are validated
 // against.
@@ -108,11 +123,10 @@ func (r *Runner) digestRoot(keys []string, value func(i int) int64) {
 
 // digestRootDense is digestRoot over an interned ID list.
 func (r *Runner) digestRootDense(ids []regular.ClassID, value func(i int) int64) {
-	in := r.cache.Interner()
 	h := fnv.New64a()
 	var buf [8]byte
 	for i, id := range ids {
-		h.Write([]byte(in.Key(id)))
+		h.Write([]byte(r.cache.KeyOf(id)))
 		v := uint64(value(i))
 		for j := range buf {
 			buf[j] = byte(v >> uint(8*j))
@@ -131,12 +145,11 @@ func (r *Runner) noteKeys(keys []string) {
 }
 
 func (r *Runner) noteIDs(ids []regular.ClassID) {
-	in := r.cache.Interner()
 	if len(ids) > r.maxTab {
 		r.maxTab = len(ids)
 	}
 	for _, id := range ids {
-		if n := len(in.Key(id)); n > r.maxKey {
+		if n := len(r.cache.KeyOf(id)); n > r.maxKey {
 			r.maxKey = n
 		}
 	}
