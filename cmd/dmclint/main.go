@@ -1,18 +1,24 @@
 // Command dmclint runs the dmclint static-analysis suite (internal/analysis)
-// over the module: maporder, detsource, framing, and runerr, which together
-// machine-check the simulator's determinism, framing, and error-handling
+// over the module: maporder, detsource, framing, runerr, lockwitness,
+// ctxflow, poolpair, and gorolife, which together machine-check the
+// simulator's determinism, framing, error-handling, and concurrency
 // invariants (DESIGN.md, "Statically enforced invariants").
 //
 // Usage:
 //
 //	go run ./cmd/dmclint ./...
 //	go run ./cmd/dmclint -json ./internal/protocols
+//	go run ./cmd/dmclint -sarif ./... > dmclint.sarif
+//	go run ./cmd/dmclint -analyzers ctxflow,gorolife ./internal/congest
 //
-// Diagnostics print as file:line:col: dmclint/<analyzer>: message, or as a
-// JSON array of {file, line, col, analyzer, message} objects with -json.
-// The exit status is 1 when any diagnostic is reported, 2 on usage or load
-// errors, and 0 on a clean tree. Suppress individual findings with a
-// preceding //lint:ignore dmclint/<analyzer> reason comment.
+// Diagnostics print as file:line:col: dmclint/<analyzer>: message, as a JSON
+// array of {file, line, col, analyzer, message} objects with -json, or as a
+// SARIF 2.1.0 log with -sarif; all three orders findings by (file, line,
+// column, analyzer). -analyzers restricts the run to a comma-separated
+// subset of the suite; -list prints the suite and exits. The exit status is
+// 1 when any diagnostic is reported, 2 on usage or load errors, and 0 on a
+// clean tree. Suppress individual findings with a preceding
+// //lint:ignore dmclint/<analyzer> reason comment.
 package main
 
 import (
@@ -20,12 +26,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 )
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
 type jsonDiagnostic struct {
 	File     string `json:"file"`
@@ -35,59 +47,72 @@ type jsonDiagnostic struct {
 	Message  string `json:"message"`
 }
 
-func main() {
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics")
-	list := flag.Bool("analyzers", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dmclint [-json] [packages]\n\n"+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dmclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	sarifOut := fs.Bool("sarif", false, "emit a SARIF 2.1.0 log")
+	spec := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: dmclint [-json|-sarif] [-analyzers names] [packages]\n\n"+
 			"Packages are import paths, module-relative directories, or ./... for the\n"+
 			"whole module (the default).\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "dmclint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	analyzers, err := analysis.SelectAnalyzers(*spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "dmclint:", err)
+		return 2
 	}
 
 	root, modPath, err := findModule()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmclint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dmclint:", err)
+		return 2
 	}
 	loader := analysis.NewLoader(root, modPath)
 
-	paths, err := resolvePatterns(loader, root, modPath, flag.Args())
+	paths, err := resolvePatterns(loader, root, modPath, fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmclint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dmclint:", err)
+		return 2
 	}
 
 	var all []jsonDiagnostic
-	failed := false
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmclint: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dmclint: %v\n", err)
+			return 2
 		}
-		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers())
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmclint: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dmclint: %v\n", err)
+			return 2
 		}
 		for _, d := range diags {
-			failed = true
 			pos := pkg.Fset.Position(d.Pos)
 			file := pos.Filename
 			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
+				file = filepath.ToSlash(rel)
 			}
 			all = append(all, jsonDiagnostic{
 				File: file, Line: pos.Line, Col: pos.Column,
@@ -95,29 +120,134 @@ func main() {
 			})
 		}
 	}
+	// Per-package runs come back in package order; present one stable,
+	// position-major stream regardless of how the packages were listed.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
 
-	w := bufio.NewWriter(os.Stdout)
-	if *jsonOut {
+	w := bufio.NewWriter(stdout)
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if all == nil {
 			all = []jsonDiagnostic{}
 		}
 		if err := enc.Encode(all); err != nil {
-			fmt.Fprintln(os.Stderr, "dmclint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "dmclint:", err)
+			return 2
 		}
-	} else {
+	case *sarifOut:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifLog(analyzers, all)); err != nil {
+			fmt.Fprintln(stderr, "dmclint:", err)
+			return 2
+		}
+	default:
 		for _, d := range all {
 			fmt.Fprintf(w, "%s:%d:%d: dmclint/%s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "dmclint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dmclint:", err)
+		return 2
 	}
-	if failed {
-		os.Exit(1)
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// SARIF 2.1.0 structures, restricted to the fields dmclint emits.
+type sarifFile struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLog renders the (already sorted) diagnostics as one SARIF run, with
+// one rule per analyzer in the running set.
+func sarifLog(analyzers []*analysis.Analyzer, diags []jsonDiagnostic) sarifFile {
+	rules := make([]sarifRule, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = sarifRule{ID: "dmclint/" + a.Name, ShortDescription: sarifText{Text: a.Doc}}
+	}
+	results := make([]sarifResult, len(diags))
+	for i, d := range diags {
+		results[i] = sarifResult{
+			RuleID:  "dmclint/" + d.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: d.File},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		}
+	}
+	return sarifFile{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "dmclint", Rules: rules}}, Results: results}},
 	}
 }
 

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirLintmod moves the test into the fixture module (run() resolves the
+// module from the working directory) and restores the old directory after.
+func chdirLintmod(t *testing.T) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	if err := os.Chdir(filepath.Join(old, "testdata", "lintmod")); err != nil {
+		t.Fatalf("chdir: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatalf("restore wd: %v", err)
+		}
+	})
+}
+
+// runCLI invokes run() and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// The fixture module has exactly two gorolife findings, one per package,
+// arranged so that package load order (lintmod, then lintmod/apkg) disagrees
+// with file order (apkg/a.go before zmain.go): every output mode must present
+// them file-sorted.
+
+func TestTextOutputSorted(t *testing.T) {
+	chdirLintmod(t)
+	code, out, errb := runCLI(t, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "apkg/a.go:") || !strings.Contains(lines[0], "dmclint/gorolife") {
+		t.Errorf("first line = %q, want apkg/a.go gorolife finding", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "zmain.go:") {
+		t.Errorf("second line = %q, want zmain.go finding", lines[1])
+	}
+}
+
+func TestJSONOutputSorted(t *testing.T) {
+	chdirLintmod(t)
+	code, out, errb := runCLI(t, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	if diags[0].File != "apkg/a.go" || diags[1].File != "zmain.go" {
+		t.Errorf("files = [%s %s], want [apkg/a.go zmain.go]", diags[0].File, diags[1].File)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "gorolife" || d.Line == 0 || d.Col == 0 {
+			t.Errorf("diagnostic %+v: want analyzer gorolife with a real position", d)
+		}
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	chdirLintmod(t)
+	code, out, errb := runCLI(t, "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb)
+	}
+	var log sarifFile
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q with %d runs, want 2.1.0 with 1 run", log.Version, len(log.Runs))
+	}
+	runOut := log.Runs[0]
+	if runOut.Tool.Driver.Name != "dmclint" {
+		t.Errorf("driver name = %q", runOut.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range runOut.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs["dmclint/gorolife"] || !ruleIDs["dmclint/lockwitness"] {
+		t.Errorf("rules missing expected analyzers: %v", runOut.Tool.Driver.Rules)
+	}
+	if len(runOut.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(runOut.Results))
+	}
+	uris := []string{
+		runOut.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI,
+		runOut.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI,
+	}
+	if uris[0] != "apkg/a.go" || uris[1] != "zmain.go" {
+		t.Errorf("result URIs = %v, want sorted [apkg/a.go zmain.go]", uris)
+	}
+	for _, r := range runOut.Results {
+		if r.RuleID != "dmclint/gorolife" || r.Level != "warning" || r.Message.Text == "" {
+			t.Errorf("result %+v: want gorolife warning with a message", r)
+		}
+		if r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %+v: missing start line", r)
+		}
+	}
+}
+
+func TestAnalyzersFilter(t *testing.T) {
+	chdirLintmod(t)
+	// gorolife alone still sees both findings.
+	if code, out, _ := runCLI(t, "-analyzers", "gorolife", "./..."); code != 1 || strings.Count(out, "dmclint/gorolife") != 2 {
+		t.Errorf("-analyzers gorolife: exit %d output %q, want both findings", code, out)
+	}
+	// maporder alone is silent here (package-gated), so the tree is clean.
+	if code, out, errb := runCLI(t, "-analyzers", "maporder", "./..."); code != 0 || out != "" {
+		t.Errorf("-analyzers maporder: exit %d output %q stderr %q, want clean exit 0", code, out, errb)
+	}
+	// Unknown names are usage errors that say what is valid.
+	code, _, errb := runCLI(t, "-analyzers", "nosuch", "./...")
+	if code != 2 || !strings.Contains(errb, "nosuch") {
+		t.Errorf("-analyzers nosuch: exit %d stderr %q, want 2 naming the bad analyzer", code, errb)
+	}
+}
+
+func TestListAndFlagValidation(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"maporder", "detsource", "framing", "runerr", "lockwitness", "ctxflow", "poolpair", "gorolife"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+	if code, _, errb := runCLI(t, "-json", "-sarif", "./..."); code != 2 || !strings.Contains(errb, "mutually exclusive") {
+		t.Errorf("-json -sarif: exit %d stderr %q, want usage error", code, errb)
+	}
+}

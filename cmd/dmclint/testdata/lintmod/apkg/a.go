@@ -1,0 +1,8 @@
+// Package apkg carries the fixture module's second finding, in a file that
+// sorts before the root package's.
+package apkg
+
+// Work leaks a goroutine with no join: one gorolife finding.
+func Work() {
+	go func() {}()
+}

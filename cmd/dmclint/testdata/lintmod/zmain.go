@@ -1,0 +1,13 @@
+// Package lintmod is a fixture module for dmclint's CLI tests. The file is
+// named zmain.go so that it sorts after apkg/a.go even though its package
+// loads first: the CLI's global (file, line) ordering is what the tests pin.
+package lintmod
+
+import "lintmod/apkg"
+
+// Spawn leaks a goroutine with no join: one gorolife finding.
+func Spawn() {
+	go func() {
+		apkg.Work()
+	}()
+}

@@ -87,7 +87,49 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Analyzers returns the full dmclint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, DetSource, Framing, RunErr}
+	return []*Analyzer{MapOrder, DetSource, Framing, RunErr, LockWitness, CtxFlow, PoolPair, GoroLife}
+}
+
+// SelectAnalyzers resolves a comma-separated list of analyzer names to the
+// corresponding suite subset, preserving suite order. An empty spec selects
+// the whole suite; an unknown name is an error listing the valid names.
+func SelectAnalyzers(spec string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			names := make([]string, len(all))
+			for i, a := range all {
+				names[i] = a.Name
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(names, ", "))
+		}
+		wanted[name] = true
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if wanted[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected by %q", spec)
+	}
+	return out, nil
 }
 
 // RunAnalyzers runs the given analyzers over one loaded package, applies

@@ -35,3 +35,24 @@ func TestRunErr(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), analysis.RunErr,
 		"repro/runerrfix")
 }
+
+func TestLockWitness(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.LockWitness,
+		"repro/internal/regular/lockwitnessfix")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.CtxFlow,
+		"repro/internal/congest/ctxflowfix",
+		"example.com/nondet")
+}
+
+func TestPoolPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.PoolPair,
+		"repro/internal/congest/poolpairfix")
+}
+
+func TestGoroLife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.GoroLife,
+		"repro/gorolifefix")
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow guards the daemon's cancellation discipline: in the packages that
+// sit on a request path (the simulator engine, the HTTP service, and the
+// protocol layer), every construct that can block forever must either be a
+// select with a context.Context Done case, carry a non-blocking default, or
+// be individually justified with a //lint:ignore dmclint/ctxflow <reason>
+// suppression. Per-request deadlines are threaded through
+// congest.Options.Context into the engine's round barriers; a wait that
+// ignores that context turns a client timeout into a leaked goroutine or a
+// wedged drain.
+//
+// Flagged shapes: blocking channel sends and receives outside a select's
+// comm clauses, `for ... range ch` over a channel, sync.WaitGroup.Wait, a
+// select with neither a default nor a context Done case, and a `for {` loop
+// whose body has no break or return.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "blocking waits on request paths must be cancellable or carry a justified suppression",
+	Run:  runCtxFlow,
+}
+
+// ctxFlowPkgs are the request-path packages (prefix match, like
+// DeterministicPkgs).
+var ctxFlowPkgs = []string{
+	"repro/internal/congest",
+	"repro/internal/serve",
+	"repro/internal/protocols",
+}
+
+func isCtxFlowPkg(path string) bool {
+	for _, p := range ctxFlowPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !isCtxFlowPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// comm statements of select clauses block as a group, governed by the
+		// select-level rule, not individually.
+		exempt := make(map[ast.Node]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				checkSelect(pass, n, exempt)
+			case *ast.SendStmt:
+				if !exempt[n] {
+					pass.Reportf(n.Arrow, "blocking send on %s has no cancellation path; select with a context Done case or suppress with a reason",
+						exprString(n.Chan))
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !exempt[n] {
+					pass.Reportf(n.OpPos, "blocking receive from %s has no cancellation path; select with a context Done case or suppress with a reason",
+						exprString(n.X))
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.For, "range over channel %s blocks until the channel closes; add a context-aware select or suppress with a reason",
+							exprString(n.X))
+					}
+				}
+			case *ast.CallExpr:
+				if recv, ok := isWaitGroupWait(pass, n); ok {
+					pass.Reportf(n.Pos(), "%s.Wait() blocks without a cancellation path; bound the waited work by the request context or suppress with a reason",
+						recv)
+				}
+			case *ast.ForStmt:
+				if n.Cond == nil && !hasLoopExit(n.Body) {
+					pass.Reportf(n.For, "infinite for loop has no break or return; poll the context or bound the loop")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelect exempts the select's own comm operations from the per-op rules
+// and applies the select-level rule: a select must be non-blocking (default
+// clause) or include a context.Context Done case.
+func checkSelect(pass *Pass, sel *ast.SelectStmt, exempt map[ast.Node]bool) {
+	hasDefault, hasCtx := false, false
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+			continue
+		}
+		var chanExpr ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			exempt[comm] = true
+			chanExpr = comm.Chan
+		case *ast.ExprStmt:
+			if ue, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				exempt[ue] = true
+				chanExpr = ue.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if ue, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					exempt[ue] = true
+					chanExpr = ue.X
+				}
+			}
+		}
+		if chanExpr != nil && isContextDoneCall(pass, chanExpr) {
+			hasCtx = true
+		}
+	}
+	if !hasDefault && !hasCtx {
+		pass.Reportf(sel.Select, "select has neither a default nor a context Done case; a stuck peer blocks this path past the request deadline")
+	}
+}
+
+// isContextDoneCall matches `X.Done()` where X is a context.Context.
+func isContextDoneCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return namedTypeIn(tv.Type, "context", "Context")
+}
+
+// isWaitGroupWait matches `X.Wait()` where X is a sync.WaitGroup.
+func isWaitGroupWait(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" || len(call.Args) != 0 {
+		return "", false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	if !namedTypeIn(tv.Type, "sync", "WaitGroup") {
+		return "", false
+	}
+	return exprString(sel.X), true
+}
+
+// hasLoopExit reports whether the loop body contains a break for this loop
+// or a return, without descending into nested functions or nested loops'
+// own breaks.
+func hasLoopExit(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// An unlabeled break inside these binds to them, not to our loop;
+			// a return still exits.
+			for _, inner := range innerStmts(n) {
+				ast.Inspect(inner, func(m ast.Node) bool {
+					if found {
+						return false
+					}
+					if _, ok := m.(*ast.FuncLit); ok {
+						return false
+					}
+					if _, ok := m.(*ast.ReturnStmt); ok {
+						found = true
+						return false
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+			return false
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return found
+}
+
+// innerStmts lists the statement children of a nested control node.
+func innerStmts(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body.List
+	case *ast.RangeStmt:
+		return n.Body.List
+	case *ast.SwitchStmt:
+		return n.Body.List
+	case *ast.TypeSwitchStmt:
+		return n.Body.List
+	case *ast.SelectStmt:
+		return n.Body.List
+	}
+	return nil
+}

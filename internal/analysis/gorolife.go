@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLife guards goroutine lifecycles module-wide: dmcd's SIGTERM drain can
+// only wait for work it can see, so every `go` statement in non-test code
+// must have a join mechanism visible in the function that starts it — a
+// sync.WaitGroup whose Add precedes the go statement and whose Done is
+// called in the goroutine, or a channel handshake (the goroutine sends on or
+// closes a channel). A goroutine with neither outlives the request that
+// spawned it and leaks past drain.
+//
+// The second rule is stylistic hygiene with teeth: a goroutine closure must
+// not capture an enclosing loop's iteration variable. Go 1.22 made the
+// capture safe, but passing the value as an argument keeps the dependency
+// explicit and the code portable to pre-1.22 readers and backports.
+var GoroLife = &Analyzer{
+	Name: "gorolife",
+	Doc:  "go statements need a visible join (WaitGroup or channel) and must not capture loop variables",
+	Run:  runGoroLife,
+}
+
+func runGoroLife(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncGoStmts(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFuncGoStmts(pass *Pass, fd *ast.FuncDecl) {
+	var gos []*ast.GoStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return
+	}
+	addsWG := funcCallsWaitGroupAdd(pass, fd)
+	for _, g := range gos {
+		if v := capturedLoopVar(pass, fd, g); v != "" {
+			pass.Reportf(g.Go, "goroutine closure captures loop variable %s; pass it as an argument instead", v)
+		}
+		if !goroutineJoined(pass, g, addsWG) {
+			pass.Reportf(g.Go, "goroutine started in %s has no visible join: pair a sync.WaitGroup Add/Done with a Wait, or hand the result back on a channel",
+				fd.Name.Name)
+		}
+	}
+}
+
+// funcCallsWaitGroupAdd reports whether the function body contains an
+// X.Add(..) call on a sync.WaitGroup (outside nested function literals the
+// call may still count: forEach-style helpers Add before dispatching, which
+// is the pattern being certified).
+func funcCallsWaitGroupAdd(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+			if tv, ok := pass.Info.Types[sel.X]; ok && namedTypeIn(tv.Type, "sync", "WaitGroup") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// goroutineJoined reports whether the go statement has a visible join: a
+// WaitGroup Done inside the goroutine with a matching Add in the enclosing
+// function, or a send/close on a channel from inside the goroutine.
+func goroutineJoined(pass *Pass, g *ast.GoStmt, enclosingAddsWG bool) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// go method() / go fn(): nothing inside the callee is visible here.
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			joined = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltinClose := pass.Info.Uses[id].(*types.Builtin); isBuiltinClose || pass.Info.Uses[id] == nil {
+					joined = true
+					return false
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(n.Args) == 0 {
+				if tv, ok := pass.Info.Types[sel.X]; ok && namedTypeIn(tv.Type, "sync", "WaitGroup") && enclosingAddsWG {
+					joined = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// capturedLoopVar returns the name of an enclosing for/range loop's
+// iteration variable referenced by the goroutine's closure, or "".
+func capturedLoopVar(pass *Pass, fd *ast.FuncDecl, g *ast.GoStmt) string {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return ""
+	}
+	// Collect the iteration variables of every loop whose body encloses g.
+	loopVars := make(map[types.Object]string)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if g.Pos() >= n.Body.Pos() && g.End() <= n.Body.End() {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if g.Pos() >= n.Body.Pos() && g.End() <= n.Body.End() && n.Init != nil {
+				if as, ok := n.Init.(*ast.AssignStmt); ok {
+					for _, e := range as.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								loopVars[obj] = id.Name
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(loopVars) == 0 {
+		return ""
+	}
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if name, isLoopVar := loopVars[obj]; isLoopVar {
+					captured = name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return captured
+}

@@ -141,7 +141,24 @@ func (l *Loader) loadDir(importPath, dir string) (*Package, error) {
 	}
 	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
 	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, typeErrs[0])
+		// Report every error (capped), each with its source position, so a
+		// broken package is diagnosable from the loader error alone.
+		const maxErrs = 10
+		shown := typeErrs
+		extra := 0
+		if len(shown) > maxErrs {
+			extra = len(shown) - maxErrs
+			shown = shown[:maxErrs]
+		}
+		msgs := make([]string, len(shown))
+		for i, e := range shown {
+			msgs[i] = e.Error()
+		}
+		suffix := ""
+		if extra > 0 {
+			suffix = fmt.Sprintf("; and %d more errors", extra)
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s: %s%s", importPath, strings.Join(msgs, "; "), suffix)
 	}
 	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }

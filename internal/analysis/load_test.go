@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestLoadTypeError pins the loader's behavior on a package that fails to
+// type-check: no panic, and the error carries every failure with its source
+// position so the package is diagnosable from the error alone.
+func TestLoadTypeError(t *testing.T) {
+	loader := analysis.NewLoader(analysistest.TestData(t), "")
+	pkg, err := loader.Load("broken/typeerr")
+	if err == nil {
+		t.Fatalf("load of broken/typeerr succeeded with package %v, want type error", pkg)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "type-checking broken/typeerr") {
+		t.Errorf("error does not name the package: %s", msg)
+	}
+	// Both independent failures must be present, each with a file:line
+	// position.
+	for _, frag := range []string{"undefinedName", "anotherUndefinedName", "mismatched types"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error is missing %q: %s", frag, msg)
+		}
+	}
+	if !strings.Contains(msg, "typeerr.go:") {
+		t.Errorf("error carries no source positions: %s", msg)
+	}
+}
+
+// TestSelectAnalyzers covers the -analyzers CSV filter: suite order is
+// preserved regardless of the spec's order, unknown names fail with the
+// valid set, and an empty spec selects the whole suite.
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := analysis.SelectAnalyzers("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if len(all) != len(analysis.Analyzers()) {
+		t.Fatalf("empty spec selected %d analyzers, want the full suite of %d", len(all), len(analysis.Analyzers()))
+	}
+
+	got, err := analysis.SelectAnalyzers("gorolife, maporder")
+	if err != nil {
+		t.Fatalf("two-name spec: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "maporder" || got[1].Name != "gorolife" {
+		names := make([]string, len(got))
+		for i, a := range got {
+			names[i] = a.Name
+		}
+		t.Errorf("spec %q selected %v, want suite order [maporder gorolife]", "gorolife, maporder", names)
+	}
+
+	if _, err := analysis.SelectAnalyzers("maporder,nosuch"); err == nil {
+		t.Errorf("unknown analyzer name was accepted")
+	} else if !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("error does not name the unknown analyzer: %v", err)
+	}
+
+	if _, err := analysis.SelectAnalyzers(" , "); err == nil {
+		t.Errorf("all-empty spec was accepted")
+	}
+}

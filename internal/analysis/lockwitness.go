@@ -1,0 +1,456 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"maps"
+	"strings"
+)
+
+// LockWitness enforces caller-side locking contracts. A function or method
+// whose correctness depends on the caller holding a mutex declares that with
+// a doc-comment directive
+//
+//	//dmclint:requires-lock <field>
+//
+// naming the mutex field (e.g. mu). Every call to an annotated function must
+// then appear inside a syntactic lock-held region for that field on the
+// callee's receiver: after X.mu.Lock()/RLock() (including the sticky
+// defer X.mu.Unlock() form and the conditional `if X.mu != nil { Lock;
+// defer Unlock }` shape), inside the body of `if X.mu == nil { ... }`
+// (the private single-owner fast path of the dual-mode caches), after a
+// terminating `if X.mu != nil { ...; return }` block, or in a caller that is
+// itself annotated for the same field.
+//
+// The companion naming rule closes the annotation gap: any function whose
+// name ends in "Locked" — the convention regular.Cached and serve.Server use
+// for must-hold-the-lock helpers — must carry the annotation, so new helpers
+// cannot silently opt out of the check.
+//
+// The tracking is intraprocedural and syntactic (no alias or path-condition
+// analysis); genuinely safe calls the tracker cannot see are suppressed with
+// //lint:ignore dmclint/lockwitness <reason>.
+var LockWitness = &Analyzer{
+	Name: "lockwitness",
+	Doc:  "calls to //dmclint:requires-lock functions must hold the named lock",
+	Run:  runLockWitness,
+}
+
+const requiresLockMarker = "dmclint:requires-lock"
+
+// lockAnnotation extracts the required lock field from a doc comment, or "".
+func lockAnnotation(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, requiresLockMarker); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// collectLockAnnotations maps each annotated function object in the package
+// to its required lock field.
+func collectLockAnnotations(pass *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			field := lockAnnotation(fd.Doc)
+			if field == "" {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				out[obj] = field
+			}
+		}
+	}
+	return out
+}
+
+func runLockWitness(pass *Pass) error {
+	ann := collectLockAnnotations(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			field := ""
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				field = ann[obj]
+			}
+			if field == "" && strings.HasSuffix(fd.Name.Name, "Locked") {
+				pass.Reportf(fd.Name.Pos(),
+					"%s follows the *Locked naming convention but has no //dmclint:requires-lock annotation",
+					fd.Name.Name)
+			}
+			w := &lockWalker{
+				pass:        pass,
+				ann:         ann,
+				callerField: field,
+				held:        make(map[string]bool),
+				nilOK:       make(map[string]bool),
+			}
+			w.block(fd.Body.List)
+			w.drainFuncLits()
+		}
+	}
+	return nil
+}
+
+// lockWalker tracks syntactically held locks through one function body in
+// statement order.
+type lockWalker struct {
+	pass *Pass
+	ann  map[types.Object]string
+	// callerField is the enclosing function's own requires-lock field ("" if
+	// unannotated): calls needing that field are the caller's obligation.
+	callerField string
+	// held maps lock expressions ("c.mu", "s.core.mu") currently held; a
+	// deferred Unlock keeps the entry to the end of the function.
+	held map[string]bool
+	// nilOK maps lock expressions known nil on this path — the private
+	// single-owner mode where no locking is required.
+	nilOK map[string]bool
+	// lits queues function literals for a fresh walk (a closure's body does
+	// not inherit the creation site's lock state).
+	lits []*ast.FuncLit
+}
+
+// fork copies the walker for a conditionally executed branch.
+func (w *lockWalker) fork() *lockWalker {
+	return &lockWalker{
+		pass:        w.pass,
+		ann:         w.ann,
+		callerField: w.callerField,
+		held:        maps.Clone(w.held),
+		nilOK:       maps.Clone(w.nilOK),
+	}
+}
+
+// drainFuncLits walks queued closures with fresh lock state.
+func (w *lockWalker) drainFuncLits() {
+	for len(w.lits) > 0 {
+		lit := w.lits[0]
+		w.lits = w.lits[1:]
+		lw := &lockWalker{
+			pass:  w.pass,
+			ann:   w.ann,
+			held:  make(map[string]bool),
+			nilOK: make(map[string]bool),
+		}
+		lw.block(lit.Body.List)
+		w.lits = append(w.lits, lw.lits...)
+	}
+}
+
+func (w *lockWalker) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if expr, op, ok := classifyLockCall(w.pass, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				w.held[expr] = true
+			case "Unlock", "RUnlock":
+				delete(w.held, expr)
+			}
+			return
+		}
+		w.checkExpr(s.X)
+	case *ast.DeferStmt:
+		if expr, op, ok := classifyLockCall(w.pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Sticky: the lock stays held to the end of the function.
+			w.held[expr] = true
+			return
+		}
+		w.checkExpr(s.Call)
+	case *ast.GoStmt:
+		w.checkExpr(s.Call)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r)
+		}
+	case *ast.IfStmt:
+		w.ifStmt(s)
+	case *ast.BlockStmt:
+		w.block(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond)
+		}
+		body := w.fork()
+		body.block(s.Body.List)
+		if s.Post != nil {
+			body.stmt(s.Post)
+		}
+		w.lits = append(w.lits, body.lits...)
+	case *ast.RangeStmt:
+		w.checkExpr(s.X)
+		body := w.fork()
+		body.block(s.Body.List)
+		w.lits = append(w.lits, body.lits...)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag)
+		}
+		w.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.caseBodies(s.Body)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := w.fork()
+			if cc.Comm != nil {
+				branch.stmt(cc.Comm)
+			}
+			branch.block(cc.Body)
+			w.lits = append(w.lits, branch.lits...)
+		}
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan)
+		w.checkExpr(s.Value)
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// caseBodies walks each case clause of a switch body in a fork.
+func (w *lockWalker) caseBodies(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		branch := w.fork()
+		for _, e := range cc.List {
+			branch.checkExpr(e)
+		}
+		branch.block(cc.Body)
+		w.lits = append(w.lits, branch.lits...)
+	}
+}
+
+// ifStmt handles the lock-relevant if shapes: nil-mutex fast paths and
+// conditional locking.
+func (w *lockWalker) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		w.stmt(s.Init)
+	}
+	w.checkExpr(s.Cond)
+
+	lockExpr, isNil := nilMutexCompare(w.pass, s.Cond)
+	body := w.fork()
+	if lockExpr != "" && isNil {
+		// if X.mu == nil { ... }: the body runs in private single-owner mode.
+		body.nilOK[lockExpr] = true
+	}
+	body.block(s.Body.List)
+	w.lits = append(w.lits, body.lits...)
+
+	if lockExpr != "" && !isNil {
+		// if X.mu != nil { Lock; defer Unlock }: either the lock is held
+		// afterwards or it was nil and no locking is required, so acquisitions
+		// escape the branch.
+		for e := range body.held {
+			if !w.held[e] {
+				w.held[e] = true
+			}
+		}
+		// if X.mu != nil { ...; return }: the code after only runs when the
+		// mutex is nil.
+		if terminates(s.Body) {
+			w.nilOK[lockExpr] = true
+		}
+	}
+	if s.Else != nil {
+		els := w.fork()
+		els.stmt(s.Else)
+		w.lits = append(w.lits, els.lits...)
+	}
+}
+
+// checkExpr inspects an expression for calls to annotated functions, queuing
+// nested function literals for a fresh walk.
+func (w *lockWalker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, n)
+			return false
+		case *ast.CallExpr:
+			w.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) checkCall(call *ast.CallExpr) {
+	obj := calleeObject(w.pass.Info, call)
+	if obj == nil {
+		return
+	}
+	field, ok := w.ann[obj]
+	if !ok {
+		return
+	}
+	if w.callerField == field {
+		return // the obligation belongs to this function's own callers
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		lock := exprString(sel.X) + "." + field
+		if w.held[lock] || w.nilOK[lock] {
+			return
+		}
+	} else if w.heldByField(field) {
+		return // plain function call: match the lock by field name alone
+	}
+	w.pass.Reportf(call.Pos(),
+		"call to %s requires %s to be held: lock it first, run on the nil-%s fast path, or annotate the caller with //dmclint:requires-lock %s",
+		obj.Name(), field, field, field)
+}
+
+// heldByField reports whether any held or known-nil lock expression's last
+// path component matches the field (for annotated plain functions with no
+// receiver to anchor the lock to).
+func (w *lockWalker) heldByField(field string) bool {
+	match := func(set map[string]bool) bool {
+		for e := range set {
+			if e == field || strings.HasSuffix(e, "."+field) {
+				return true
+			}
+		}
+		return false
+	}
+	return match(w.held) || match(w.nilOK)
+}
+
+// classifyLockCall recognizes X.Lock/RLock/Unlock/RUnlock() on a sync.Mutex
+// or sync.RWMutex, returning X's canonical text and the operation.
+func classifyLockCall(pass *Pass, e ast.Expr) (expr, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isMutexExpr(pass, sel.X) {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+// nilMutexCompare matches `X == nil` / `X != nil` where X is a mutex pointer,
+// returning X's text and whether the true branch is the nil side.
+func nilMutexCompare(pass *Pass, cond ast.Expr) (expr string, isNil bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return "", false
+	}
+	var x ast.Expr
+	switch {
+	case isNilIdent(be.Y):
+		x = be.X
+	case isNilIdent(be.X):
+		x = be.Y
+	default:
+		return "", false
+	}
+	if !isMutexExpr(pass, x) {
+		return "", false
+	}
+	switch be.Op.String() {
+	case "==":
+		return exprString(x), true
+	case "!=":
+		return exprString(x), false
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isMutexExpr reports whether e's type is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isMutexExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	return namedTypeIn(tv.Type, "sync", "Mutex") || namedTypeIn(tv.Type, "sync", "RWMutex")
+}
+
+// terminates reports whether a block's last statement unconditionally leaves
+// the enclosing function.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}

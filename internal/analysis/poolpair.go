@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolPair enforces strict Get/Put pairing on pooled resources: a call to
+// congest.ScratchPool.acquire (or any ScratchPool-named type's acquire/Get,
+// or sync.Pool.Get) must assign its result to a local variable and the very
+// next statement must defer the matching release/Put on the same pool, so
+// every return path — including early returns and panics — gives the buffer
+// back. A pooled engine scratch that escapes the pool silently degrades the
+// daemon to allocating fresh state per request; one that is double-released
+// corrupts a concurrent run.
+//
+// Flagged shapes: the result discarded or assigned to a field or through a
+// selector (release can then no longer be proven local), and any statement
+// other than the matching `defer pool.release(v)` following the acquire.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "pool acquire/Get must be followed immediately by a deferred release/Put",
+	Run:  runPoolPair,
+}
+
+func runPoolPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkPoolBlock(pass, n.List)
+			case *ast.CaseClause:
+				checkPoolBlock(pass, n.Body)
+			case *ast.CommClause:
+				checkPoolBlock(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPoolBlock inspects one statement list: each statement is examined in
+// the block that directly owns it, so the "next statement" relation is exact.
+func checkPoolBlock(pass *Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		for _, get := range poolGetsIn(pass, s) {
+			checkPoolGet(pass, stmts, i, s, get)
+		}
+	}
+}
+
+// poolGet is one acquire/Get call found in a statement.
+type poolGet struct {
+	call *ast.CallExpr
+	recv ast.Expr // the pool expression
+	name string   // "acquire" or "Get"
+}
+
+// poolGetsIn collects pool acquisitions directly inside s, not descending
+// into nested blocks or function literals (those are visited as their own
+// blocks).
+func poolGetsIn(pass *Pass, s ast.Stmt) []poolGet {
+	var out []poolGet
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if g, ok := asPoolGet(pass, n); ok {
+				out = append(out, g)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// asPoolGet matches P.acquire(...) / P.Get(...) where P is a ScratchPool or
+// a sync.Pool.
+func asPoolGet(pass *Pass, call *ast.CallExpr) (poolGet, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return poolGet{}, false
+	}
+	name := sel.Sel.Name
+	if name != "acquire" && name != "Get" {
+		return poolGet{}, false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return poolGet{}, false
+	}
+	if !isPoolType(tv.Type) {
+		return poolGet{}, false
+	}
+	return poolGet{call: call, recv: sel.X, name: name}, true
+}
+
+// isPoolType matches sync.Pool and any type named ScratchPool (pointer or
+// value), so in-tree pool wrappers are covered without an import cycle on
+// congest.
+func isPoolType(t types.Type) bool {
+	if namedTypeIn(t, "sync", "Pool") {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "ScratchPool"
+}
+
+// checkPoolGet validates one acquisition against its block context.
+func checkPoolGet(pass *Pass, stmts []ast.Stmt, i int, s ast.Stmt, g poolGet) {
+	release := "release"
+	if g.name == "Get" {
+		release = "Put"
+	}
+	assign, ok := s.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || ast.Unparen(assign.Rhs[0]) != g.call {
+		pass.Reportf(g.call.Pos(),
+			"result of %s.%s must be assigned to a local variable with an immediate `defer %s.%s(...)`",
+			exprString(g.recv), g.name, exprString(g.recv), release)
+		return
+	}
+	lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		pass.Reportf(g.call.Pos(),
+			"result of %s.%s escapes to %s; assign it to a local so the deferred %s can be checked",
+			exprString(g.recv), g.name, exprString(assign.Lhs[0]), release)
+		return
+	}
+	if i+1 < len(stmts) && isPoolRelease(stmts[i+1], exprString(g.recv), release, lhs.Name) {
+		return
+	}
+	pass.Reportf(g.call.Pos(),
+		"%s.%s(%s) is not followed by `defer %s.%s(%s)`; an early return or panic would leak the pooled value",
+		exprString(g.recv), g.name, lhs.Name, exprString(g.recv), release, lhs.Name)
+}
+
+// isPoolRelease matches `defer P.release(v)` / `defer P.Put(v)`.
+func isPoolRelease(s ast.Stmt, pool, release, v string) bool {
+	def, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(def.Call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != release || exprString(sel.X) != pool {
+		return false
+	}
+	if len(def.Call.Args) != 1 {
+		return false
+	}
+	arg, ok := ast.Unparen(def.Call.Args[0]).(*ast.Ident)
+	return ok && arg.Name == v
+}

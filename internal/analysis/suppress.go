@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -10,9 +11,14 @@ import (
 //	//lint:ignore dmclint/<name> reason
 //
 // and silence the named analyzer's diagnostics on the same line or on the
-// line immediately below the comment. The reason is mandatory: an ignore
-// without one does not suppress anything and is itself reported, so
-// suppressions stay auditable.
+// line immediately below the comment. When the comment (or the comment group
+// it ends) is attached to a `defer` or `go` statement, it additionally
+// covers that analyzer's diagnostics anywhere inside the statement — so one
+// ignore above a multi-line closure suppresses a finding on a later line
+// within it, and stacked ignores for several analyzers above one go
+// statement all apply. The reason is mandatory: an ignore without one does
+// not suppress anything and is itself reported, so suppressions stay
+// auditable.
 
 const ignorePrefix = "lint:ignore "
 
@@ -23,13 +29,23 @@ type suppression struct {
 	analyzer string
 	hasWhy   bool
 	pos      token.Pos
+	// groupEnd is the last line of the comment group containing this ignore:
+	// a group of stacked ignores attaches as a whole to the statement on the
+	// next line.
+	groupEnd int
+	// spanStart/spanEnd, when set, are the line range of the defer/go
+	// statement this ignore is attached to; diagnostics inside it are
+	// covered.
+	spanStart, spanEnd int
 }
 
-// parseSuppressions extracts every dmclint ignore comment in the package.
+// parseSuppressions extracts every dmclint ignore comment in the package and
+// resolves closure spans for ignores attached to defer/go statements.
 func parseSuppressions(pkg *Package) []suppression {
 	var out []suppression
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
+			groupEnd := pkg.Fset.Position(cg.End()).Line
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				if !strings.HasPrefix(text, ignorePrefix) {
@@ -46,11 +62,45 @@ func parseSuppressions(pkg *Package) []suppression {
 					analyzer: strings.TrimPrefix(fields[0], "dmclint/"),
 					hasWhy:   len(fields) > 1,
 					pos:      c.Pos(),
+					groupEnd: groupEnd,
 				})
 			}
 		}
 	}
+	attachClosureSpans(pkg, out)
 	return out
+}
+
+// attachClosureSpans resolves, for each suppression, the defer/go statement
+// it is attached to: one starting on the comment's own line (trailing
+// comment) or on the line following the comment group (leading comment,
+// possibly stacked with other ignores). The statement's full line range then
+// covers diagnostics reported inside its closure.
+func attachClosureSpans(pkg *Package, sups []suppression) {
+	if len(sups) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+			default:
+				return true
+			}
+			start := pkg.Fset.Position(n.Pos())
+			end := pkg.Fset.Position(n.End())
+			for i := range sups {
+				s := &sups[i]
+				if s.file != start.Filename {
+					continue
+				}
+				if start.Line == s.groupEnd+1 || start.Line == s.line {
+					s.spanStart, s.spanEnd = start.Line, end.Line
+				}
+			}
+			return true
+		})
+	}
 }
 
 // applySuppressions filters diagnostics covered by a well-formed ignore
@@ -73,6 +123,9 @@ func applySuppressions(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) 
 				continue
 			}
 			if s.line == p.Line || s.line == p.Line-1 {
+				return true
+			}
+			if s.spanStart != 0 && p.Line >= s.spanStart && p.Line <= s.spanEnd {
 				return true
 			}
 		}

@@ -45,3 +45,51 @@ func TestMalformedIgnore(t *testing.T) {
 		t.Errorf("reason-less ignore suppressed the violation it covered: %+v", diags)
 	}
 }
+
+// TestClosureSpanSuppression pins the statement-span rule: an ignore comment
+// attached to a defer or go statement covers diagnostics on later lines
+// inside its closure, and stacked ignores for several analyzers above one go
+// statement all attach. The fixture would otherwise produce ctxflow and
+// gorolife findings on lines two or more below their ignore comments, where
+// the plain line rules cannot reach.
+func TestClosureSpanSuppression(t *testing.T) {
+	loader := analysis.NewLoader(analysistest.TestData(t), "")
+	pkg, err := loader.Load("repro/internal/serve/ctxsuppress")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			t.Errorf("%s:%d: [%s] escaped its closure-span suppression: %s",
+				pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestClosureSpanDoesNotLeak pins the other direction: the span only covers
+// the statement the ignore is attached to. The ctxflowfix fixture's want
+// comments (run in TestCtxFlow) prove unsuppressed diagnostics still fire;
+// here we check that an ignore attached to one go statement does not bleed
+// into a sibling statement in the same function.
+func TestClosureSpanDoesNotLeak(t *testing.T) {
+	loader := analysis.NewLoader(analysistest.TestData(t), "")
+	pkg, err := loader.Load("repro/internal/serve/spanleak")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.CtxFlow})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the sibling's: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "blocking send") {
+		t.Errorf("unexpected diagnostic: %s", diags[0].Message)
+	}
+}

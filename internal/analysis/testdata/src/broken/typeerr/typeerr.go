@@ -1,0 +1,11 @@
+// Package typeerr deliberately fails to type-check: the loader must surface
+// every error with its source position instead of panicking.
+package typeerr
+
+func add(a int, b string) int {
+	return a + b
+}
+
+var missing = undefinedName
+
+var alsoMissing = anotherUndefinedName

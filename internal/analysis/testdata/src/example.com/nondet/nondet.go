@@ -1,6 +1,6 @@
-// Package nondet lives outside the deterministic packages, so
-// dmclint/maporder and dmclint/detsource do not apply: none of the shapes
-// below may produce a diagnostic.
+// Package nondet lives outside the deterministic and request-path packages,
+// so dmclint/maporder, dmclint/detsource, and dmclint/ctxflow do not apply:
+// none of the shapes below may produce a diagnostic.
 package nondet
 
 import "time"
@@ -17,4 +17,9 @@ func Keys(m map[string]int) []string {
 // Stamp reads the wall clock, which is fine out here.
 func Stamp() time.Time {
 	return time.Now()
+}
+
+// Push blocks on a bare channel send, which is fine out here.
+func Push(ch chan int) {
+	ch <- 1
 }

@@ -1,0 +1,105 @@
+// Package gorolifefix is the golden fixture for dmclint/gorolife: every go
+// statement needs a join mechanism visible in the starting function, and
+// goroutine closures must not capture loop variables.
+package gorolifefix
+
+import "sync"
+
+func work() error { return nil }
+
+// joined runs workers under a WaitGroup with the value passed as an
+// argument: both rules satisfied.
+func joined(items []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(items))
+	for i, v := range items {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			out[i] = v * v
+		}(i, v)
+	}
+	wg.Wait()
+	return out
+}
+
+// handshake joins through a channel: the goroutine hands its result back.
+func handshake() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return <-errc
+}
+
+// closer joins by closing a done channel.
+func closer() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = work()
+	}()
+	<-done
+}
+
+// fireAndForget has no join at all: the goroutine outlives any drain.
+func fireAndForget() {
+	go func() { // want "no visible join"
+		_ = work()
+	}()
+}
+
+// pool mirrors the engine's worker pool: Done is called in the closure but
+// the Add lives in a different method, so the join is not visible here.
+type pool struct {
+	tasks chan int
+	wg    sync.WaitGroup
+	fn    func(int)
+}
+
+func newPool(workers int) *pool {
+	p := &pool{tasks: make(chan int, workers)}
+	for i := 0; i < workers; i++ {
+		go func() { // want "no visible join"
+			for idx := range p.tasks {
+				p.fn(idx)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+type svc struct{}
+
+func (s *svc) run() {}
+
+// goMethod starts an opaque callee: nothing inside it is visible, so no
+// join can be proven.
+func goMethod(s *svc) {
+	go s.run() // want "no visible join"
+}
+
+// capture grabs the loop variable instead of passing it.
+func capture(items []int, out chan int) {
+	for _, v := range items {
+		go func() { // want "captures loop variable v"
+			out <- v
+		}()
+	}
+}
+
+// daemonLoop is a justified process-lifetime goroutine.
+func daemonLoop(stop chan struct{}) {
+	//lint:ignore dmclint/gorolife the monitor runs for the process lifetime by design
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = work()
+		}
+	}()
+}

@@ -1,0 +1,82 @@
+// Package ctxflowfix is the golden fixture for dmclint/ctxflow: blocking
+// waits on request-path packages must be cancellable (context Done case or
+// non-blocking default) or carry a justified suppression.
+package ctxflowfix
+
+import (
+	"context"
+	"sync"
+)
+
+func blockingSend(ch chan int) {
+	ch <- 1 // want "blocking send on ch has no cancellation path"
+}
+
+func blockingRecv(ch chan int) int {
+	return <-ch // want "blocking receive from ch has no cancellation path"
+}
+
+func rangeChan(ch chan int) int {
+	total := 0
+	for v := range ch { // want "range over channel ch blocks until the channel closes"
+		total += v
+	}
+	return total
+}
+
+func waitAll(wg *sync.WaitGroup) {
+	wg.Wait() // want "blocks without a cancellation path"
+}
+
+// ctxSelect is the sanctioned blocking shape: the context Done case bounds
+// the wait by the request deadline.
+func ctxSelect(ctx context.Context, ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	case <-ctx.Done():
+		return 0, false
+	}
+}
+
+// trySend is the sanctioned non-blocking shape.
+func trySend(ch chan int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// deafSelect blocks with no escape hatch.
+func deafSelect(a, b chan int) int {
+	select { // want "select has neither a default nor a context Done case"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// spin never exits and never polls anything.
+func spin() {
+	for { // want "infinite for loop has no break or return"
+	}
+}
+
+// countdown is a bare for loop with a return, which is fine.
+func countdown(n int) int {
+	for {
+		if n <= 0 {
+			return n
+		}
+		n--
+	}
+}
+
+// handoff documents why its send cannot block.
+func handoff(ch chan int) {
+	//lint:ignore dmclint/ctxflow the channel is buffered to capacity by construction
+	ch <- 1
+}

@@ -1,0 +1,96 @@
+// Package poolpairfix is the golden fixture for dmclint/poolpair: a pool
+// acquisition must land in a local variable and the very next statement must
+// defer the matching release, so every return path gives the buffer back.
+package poolpairfix
+
+import "sync"
+
+type buf struct{ b []byte }
+
+// ScratchPool mirrors the engine pool's shape: acquire/release on a keyed
+// free list.
+type ScratchPool struct {
+	mu    sync.Mutex
+	items []*buf
+}
+
+func (p *ScratchPool) acquire(n int) *buf {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.items) > 0 {
+		b := p.items[len(p.items)-1]
+		p.items = p.items[:len(p.items)-1]
+		return b
+	}
+	return &buf{b: make([]byte, n)}
+}
+
+func (p *ScratchPool) release(b *buf) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.items = append(p.items, b)
+}
+
+type server struct {
+	pool    *ScratchPool
+	scratch *buf
+}
+
+// good pairs the acquire with an immediate deferred release.
+func (s *server) good(n int) int {
+	sc := s.pool.acquire(n)
+	defer s.pool.release(sc)
+	return len(sc.b)
+}
+
+// leakOnReturn releases manually after a conditional early return.
+func (s *server) leakOnReturn(n int) int {
+	sc := s.pool.acquire(n) // want "not followed by .defer s.pool.release"
+	if n == 0 {
+		return 0
+	}
+	s.pool.release(sc)
+	return len(sc.b)
+}
+
+// lateDefer lets a statement slip between acquire and defer; a panic in it
+// would leak the buffer.
+func (s *server) lateDefer(n int) int {
+	sc := s.pool.acquire(n) // want "not followed by .defer s.pool.release"
+	m := n * 2
+	defer s.pool.release(sc)
+	return m + len(sc.b)
+}
+
+// escapeToField hides the release from the acquiring function.
+func (s *server) escapeToField(n int) {
+	s.scratch = s.pool.acquire(n) // want "escapes to s.scratch"
+}
+
+// discard drops the handle entirely.
+func (s *server) discard(n int) {
+	s.pool.acquire(n) // want "must be assigned to a local variable"
+}
+
+var bufPool sync.Pool
+
+// goodSync shows the same discipline on a stdlib sync.Pool.
+func goodSync() []byte {
+	v := bufPool.Get()
+	defer bufPool.Put(v)
+	b, _ := v.([]byte)
+	return b
+}
+
+// leakSync never gives the value back.
+func leakSync() {
+	v := bufPool.Get() // want "not followed by .defer bufPool.Put"
+	_ = v
+}
+
+// transfer documents an ownership hand-off: the caller releases.
+func (s *server) transfer(n int) *buf {
+	//lint:ignore dmclint/poolpair ownership transfers to the caller, which releases it
+	sc := s.pool.acquire(n)
+	return sc
+}

@@ -1,0 +1,137 @@
+// Package lockwitnessfix is the golden fixture for dmclint/lockwitness: the
+// dual-mode cache shapes (nil mutex = private single owner, non-nil = shared
+// handle) that must pass, the unlocked calls that must be flagged, and the
+// *Locked naming rule that forces annotations.
+package lockwitnessfix
+
+import "sync"
+
+type core struct {
+	mu    *sync.RWMutex
+	items map[string]int
+	next  int
+}
+
+// internLocked interns a key; the caller holds mu (or owns the core
+// privately).
+//
+//dmclint:requires-lock mu
+func (c *core) internLocked(key string) int {
+	if id, ok := c.items[key]; ok {
+		return id
+	}
+	id := c.next
+	c.next++
+	c.items[key] = id
+	return id
+}
+
+// sizeLocked reports the table size under the caller's lock.
+//
+//dmclint:requires-lock mu
+func (c *core) sizeLocked() int { return len(c.items) }
+
+// flushLocked drops the table under the caller's lock.
+//
+//dmclint:requires-lock mu
+func (c *core) flushLocked() { c.items = make(map[string]int) }
+
+// evictLocked breaks the naming rule: no annotation.
+func (c *core) evictLocked() { // want "no //dmclint:requires-lock annotation"
+	c.items = nil
+}
+
+// Intern is the dual-mode entry point: private fast path, then the
+// double-checked locked path.
+func (c *core) Intern(key string) int {
+	if c.mu == nil {
+		return c.internLocked(key)
+	}
+	c.mu.RLock()
+	id, ok := c.items[key]
+	c.mu.RUnlock()
+	if ok {
+		return id
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.internLocked(key)
+}
+
+// Size mirrors the Stats shape: a terminating non-nil branch leaves the
+// remainder on the private path.
+func (c *core) Size() int {
+	if c.mu != nil {
+		c.mu.RLock()
+		n := c.sizeLocked()
+		c.mu.RUnlock()
+		return n
+	}
+	return c.sizeLocked()
+}
+
+// Flush uses the conditional-lock shape: acquired when shared, unnecessary
+// when private.
+func (c *core) Flush() {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.flushLocked()
+}
+
+// rotateLocked discharges its callees' obligation through its own
+// annotation.
+//
+//dmclint:requires-lock mu
+func (c *core) rotateLocked() {
+	c.flushLocked()
+}
+
+// Bad calls a locked helper with no held region at all.
+func (c *core) Bad(key string) int {
+	return c.internLocked(key) // want "requires mu to be held"
+}
+
+// BadAfterUnlock releases before the call.
+func (c *core) BadAfterUnlock(key string) int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.internLocked(key) // want "requires mu to be held"
+}
+
+// BadInClosure shows that a closure does not inherit the creation site's
+// lock region: it may run after the unlock.
+func (c *core) BadInClosure(key string) func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.internLocked(key) // want "requires mu to be held"
+	}
+}
+
+// Emergency is a justified exception.
+func (c *core) Emergency() {
+	//lint:ignore dmclint/lockwitness single-threaded teardown; no handles exist anymore
+	c.flushLocked()
+}
+
+var globalMu sync.Mutex
+var registry = make(map[string]int)
+
+// register adds to the global registry.
+//
+//dmclint:requires-lock globalMu
+func register(k string) { registry[k] = 1 }
+
+// AddGlobal holds the package lock around the annotated plain function.
+func AddGlobal(k string) {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	register(k)
+}
+
+// BadGlobal skips the lock.
+func BadGlobal(k string) {
+	register(k) // want "requires globalMu to be held"
+}

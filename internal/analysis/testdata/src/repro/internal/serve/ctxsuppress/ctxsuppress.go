@@ -1,0 +1,32 @@
+// Package ctxsuppress exercises ignore comments attached to defer and go
+// statements whose flagged operation sits on a later line inside the
+// closure: the statement-span rule must cover them, including stacked
+// ignores for several analyzers above a single go statement. Every
+// diagnostic in this file is suppressed, so a run must come back empty.
+package ctxsuppress
+
+func release(sem chan struct{}, done chan int) {
+	//lint:ignore dmclint/ctxflow the slot was just acquired; handing it back never blocks
+	defer func() {
+		<-sem
+	}()
+	//lint:ignore dmclint/gorolife the writer is joined by the caller reading done
+	go func() {
+		results := compute()
+		for _, r := range results {
+			//lint:ignore dmclint/ctxflow done is buffered for the full result set
+			done <- r
+		}
+	}()
+}
+
+func stacked(tasks chan int) {
+	//lint:ignore dmclint/gorolife the worker lives as long as the queue; close ends it
+	//lint:ignore dmclint/ctxflow the range ends when the queue is closed
+	go func() {
+		for range tasks {
+		}
+	}()
+}
+
+func compute() []int { return []int{1, 2, 3} }

@@ -1,0 +1,15 @@
+// Package spanleak checks the boundary of the closure-span suppression
+// rule: the ignore attaches to the first go statement only, so the send in
+// the second, uncommented goroutine must still be reported. Expectations
+// are asserted directly in suppress_test.go.
+package spanleak
+
+func twoWriters(a, b chan int) {
+	//lint:ignore dmclint/ctxflow a is buffered for exactly one write
+	go func() {
+		a <- 1
+	}()
+	go func() {
+		b <- 2
+	}()
+}

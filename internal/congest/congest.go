@@ -397,6 +397,20 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 		}
 	}
 
-	e := newEngine(s, nodes, envs, bandwidth)
+	// Acquire the engine's recyclable buffer state here so the release is
+	// paired with the acquire on every path out of the run, including an
+	// engine error. Payloads handed to node programs are only valid during
+	// their Round call, so nothing the caller keeps can alias the pooled
+	// memory once run() returns.
+	key := s.scratchLayout(n)
+	var scratch *engineScratch
+	if pool := s.opts.Scratch; pool != nil {
+		scratch = pool.acquire(key)
+		defer pool.release(scratch)
+	} else {
+		scratch = newEngineScratch(key)
+		scratch.reset()
+	}
+	e := newEngine(s, nodes, envs, bandwidth, scratch)
 	return e.run()
 }

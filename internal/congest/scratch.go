@@ -40,6 +40,33 @@ type scratchKey struct {
 	maxDeg    int
 }
 
+// scratchLayout computes the buffer key for a run of n vertices. The shard
+// count is independent of the execution mode (results never depend on it),
+// sized for load balance at roughly 4 shards per worker with a floor of 16
+// vertices per shard; newEngine derives its layout from this key, so pooled
+// buffers and engine sharding always agree.
+func (s *Simulator) scratchLayout(n int) scratchKey {
+	workers := 1
+	if s.opts.Parallel {
+		workers = s.opts.workerCount()
+	}
+	nShards := 4 * workers
+	if cap := (n + 15) / 16; nShards > cap {
+		nShards = cap
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	shardSize := (n + nShards - 1) / nShards
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := len(s.ports[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return scratchKey{n: n, shardSize: shardSize, maxDeg: maxDeg}
+}
+
 // engineScratch is the recyclable slice state of one engine.
 type engineScratch struct {
 	key     scratchKey

@@ -140,6 +140,8 @@ func (k *cacheCore) segCap() int {
 
 // lookupCompose consults both generations; the caller holds the appropriate
 // lock in shared mode.
+//
+//dmclint:requires-lock mu
 func (k *cacheCore) lookupCompose(key composeKey) (composeVal, bool) {
 	if v, ok := k.cur[key]; ok {
 		return v, true
@@ -150,6 +152,8 @@ func (k *cacheCore) lookupCompose(key composeKey) (composeVal, bool) {
 
 // insertCompose stores a freshly computed entry, rotating the generations at
 // the cap. The caller holds the write lock in shared mode.
+//
+//dmclint:requires-lock mu
 func (k *cacheCore) insertCompose(key composeKey, v composeVal) {
 	if len(k.cur) >= k.segCap() {
 		k.evictions += int64(len(k.prev))
@@ -159,7 +163,10 @@ func (k *cacheCore) insertCompose(key composeKey, v composeVal) {
 	k.cur[key] = v
 }
 
-// liveCompose is the current memo size across both generations.
+// liveCompose is the current memo size across both generations; the caller
+// holds at least a read lock in shared mode.
+//
+//dmclint:requires-lock mu
 func (k *cacheCore) liveCompose() int { return len(k.cur) + len(k.prev) }
 
 // Cached wraps a Predicate with an interner and deterministic memoization of
@@ -278,6 +285,10 @@ func (c *Cached) InternGluing(f wterm.Gluing) GluingID {
 	return c.internGluingLocked(key, f)
 }
 
+// internGluingLocked assigns (or finds) the dense ID for a gluing key. The
+// caller holds the write lock in shared mode.
+//
+//dmclint:requires-lock mu
 func (c *Cached) internGluingLocked(key string, f wterm.Gluing) GluingID {
 	if id, ok := c.gluingIDs[key]; ok {
 		return id
@@ -415,6 +426,8 @@ func (c *Cached) ComposeIDs(g GluingID, a, b ClassID) (ClassID, bool, error) {
 // composeMissLocked computes, interns, and memoizes one ⊙_f entry. The
 // caller holds the write lock in shared mode (the wrapped predicate is only
 // ever called single-threaded).
+//
+//dmclint:requires-lock mu
 func (c *Cached) composeMissLocked(key composeKey) (ClassID, bool, error) {
 	cl, ok, err := c.pred.Compose(c.gluings[key.g], c.in.Class(key.a), c.in.Class(key.b))
 	if err != nil {
@@ -461,6 +474,10 @@ func (c *Cached) AcceptingID(id ClassID) (bool, error) {
 	return c.acceptMissLocked(id)
 }
 
+// acceptMissLocked computes and memoizes one Accepting entry. The caller
+// holds the write lock in shared mode.
+//
+//dmclint:requires-lock mu
 func (c *Cached) acceptMissLocked(id ClassID) (bool, error) {
 	ok, err := c.pred.Accepting(c.in.Class(id))
 	if err != nil {
@@ -508,6 +525,10 @@ func (c *Cached) SelectionID(id ClassID) (Selection, error) {
 	return c.selectionMissLocked(id)
 }
 
+// selectionMissLocked computes and memoizes one Selection entry. The caller
+// holds the write lock in shared mode.
+//
+//dmclint:requires-lock mu
 func (c *Cached) selectionMissLocked(id ClassID) (Selection, error) {
 	sel, err := c.pred.Selection(c.in.Class(id))
 	if err != nil {
@@ -520,6 +541,8 @@ func (c *Cached) selectionMissLocked(id ClassID) (Selection, error) {
 
 // growClassMemos extends the dense per-class memo slices to cover every
 // interned ID. The caller holds the write lock in shared mode.
+//
+//dmclint:requires-lock mu
 func (c *Cached) growClassMemos() {
 	n := c.in.Len()
 	for len(c.accept) < n {
