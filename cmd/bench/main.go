@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,24 +49,74 @@ func run() error {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	csv := flag.Bool("csv", false, "CSV output")
 	scalingOut := flag.String("scaling-out", "", "write the S1 scaling report as JSON to this path")
+	scalingSizes := flag.String("scaling-sizes", "", "comma-separated n values for the S1 sweep (default: the built-in sizes)")
 	dpOut := flag.String("dp-out", "", "write the S2 DP-algebra report as JSON to this path")
 	faultsOut := flag.String("faults-out", "", "write the S3 fault-injection report as JSON to this path")
 	serveOut := flag.String("serve-out", "", "write the S4 dmcd load-test report as JSON to this path")
 	tdOut := flag.String("td-out", "", "write the S6 exact-treedepth report as JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected sweeps to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after all sweeps) to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "bench: cpuprofile close:", cerr)
+			}
+		}()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile close:", err)
+			}
+		}()
+	}
+
+	var sizes []int
+	if *scalingSizes != "" {
+		for _, s := range strings.Split(*scalingSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("invalid -scaling-sizes entry %q", s)
+			}
+			sizes = append(sizes, n)
+		}
+	}
 
 	// When a JSON report is requested, run that sweep exactly once and reuse
 	// the measurements for both outputs.
 	var scalingRep *experiments.ScalingReport
 	if *scalingOut != "" {
-		rep, err := experiments.ScalingSweep(*quick)
+		rep, err := experiments.ScalingSweepSizes(*quick, sizes)
+		if rep != nil {
+			// Write the report even on divergence so the artifact shows which
+			// runs failed; the error still fails the command.
+			if werr := writeJSON(*scalingOut, rep); werr != nil && err == nil {
+				err = werr
+			}
+		}
 		if err != nil {
 			return err
 		}
 		scalingRep = rep
-		if err := writeJSON(*scalingOut, rep); err != nil {
-			return err
-		}
 	}
 	var dpRep *experiments.DPReport
 	if *dpOut != "" {

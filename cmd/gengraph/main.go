@@ -6,10 +6,17 @@
 //	gengraph -family grid-chords -rows 4 -cols 6 -chords 5 -format pace > hard.gr
 //
 // Families: path, cycle, star, complete, grid, grid-chords, tree,
-// caterpillar, caterpillar-blowup, bounded-td, degenerate, outerplanar, gnp.
+// caterpillar, caterpillar-blowup, bounded-td, degenerate, outerplanar, gnp,
+// sparse-gnp.
+//
+// The path, tree, and sparse-gnp families stream their edge lists directly to
+// stdout (when no weights are requested and the format is edgelist), so
+// n = 10^6 instances emit in O(n) auxiliary memory instead of materializing
+// the full in-memory graph first.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +48,21 @@ func run() error {
 	format := flag.String("format", "edgelist", "output format: edgelist or pace")
 	flag.Parse()
 
+	// Streamable families skip graph materialization entirely when nothing
+	// downstream (weights, the PACE m-upfront header) forces it. The streamed
+	// bytes are identical to WriteEdgeList on the materialized graph — pinned
+	// by the gen package's stream-equivalence tests.
+	if *weights == 0 && *format == "edgelist" {
+		switch *family {
+		case "path":
+			return streamEdgeList(*n, func(emit func(u, v int)) { gen.StreamPath(*n, emit) })
+		case "tree":
+			return streamEdgeList(*n, func(emit func(u, v int)) { gen.StreamRandomTree(*n, *seed, emit) })
+		case "sparse-gnp":
+			return streamEdgeList(*n, func(emit func(u, v int)) { gen.StreamConnectedSparseGNP(*n, *prob, *seed, emit) })
+		}
+	}
+
 	var g *graph.Graph
 	switch *family {
 	case "path":
@@ -69,6 +91,8 @@ func run() error {
 		g = gen.MaximalOuterplanar(*n, *seed)
 	case "gnp":
 		g = gen.RandomGNP(*n, *prob, *seed)
+	case "sparse-gnp":
+		g = gen.ConnectedSparseGNP(*n, *prob, *seed)
 	default:
 		return fmt.Errorf("unknown family %q", *family)
 	}
@@ -83,4 +107,16 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown format %q (want edgelist or pace)", *format)
 	}
+}
+
+// streamEdgeList writes the edge-list format of WriteEdgeList for an
+// unweighted, unlabeled graph delivered edge-by-edge. bufio latches the first
+// write error, so checking Flush at the end covers the whole stream.
+func streamEdgeList(n int, stream func(emit func(u, v int))) error {
+	bw := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(bw, "n %d\n", n)
+	stream(func(u, v int) {
+		fmt.Fprintf(bw, "e %d %d\n", u, v)
+	})
+	return bw.Flush()
 }

@@ -106,8 +106,8 @@ func TestFixesAreLoadBearing(t *testing.T) {
 		{
 			name: "poolpair_defer_separated",
 			file: "internal/congest/congest.go",
-			old:  "scratch = pool.acquire(key)\n\t\tdefer pool.release(scratch)",
-			new:  "defer pool.release(scratch)\n\t\tscratch = pool.acquire(key)",
+			old:  "scratch := pool.acquire(key)\n\t\tdefer pool.release(scratch)",
+			new:  "scratch := pool.acquire(key)\n\t\t_ = scratch\n\t\tdefer pool.release(scratch)",
 			pkg:  "repro/internal/congest", analyzer: analysis.PoolPair,
 			want: "not followed by",
 		},

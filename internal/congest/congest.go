@@ -285,14 +285,68 @@ func (o Options) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// csrAdj is the simulator's compressed-sparse-row adjacency: one offset
+// array plus flat per-port arrays, built once at construction and shared
+// read-only by every shard. Port p of vertex v lives at index off[v]+p.
+// Compared to per-vertex slices-of-slices plus a neighbor->port map per
+// vertex, CSR removes ~n slice headers and n maps from the hot path, keeps
+// delivery lookups at two array indexings, and packs the whole topology into
+// four cache-friendly arrays (int32 is ample: vertices, ports, and edge IDs
+// all stay far below 2^31 at the n = 10^6 scale the engine targets).
+type csrAdj struct {
+	off []int32 // len n+1: ports of v are [off[v], off[v+1])
+	nbr []int32 // len 2m: neighbor vertex on (v, p), ascending per vertex
+	// back[off[v]+p] is v's port number at the neighbor on (v, p) — the
+	// receiver port of a message sent on (v, p). Precomputing it replaces the
+	// per-delivery map lookup portsOf[w][v] of the slice-based layout.
+	back []int32
+	edge []int32 // len 2m: graph edge ID of (v, p)
+}
+
+// newCSR flattens g's (sorted) adjacency lists. The reverse-port array is
+// filled with one counter per vertex: scanning senders v in ascending order
+// visits each receiver w's neighbors in exactly w's sorted port order, so
+// cnt[w] is v's port at w — no map and no binary search, O(n+m) total.
+func newCSR(g *graph.Graph) *csrAdj {
+	n := g.NumVertices()
+	c := &csrAdj{off: make([]int32, n+1)}
+	total := 0
+	for v := 0; v < n; v++ {
+		c.off[v] = int32(total)
+		total += g.Degree(v)
+	}
+	c.off[n] = int32(total)
+	c.nbr = make([]int32, total)
+	c.back = make([]int32, total)
+	c.edge = make([]int32, total)
+	cnt := make([]int32, n)
+	for v := 0; v < n; v++ {
+		base := c.off[v]
+		inc := g.IncidentEdges(v)
+		for p, w := range g.Neighbors(v) {
+			c.nbr[base+int32(p)] = int32(w)
+			c.edge[base+int32(p)] = int32(inc[p])
+			c.back[base+int32(p)] = cnt[w]
+			cnt[w]++
+		}
+	}
+	return c
+}
+
+// degree returns the number of ports of v.
+func (c *csrAdj) degree(v int) int { return int(c.off[v+1] - c.off[v]) }
+
+// ports returns the neighbor vertices of v, one per port, in port order.
+// The returned slice aliases the shared CSR and must not be modified.
+func (c *csrAdj) ports(v int32) []int32 { return c.nbr[c.off[v]:c.off[v+1]] }
+
 // Simulator runs a Node program on every vertex of a graph.
 type Simulator struct {
 	g        *graph.Graph
 	opts     Options
-	ids      []int       // vertex -> ID
-	idVertex map[int]int // ID -> vertex
-	ports    [][]int
-	portsOf  []map[int]int // vertex -> neighbor vertex -> port
+	ids      []int   // vertex -> ID
+	idVertex []int32 // ID-1 -> vertex (IDs are a permutation of 1..n)
+	csr      *csrAdj
 }
 
 // NewSimulator prepares a simulation over the given connected graph.
@@ -315,33 +369,24 @@ func NewSimulator(g *graph.Graph, opts Options) (*Simulator, error) {
 			ids[v] = perm[v] + 1
 		}
 	}
-	idVertex := make(map[int]int, n)
+	idVertex := make([]int32, n)
 	for v, id := range ids {
-		idVertex[id] = v
+		idVertex[id-1] = int32(v)
 	}
-	ports := make([][]int, n)
-	portsOf := make([]map[int]int, n)
-	for v := 0; v < n; v++ {
-		nbrs := g.Neighbors(v)
-		ports[v] = append([]int(nil), nbrs...)
-		portsOf[v] = make(map[int]int, len(nbrs))
-		for p, w := range nbrs {
-			portsOf[v][w] = p
-		}
-	}
-	return &Simulator{g: g, opts: opts, ids: ids, idVertex: idVertex, ports: ports, portsOf: portsOf}, nil
+	return &Simulator{g: g, opts: opts, ids: ids, idVertex: idVertex, csr: newCSR(g)}, nil
 }
 
 // IDs returns a copy of the vertex -> identifier assignment.
 func (s *Simulator) IDs() []int { return append([]int(nil), s.ids...) }
 
 // VertexOfID returns the vertex with the given identifier, or -1. The
-// lookup is O(1): the ID -> vertex index is built once in NewSimulator.
+// lookup is O(1): IDs are a permutation of 1..n, so the inverse is a flat
+// array built once in NewSimulator.
 func (s *Simulator) VertexOfID(id int) int {
-	if v, ok := s.idVertex[id]; ok {
-		return v
+	if id < 1 || id > len(s.idVertex) {
+		return -1
 	}
-	return -1
+	return int(s.idVertex[id-1])
 }
 
 // Run executes the protocol created by factory on every vertex until all
@@ -355,22 +400,59 @@ func (s *Simulator) VertexOfID(id int) int {
 // is sharded by receiver with a deterministic merge in sender-vertex order,
 // so sequential and parallel runs are bit-identical.
 func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
+	// Acquire the engine's recyclable buffer state here so the release is
+	// paired with the acquire on every path out of the run, including an
+	// engine error. Payloads handed to node programs are only valid during
+	// their Round call, so nothing the caller keeps can alias the pooled
+	// memory once run() returns.
+	key := s.scratchLayout(s.g.NumVertices())
+	if pool := s.opts.Scratch; pool != nil {
+		scratch := pool.acquire(key)
+		defer pool.release(scratch)
+		return s.startRun(factory, scratch).run()
+	}
+	scratch := newEngineScratch(key)
+	scratch.reset()
+	return s.startRun(factory, scratch).run()
+}
+
+// startRun builds the node views and the engine for one run on the given
+// (already reset) scratch. Split from Run so the allocation-regression
+// tests can drive the engine's round loop directly under AllocsPerRun.
+func (s *Simulator) startRun(factory func(vertex int) Node, scratch *engineScratch) *engine {
 	n := s.g.NumVertices()
 	bandwidth := s.opts.bandwidth(n)
 
+	// Node views are built on flat arenas: one Env array for all vertices and
+	// one backing slice per port-indexed field, sliced per vertex along the
+	// CSR offsets. This replaces 3n+1 small allocations with 4 large ones and
+	// keeps every vertex's view contiguous with its neighbors'. The label-name
+	// lists are hoisted out of the loop (each call sorts a fresh copy), and
+	// per-port label maps are only materialized when the graph actually
+	// carries edge labels — readers index PortLabels[p][name], and a nil map
+	// reads as all-false, so the slice of nil maps is the cheap common case.
+	ports := int(s.csr.off[n])
 	nodes := make([]Node, n)
 	envs := make([]*Env, n)
+	envArr := make([]Env, n)
+	nbrIDArena := make([]int, ports)
+	weightArena := make([]int64, ports)
+	labelArena := make([]map[string]bool, ports)
+	vertexLabelNames := s.g.VertexLabelNames()
+	edgeLabelNames := s.g.EdgeLabelNames()
 	for v := 0; v < n; v++ {
 		nodes[v] = factory(v)
-		nbrIDs := make([]int, len(s.ports[v]))
-		portWeight := make([]int64, len(s.ports[v]))
-		portLabels := make([]map[string]bool, len(s.ports[v]))
-		for p, w := range s.ports[v] {
-			nbrIDs[p] = s.ids[w]
-			if eid, ok := s.g.EdgeBetween(v, w); ok {
-				portWeight[p] = s.g.EdgeWeight(eid)
-				labels := map[string]bool{}
-				for _, name := range s.g.EdgeLabelNames() {
+		lo, hi := s.csr.off[v], s.csr.off[v+1]
+		nbrIDs := nbrIDArena[lo:hi:hi]
+		portWeight := weightArena[lo:hi:hi]
+		portLabels := labelArena[lo:hi:hi]
+		for p := int32(0); p < hi-lo; p++ {
+			nbrIDs[p] = s.ids[s.csr.nbr[lo+p]]
+			eid := int(s.csr.edge[lo+p])
+			portWeight[p] = s.g.EdgeWeight(eid)
+			if len(edgeLabelNames) > 0 {
+				labels := make(map[string]bool, len(edgeLabelNames))
+				for _, name := range edgeLabelNames {
 					if s.g.HasEdgeLabel(name, eid) {
 						labels[name] = true
 					}
@@ -378,15 +460,18 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 				portLabels[p] = labels
 			}
 		}
-		labels := map[string]bool{}
-		for _, name := range s.g.VertexLabelNames() {
-			if s.g.HasVertexLabel(name, v) {
-				labels[name] = true
+		var labels map[string]bool
+		if len(vertexLabelNames) > 0 {
+			labels = make(map[string]bool, len(vertexLabelNames))
+			for _, name := range vertexLabelNames {
+				if s.g.HasVertexLabel(name, v) {
+					labels[name] = true
+				}
 			}
 		}
-		envs[v] = &Env{
+		envArr[v] = Env{
 			ID:          s.ids[v],
-			Degree:      len(s.ports[v]),
+			Degree:      int(hi - lo),
 			NeighborIDs: nbrIDs,
 			Bandwidth:   bandwidth,
 			N:           n,
@@ -395,22 +480,8 @@ func (s *Simulator) Run(factory func(vertex int) Node) (Stats, error) {
 			PortWeight:  portWeight,
 			PortLabels:  portLabels,
 		}
+		envs[v] = &envArr[v]
 	}
 
-	// Acquire the engine's recyclable buffer state here so the release is
-	// paired with the acquire on every path out of the run, including an
-	// engine error. Payloads handed to node programs are only valid during
-	// their Round call, so nothing the caller keeps can alias the pooled
-	// memory once run() returns.
-	key := s.scratchLayout(n)
-	var scratch *engineScratch
-	if pool := s.opts.Scratch; pool != nil {
-		scratch = pool.acquire(key)
-		defer pool.release(scratch)
-	} else {
-		scratch = newEngineScratch(key)
-		scratch.reset()
-	}
-	e := newEngine(s, nodes, envs, bandwidth, scratch)
-	return e.run()
+	return newEngine(s, nodes, envs, bandwidth, scratch)
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 )
 
@@ -242,74 +241,96 @@ func (e *engine) shardOf(v int32) int { return int(v) / e.shardSize }
 // deterministic.
 func (e *engine) serialRoute() bool { return e.trace.enabled() || e.faults != nil || e.inj != nil }
 
-// run drives the simulation to completion.
+// run drives the simulation to completion. The phases are split out
+// (initPhase / stepRound / finish) so the allocation-regression tests can
+// drive the steady-state round loop directly under testing.AllocsPerRun.
 func (e *engine) run() (Stats, error) {
 	if e.pool != nil {
 		defer e.pool.close()
 	}
+	if err := e.initPhase(); err != nil {
+		e.trace.runEnd(e.stats)
+		return e.stats, err
+	}
+	for e.haltedCount < e.n {
+		if err := e.stepRound(); err != nil {
+			e.trace.runEnd(e.stats)
+			return e.stats, err
+		}
+	}
+	return e.finish()
+}
+
+// initPhase runs round 0: Init on every node, delivered serially (like the
+// delivery contract), after announcing the run to the tracer and injector.
+func (e *engine) initPhase() error {
 	e.stats = Stats{Bandwidth: e.bandwidth}
+	e.round = 0
 	e.trace.runStart(RunInfo{N: e.n, Edges: e.s.g.NumEdges(), Bandwidth: e.bandwidth})
 	if e.inj != nil {
 		e.inj.RunStart(e.n)
 	}
-
-	// Init phase (round 0): always serial, like the delivery contract.
 	e.trace.roundStart(0)
 	for v := 0; v < e.n; v++ {
 		e.envs[v].Round = 0
 		out := e.nodes[v].Init(e.envs[v])
 		if err := e.deliverSerial(int32(v), out); err != nil {
-			e.trace.runEnd(e.stats)
-			return e.stats, err
+			return err
 		}
 	}
 	e.trace.roundEnd(0, e.n, 0)
+	return nil
+}
 
-	for round := 1; e.haltedCount < e.n; round++ {
-		if e.ctx != nil {
-			if err := e.ctx.Err(); err != nil {
-				e.trace.runEnd(e.stats)
-				return e.stats, fmt.Errorf("%w: %w", ErrCanceled, err)
-			}
+// stepRound advances the simulation by one round: compute, route, compact.
+// In steady state (no tracer, no faults, buffers warmed up) it performs no
+// heap allocations — pinned by TestEngineSteadyStateZeroAllocs.
+func (e *engine) stepRound() error {
+	round := e.round + 1
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrCanceled, err)
 		}
-		if round > e.limit {
-			e.trace.runEnd(e.stats)
-			return e.stats, fmt.Errorf("%w: %d rounds", ErrRoundLimit, e.limit)
-		}
-		e.stats.Rounds = round
-		e.round = round
-		e.trace.roundStart(round)
-
-		if e.inj != nil {
-			e.inj.RoundStart(round)
-			e.updateDown()
-		}
-
-		e.forEach(e.computeFn)
-
-		if e.serialRoute() {
-			if err := e.routeSerialPass(); err != nil {
-				e.trace.runEnd(e.stats)
-				return e.stats, err
-			}
-		} else {
-			e.forEach(e.senderFn)
-			if err := e.firstError(); err != nil {
-				e.foldStats()
-				e.trace.runEnd(e.stats)
-				return e.stats, err
-			}
-			e.forEach(e.receiverFn)
-			e.foldStats()
-		}
-
-		e.forEach(e.compactFn)
-		for _, sh := range e.shards {
-			e.haltedCount += sh.haltedNow
-			sh.haltedNow = 0
-		}
-		e.trace.roundEnd(round, e.n-e.haltedCount, e.haltedCount)
 	}
+	if round > e.limit {
+		return fmt.Errorf("%w: %d rounds", ErrRoundLimit, e.limit)
+	}
+	e.stats.Rounds = round
+	e.round = round
+	e.trace.roundStart(round)
+
+	if e.inj != nil {
+		e.inj.RoundStart(round)
+		e.updateDown()
+	}
+
+	e.forEach(e.computeFn)
+
+	if e.serialRoute() {
+		if err := e.routeSerialPass(); err != nil {
+			return err
+		}
+	} else {
+		e.forEach(e.senderFn)
+		if err := e.firstError(); err != nil {
+			e.foldStats()
+			return err
+		}
+		e.forEach(e.receiverFn)
+		e.foldStats()
+	}
+
+	e.forEach(e.compactFn)
+	for _, sh := range e.shards {
+		e.haltedCount += sh.haltedNow
+		sh.haltedNow = 0
+	}
+	e.trace.roundEnd(round, e.n-e.haltedCount, e.haltedCount)
+	return nil
+}
+
+// finish settles end-of-run accounting once every node has halted.
+func (e *engine) finish() (Stats, error) {
 	// Delayed copies still queued when every node has halted can never be
 	// delivered.
 	if len(e.delayed) > 0 {
@@ -374,22 +395,25 @@ func (e *engine) computeShard(si int) {
 }
 
 // sortInbox orders an inbox by Port, stably: messages sharing a port keep
-// their send order. Inboxes are small (at most one entry per neighbor per
-// sent message), so insertion sort covers the common case without the
-// closure allocation of sort.SliceStable.
+// their send order. Both delivery paths append in global sender-vertex
+// order, and a receiver's ports ascend with its (sorted) neighbor vertices,
+// so inboxes arrive already sorted — the scan below confirms that for free,
+// without the closure allocation of sort.SliceStable. Out-of-order entries
+// only occur when a fault injector flushes delayed copies ahead of the
+// round's normal traffic (the small, serial path); the stable insertion
+// sort covers that case in place.
 func sortInbox(inbox []Incoming) {
-	if len(inbox) < 2 {
-		return
-	}
-	if len(inbox) <= 24 {
-		for i := 1; i < len(inbox); i++ {
+	for i := 1; i < len(inbox); i++ {
+		if inbox[i].Port >= inbox[i-1].Port {
+			continue
+		}
+		for ; i < len(inbox); i++ {
 			for j := i; j > 0 && inbox[j].Port < inbox[j-1].Port; j-- {
 				inbox[j], inbox[j-1] = inbox[j-1], inbox[j]
 			}
 		}
 		return
 	}
-	sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].Port < inbox[j].Port })
 }
 
 // checkedSize validates one message from v on port p against the per-edge
@@ -433,20 +457,22 @@ func (e *engine) senderShard(si int) {
 	for t := range sh.routes {
 		sh.routes[t] = sh.routes[t][:0]
 	}
+	csr := e.s.csr
 	for _, v := range sh.active {
 		out := e.outs[v]
 		if len(out) == 0 {
 			continue
 		}
 		e.outs[v] = nil
-		ports := e.s.ports[v]
+		base := csr.off[v]
+		deg := int(csr.off[v+1] - base)
 		for _, o := range out {
 			lo, hi := o.Port, o.Port+1
 			if o.Port == -1 {
-				lo, hi = 0, len(ports)
+				lo, hi = 0, deg
 			}
 			for p := lo; p < hi; p++ {
-				if p < 0 || p >= len(ports) {
+				if p < 0 || p >= deg {
 					if sh.err == nil {
 						sh.err = fmt.Errorf("congest: node %d sent to invalid port %d", e.s.ids[v], p)
 						sh.errV = int(v)
@@ -464,12 +490,12 @@ func (e *engine) senderShard(si int) {
 					sh.arena[gen] = arena
 					return
 				}
-				w := e.s.ports[v][p]
+				w := csr.nbr[base+int32(p)]
 				start := len(arena)
 				arena = append(arena, o.Payload...)
 				payload := Message(arena[start:len(arena):len(arena)])
-				sh.routes[e.shardOf(int32(w))] = append(sh.routes[e.shardOf(int32(w))], routed{
-					from: v, to: int32(w), port: int32(e.s.portsOf[w][int(v)]), payload: payload,
+				sh.routes[e.shardOf(w)] = append(sh.routes[e.shardOf(w)], routed{
+					from: v, to: w, port: csr.back[base+int32(p)], payload: payload,
 				})
 			}
 		}
@@ -570,14 +596,16 @@ func (e *engine) deliverSerial(v int32, out []Outgoing) error {
 	arena := sh.arena[gen]
 	inboxes := e.inboxes[gen]
 	defer resetPortBits(sh.portBits, &sh.touched)
+	csr := e.s.csr
+	base := csr.off[v]
+	deg := int(csr.off[v+1] - base)
 	for _, o := range out {
-		ports := e.s.ports[v]
 		lo, hi := o.Port, o.Port+1
 		if o.Port == -1 {
-			lo, hi = 0, len(ports)
+			lo, hi = 0, deg
 		}
 		for p := lo; p < hi; p++ {
-			if p < 0 || p >= len(ports) {
+			if p < 0 || p >= deg {
 				sh.arena[gen] = arena
 				return fmt.Errorf("congest: node %d sent to invalid port %d", e.s.ids[v], p)
 			}
@@ -586,7 +614,7 @@ func (e *engine) deliverSerial(v int32, out []Outgoing) error {
 				sh.arena[gen] = arena
 				return err
 			}
-			w := ports[p]
+			w := int(csr.nbr[base+int32(p)])
 			if e.halted[w] {
 				continue
 			}
@@ -600,7 +628,7 @@ func (e *engine) deliverSerial(v int32, out []Outgoing) error {
 			if e.inj != nil {
 				plan = e.inj.OnSend(e.round, int(v), w)
 			}
-			recvPort := e.s.portsOf[w][int(v)]
+			recvPort := int(csr.back[base+int32(p)])
 			switch {
 			case plan.Drop:
 				e.stats.Faults.Dropped++

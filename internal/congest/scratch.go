@@ -60,7 +60,7 @@ func (s *Simulator) scratchLayout(n int) scratchKey {
 	shardSize := (n + nShards - 1) / nShards
 	maxDeg := 0
 	for v := 0; v < n; v++ {
-		if d := len(s.ports[v]); d > maxDeg {
+		if d := s.csr.degree(v); d > maxDeg {
 			maxDeg = d
 		}
 	}

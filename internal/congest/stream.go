@@ -21,7 +21,12 @@ func (s *ByteStreamSender) Push(msg []byte) {
 }
 
 // NextFrame pops the next frame of at most budgetBytes bytes, or ok=false
-// when nothing is pending.
+// when nothing is pending. The frame aliases the sender's buffer rather
+// than copying: Push only ever appends past the buffer's absolute end, so a
+// popped region is never rewritten and the view stays stable for the
+// sender's lifetime. (The simulator copies frame bytes into its delivery
+// arena at route time anyway; skipping the copy here makes the per-round
+// sender path allocation-free.)
 func (s *ByteStreamSender) NextFrame(budgetBytes int) (Message, bool) {
 	if len(s.buf) == 0 {
 		return nil, false
@@ -33,7 +38,7 @@ func (s *ByteStreamSender) NextFrame(budgetBytes int) (Message, bool) {
 	if n > len(s.buf) {
 		n = len(s.buf)
 	}
-	frame := append(Message(nil), s.buf[:n]...)
+	frame := Message(s.buf[:n:n])
 	s.buf = s.buf[n:]
 	return frame, true
 }

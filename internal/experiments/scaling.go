@@ -18,6 +18,12 @@ import (
 // sweep cross-checks that the two modes produce bit-identical stats and
 // node states; cmd/bench serializes the result as BENCH_congest.json so
 // successive PRs have a perf trajectory to compare against.
+//
+// Each (family, n, mode) cell runs twice over a shared scratch pool: a
+// warm-up run that grows every buffer to steady-state capacity, then the
+// measured run, bracketed by runtime.MemStats reads. The reported
+// allocs/round and peak-heap columns therefore describe the engine's
+// steady-state memory behavior, not first-run warm-up churn.
 
 // scalingHeartbeatRounds is the fixed round count of the S1 workload.
 const scalingHeartbeatRounds = 8
@@ -25,19 +31,25 @@ const scalingHeartbeatRounds = 8
 // scalingNode broadcasts a 2-byte running accumulator each round for a fixed
 // number of rounds, then halts. Per-round work is O(deg), so the simulator
 // cost is Θ(rounds · m) and the measurement isolates engine overhead rather
-// than protocol logic.
+// than protocol logic. Payload and outbox live inside the node struct, so
+// the workload itself allocates nothing per round — allocs_per_round
+// measures the engine alone.
 type scalingNode struct {
 	rounds int
 	acc    int
+	buf    [2]byte
+	out    [1]congest.Outgoing
 }
 
-func (h *scalingNode) payload() congest.Message {
-	return congest.Message{byte(h.acc), byte(h.acc >> 8)}
+func (h *scalingNode) emit() []congest.Outgoing {
+	h.buf[0], h.buf[1] = byte(h.acc), byte(h.acc>>8)
+	h.out[0] = congest.Broadcast(congest.Message(h.buf[:]))
+	return h.out[:]
 }
 
 func (h *scalingNode) Init(env *congest.Env) []congest.Outgoing {
 	h.acc = env.ID & 0xFFFF
-	return []congest.Outgoing{congest.Broadcast(h.payload())}
+	return h.emit()
 }
 
 func (h *scalingNode) Round(env *congest.Env, inbox []congest.Incoming) ([]congest.Outgoing, bool) {
@@ -49,7 +61,7 @@ func (h *scalingNode) Round(env *congest.Env, inbox []congest.Incoming) ([]conge
 	if h.rounds >= scalingHeartbeatRounds {
 		return nil, true
 	}
-	return []congest.Outgoing{congest.Broadcast(h.payload())}, false
+	return h.emit(), false
 }
 
 // ScalingRun is one (family, n, mode) measurement.
@@ -64,12 +76,19 @@ type ScalingRun struct {
 	Bits      int64   `json:"bits"`
 	Bandwidth int     `json:"bandwidth_bits"`
 	WallMS    float64 `json:"wall_ms"`
+	// AllocsPerRound is the heap allocations per round of the measured
+	// (pool-warmed) run; the engine's steady-state target is ~0.
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	// PeakHeapMB is the heap in use right after the measured run, before any
+	// GC — an upper-bound proxy for the run's live working set.
+	PeakHeapMB float64 `json:"peak_heap_mb"`
 	// Checksum digests every node's final accumulator; equal checksums and
 	// stats across modes certify bit-identical execution.
 	Checksum uint64 `json:"checksum"`
-	// MatchesSequential is set on "par" runs when stats and checksum equal
-	// the paired "seq" run.
-	MatchesSequential bool `json:"matches_sequential"`
+	// MatchesSequential is set on "par" runs: true when stats and checksum
+	// equal the paired "seq" run. Omitted on "seq" rows — the baseline has
+	// nothing to match against.
+	MatchesSequential *bool `json:"matches_sequential,omitempty"`
 }
 
 // ScalingReport is the BENCH_congest.json document.
@@ -100,12 +119,22 @@ func scalingSizes(quick bool) []int {
 	if quick {
 		return []int{2000, 10000}
 	}
-	return []int{10000, 100000}
+	return []int{100000, 1000000}
 }
 
-// ScalingSweep runs the S1 scenario: each family × size, sequential then
-// parallel, verifying mode equivalence as it goes.
+// ScalingSweep runs the S1 scenario at the default sizes: each family ×
+// size, sequential then parallel, verifying mode equivalence as it goes.
 func ScalingSweep(quick bool) (*ScalingReport, error) {
+	return ScalingSweepSizes(quick, nil)
+}
+
+// ScalingSweepSizes is ScalingSweep with an explicit size list (nil means
+// the defaults); CI uses it to run a reduced sweep without forking the
+// harness.
+func ScalingSweepSizes(quick bool, sizes []int) (*ScalingReport, error) {
+	if len(sizes) == 0 {
+		sizes = scalingSizes(quick)
+	}
 	rep := &ScalingReport{
 		Harness:    "cmd/bench S1 (engine scaling)",
 		Quick:      quick,
@@ -113,7 +142,7 @@ func ScalingSweep(quick bool) (*ScalingReport, error) {
 		AllMatch:   true,
 	}
 	for _, family := range []string{"path", "tree", "gnp"} {
-		for _, n := range scalingSizes(quick) {
+		for _, n := range sizes {
 			g := scalingGraph(family, n)
 			var seqRun ScalingRun
 			for _, mode := range []string{"seq", "par"} {
@@ -124,11 +153,12 @@ func ScalingSweep(quick bool) (*ScalingReport, error) {
 				if mode == "seq" {
 					seqRun = run
 				} else {
-					run.MatchesSequential = run.Checksum == seqRun.Checksum &&
+					match := run.Checksum == seqRun.Checksum &&
 						run.Rounds == seqRun.Rounds &&
 						run.Messages == seqRun.Messages &&
 						run.Bits == seqRun.Bits
-					if !run.MatchesSequential {
+					run.MatchesSequential = &match
+					if !match {
 						rep.AllMatch = false
 					}
 				}
@@ -143,39 +173,61 @@ func ScalingSweep(quick bool) (*ScalingReport, error) {
 }
 
 func scalingOnce(g *graph.Graph, family string, n int, mode string) (ScalingRun, error) {
-	opts := congest.Options{Parallel: mode == "par"}
+	pool := congest.NewScratchPool()
+	opts := congest.Options{Parallel: mode == "par", Scratch: pool}
 	sim, err := congest.NewSimulator(g, opts)
 	if err != nil {
 		return ScalingRun{}, err
 	}
-	nodes := make([]*scalingNode, n)
+	nodes := make([]scalingNode, n)
+	factory := func(v int) congest.Node {
+		nodes[v] = scalingNode{}
+		return &nodes[v]
+	}
+
+	// Warm-up run: grows the pooled buffers to steady-state capacity.
+	if _, err := sim.Run(factory); err != nil {
+		return ScalingRun{}, err
+	}
+
+	// Measured run, bracketed by MemStats: Mallocs delta / rounds is the
+	// engine's per-round allocation count, and HeapAlloc right after the run
+	// (pre-GC) bounds the live working set.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	stats, err := sim.Run(func(v int) congest.Node {
-		nodes[v] = &scalingNode{}
-		return nodes[v]
-	})
+	stats, err := sim.Run(factory)
 	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
 	if err != nil {
 		return ScalingRun{}, err
 	}
+
 	h := fnv.New64a()
 	var buf [2]byte
-	for _, nd := range nodes {
-		buf[0], buf[1] = byte(nd.acc), byte(nd.acc>>8)
+	for v := range nodes {
+		buf[0], buf[1] = byte(nodes[v].acc), byte(nodes[v].acc>>8)
 		h.Write(buf[:])
 	}
+	allocsPerRound := 0.0
+	if stats.Rounds > 0 {
+		allocsPerRound = float64(m1.Mallocs-m0.Mallocs) / float64(stats.Rounds)
+	}
 	return ScalingRun{
-		Family:    family,
-		N:         n,
-		Edges:     g.NumEdges(),
-		Mode:      mode,
-		Workers:   opts.Workers,
-		Rounds:    stats.Rounds,
-		Messages:  stats.Messages,
-		Bits:      stats.Bits,
-		Bandwidth: stats.Bandwidth,
-		WallMS:    float64(wall.Microseconds()) / 1000,
-		Checksum:  h.Sum64(),
+		Family:         family,
+		N:              n,
+		Edges:          g.NumEdges(),
+		Mode:           mode,
+		Workers:        opts.Workers,
+		Rounds:         stats.Rounds,
+		Messages:       stats.Messages,
+		Bits:           stats.Bits,
+		Bandwidth:      stats.Bandwidth,
+		WallMS:         float64(wall.Microseconds()) / 1000,
+		AllocsPerRound: allocsPerRound,
+		PeakHeapMB:     float64(m1.HeapAlloc) / (1 << 20),
+		Checksum:       h.Sum64(),
 	}, nil
 }
 
@@ -184,20 +236,22 @@ func ScalingTable(rep *ScalingReport) *Table {
 	tab := &Table{
 		ID:     "S1",
 		Title:  "engine scaling: wall time vs n, sequential vs worker pool",
-		Claim:  "the sharded engine handles n = 10^5 across graph families, and parallel execution is bit-identical to sequential",
-		Header: []string{"family", "n", "edges", "mode", "rounds", "messages", "bits", "wall ms", "match"},
+		Claim:  "the CSR+arena engine handles n = 10^6 across graph families with ~0 allocs/round, and parallel execution is bit-identical to sequential",
+		Header: []string{"family", "n", "edges", "mode", "rounds", "messages", "bits", "wall ms", "allocs/round", "peak heap MB", "match"},
 	}
 	for _, r := range rep.Runs {
-		match := "true"
-		if r.Mode == "par" && !r.MatchesSequential {
-			match = "false"
+		match := "-"
+		if r.MatchesSequential != nil {
+			match = fmt.Sprintf("%v", *r.MatchesSequential)
 		}
 		tab.AddRow(r.Family, r.N, r.Edges, r.Mode, r.Rounds, r.Messages, r.Bits,
-			fmt.Sprintf("%.1f", r.WallMS), match)
+			fmt.Sprintf("%.1f", r.WallMS), fmt.Sprintf("%.1f", r.AllocsPerRound),
+			fmt.Sprintf("%.1f", r.PeakHeapMB), match)
 	}
 	tab.Notes = append(tab.Notes,
 		fmt.Sprintf("workload: every node broadcasts 2 bytes/round for %d rounds (cost Θ(rounds·m))", scalingHeartbeatRounds),
-		fmt.Sprintf("GOMAXPROCS=%d; 'match' certifies parallel stats+state == sequential", rep.GoMaxProcs))
+		"each cell is the second of two runs over a shared scratch pool: allocs/round and peak heap describe warmed steady state",
+		fmt.Sprintf("GOMAXPROCS=%d; 'match' certifies parallel stats+state == sequential ('-' on the seq baseline rows)", rep.GoMaxProcs))
 	return tab
 }
 

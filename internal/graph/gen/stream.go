@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Streaming generators: the same edge sequences as their materializing
+// counterparts (Path, RandomTree, ConnectedSparseGNP), delivered through a
+// callback instead of a *graph.Graph. At n = 10^6 the Graph structure itself
+// (adjacency slices, edge records, weight maps) dominates memory; a tool that
+// only needs to write an edge list can stream in O(n) bits of state — a spine
+// bitmap for the GNP family and nothing at all for paths and trees.
+//
+// Each StreamX is pinned by tests to emit exactly the edges of X, in X's
+// insertion order, consuming randomness identically, so a streamed file and a
+// materialized graph are interchangeable for a given seed.
+
+// StreamPath emits the edges of Path(n) in order.
+func StreamPath(n int, emit func(u, v int)) {
+	for i := 0; i+1 < n; i++ {
+		emit(i, i+1)
+	}
+}
+
+// StreamRandomTree emits the edges of RandomTree(n, seed) in order.
+func StreamRandomTree(n int, seed int64, emit func(u, v int)) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 1; i < n; i++ {
+		emit(r.Intn(i), i)
+	}
+}
+
+// StreamConnectedSparseGNP emits the edges of ConnectedSparseGNP(n, p, seed)
+// in order: the Batagelj-Brandes geometric-skip enumeration first, then the
+// spine edges (v-1, v) that the random part missed. Peak state is one bool per
+// vertex.
+func StreamConnectedSparseGNP(n int, p float64, seed int64, emit func(u, v int)) {
+	spine := make([]bool, n)
+	emitGNP := func(w, v int) {
+		if w == v-1 {
+			spine[v] = true
+		}
+		emit(w, v)
+	}
+	streamSparseGNP(n, p, seed, emitGNP)
+	for v := 1; v < n; v++ {
+		if !spine[v] {
+			emit(v-1, v)
+		}
+	}
+}
+
+// streamSparseGNP mirrors SparseGNP's pair enumeration exactly; see the
+// comments there for the geometric-skip derivation.
+func streamSparseGNP(n int, p float64, seed int64, emit func(u, v int)) {
+	if n < 2 || p <= 0 {
+		return
+	}
+	r := rand.New(rand.NewSource(seed))
+	if p >= 1 {
+		for v := 1; v < n; v++ {
+			for w := 0; w < v; w++ {
+				emit(w, v)
+			}
+		}
+		return
+	}
+	logq := math.Log1p(-p)
+	maxSkip := float64(n) * float64(n)
+	v, w := 1, -1
+	for v < n {
+		skip := math.Log(1-r.Float64()) / logq
+		if skip > maxSkip {
+			break
+		}
+		w += 1 + int(skip)
+		for v < n && w >= v {
+			w -= v
+			v++
+		}
+		if v < n {
+			emit(w, v)
+		}
+	}
+}

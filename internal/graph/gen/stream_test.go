@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// The streaming generators must be drop-in replacements for the materializing
+// ones: same edges, same order, same randomness consumption. Two pins enforce
+// that from both sides — stream-vs-materialize equivalence (so the pair can
+// never drift apart) and golden edge-list digests (so neither can change the
+// emitted graphs without this test noticing).
+
+func collectStream(stream func(emit func(u, v int))) [][2]int {
+	var edges [][2]int
+	stream(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	return edges
+}
+
+func TestStreamMatchesMaterialized(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream func(emit func(u, v int))
+		edges  [][2]int
+	}{}
+	for _, n := range []int{0, 1, 2, 17, 256} {
+		n := n
+		var pathEdges [][2]int
+		for _, e := range Path(n).Edges() {
+			pathEdges = append(pathEdges, [2]int{e.U, e.V})
+		}
+		cases = append(cases, struct {
+			name   string
+			stream func(emit func(u, v int))
+			edges  [][2]int
+		}{fmt.Sprintf("path/n=%d", n), func(emit func(u, v int)) { StreamPath(n, emit) }, pathEdges})
+		for _, seed := range []int64{1, 7, 42} {
+			seed := seed
+			var treeEdges [][2]int
+			for _, e := range RandomTree(n, seed).Edges() {
+				treeEdges = append(treeEdges, [2]int{e.U, e.V})
+			}
+			cases = append(cases, struct {
+				name   string
+				stream func(emit func(u, v int))
+				edges  [][2]int
+			}{fmt.Sprintf("tree/n=%d/seed=%d", n, seed),
+				func(emit func(u, v int)) { StreamRandomTree(n, seed, emit) }, treeEdges})
+			for _, p := range []float64{0, 0.05, 0.5, 1} {
+				p := p
+				var gnpEdges [][2]int
+				for _, e := range ConnectedSparseGNP(n, p, seed).Edges() {
+					gnpEdges = append(gnpEdges, [2]int{e.U, e.V})
+				}
+				cases = append(cases, struct {
+					name   string
+					stream func(emit func(u, v int))
+					edges  [][2]int
+				}{fmt.Sprintf("gnp/n=%d/p=%v/seed=%d", n, p, seed),
+					func(emit func(u, v int)) { StreamConnectedSparseGNP(n, p, seed, emit) }, gnpEdges})
+			}
+		}
+	}
+	for _, tc := range cases {
+		got := collectStream(tc.stream)
+		if len(got) != len(tc.edges) {
+			t.Errorf("%s: streamed %d edges, materialized %d", tc.name, len(got), len(tc.edges))
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.edges[i] {
+				t.Errorf("%s: edge %d: streamed %v, materialized %v", tc.name, i, got[i], tc.edges[i])
+				break
+			}
+		}
+	}
+}
+
+func edgeDigest(edges [][2]int) uint64 {
+	h := fnv.New64a()
+	for _, e := range edges {
+		fmt.Fprintf(h, "%d-%d;", e[0], e[1])
+	}
+	return h.Sum64()
+}
+
+// TestGeneratorOutputPinned freezes the exact edge sequences at small n so a
+// refactor of either the materializing or the streaming path cannot silently
+// change the graphs every benchmark and golden trace is built on.
+func TestGeneratorOutputPinned(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream func(emit func(u, v int))
+		want   uint64
+	}{
+		{"path/n=10", func(emit func(u, v int)) { StreamPath(10, emit) }, 0x146c9e0b519e5cd2},
+		{"tree/n=10/seed=7", func(emit func(u, v int)) { StreamRandomTree(10, 7, emit) }, 0xb02e8052d52bc52d},
+		{"gnp/n=10/p=0.3/seed=11", func(emit func(u, v int)) { StreamConnectedSparseGNP(10, 0.3, 11, emit) }, 0xbfbbaf85da398e},
+	}
+	for _, tc := range cases {
+		if got := edgeDigest(collectStream(tc.stream)); got != tc.want {
+			t.Errorf("%s: edge digest = %#x, want %#x", tc.name, got, tc.want)
+		}
+	}
+}

@@ -16,29 +16,24 @@ import (
 
 func TestLocalTupleDeterministic(t *testing.T) {
 	env := &congest.Env{ID: 7, Degree: 4, NeighborIDs: []int{12, 3, 9, 5}}
+	// markedNbr is port-indexed with -1 for unmarked ports (the flat layout
+	// that replaced the original port->depth map; the fold is structurally
+	// order-independent now, but the selection rule — deepest marked
+	// neighbor, ties by minimum ID — stays pinned).
 	cases := []struct {
 		name      string
-		markedNbr map[int]int // port -> depth
+		markedNbr []int32 // per port: depth, or -1
 		want      floodTuple
 	}{
-		{"no marked neighbors", map[int]int{}, floodTuple{depth: 0, markedID: 0, candID: 7}},
-		{"single marked neighbor", map[int]int{1: 2}, floodTuple{depth: 2, markedID: 3, candID: 7}},
-		{"deepest wins", map[int]int{0: 4, 2: 3}, floodTuple{depth: 4, markedID: 12, candID: 7}},
-		{"depth tie broken by min ID", map[int]int{0: 2, 2: 3, 3: 3}, floodTuple{depth: 3, markedID: 5, candID: 7}},
+		{"no marked neighbors", []int32{-1, -1, -1, -1}, floodTuple{depth: 0, markedID: 0, candID: 7}},
+		{"single marked neighbor", []int32{-1, 2, -1, -1}, floodTuple{depth: 2, markedID: 3, candID: 7}},
+		{"deepest wins", []int32{4, -1, 3, -1}, floodTuple{depth: 4, markedID: 12, candID: 7}},
+		{"depth tie broken by min ID", []int32{2, -1, 3, 3}, floodTuple{depth: 3, markedID: 5, candID: 7}},
 	}
 	for _, tc := range cases {
-		// Rebuild the map each trial: a map-order-dependent fold would give
-		// varying answers across Go's randomized iteration orders.
-		for trial := 0; trial < 32; trial++ {
-			m := make(map[int]int, len(tc.markedNbr))
-			for p, d := range tc.markedNbr {
-				m[p] = d
-			}
-			n := &dpNode{env: env, markedNbr: m}
-			if got := n.localTuple(); got != tc.want {
-				t.Errorf("%s (trial %d): localTuple() = %+v, want %+v", tc.name, trial, got, tc.want)
-				break
-			}
+		n := &dpNode{env: env, markedNbr: tc.markedNbr}
+		if got := n.localTuple(); got != tc.want {
+			t.Errorf("%s: localTuple() = %+v, want %+v", tc.name, got, tc.want)
 		}
 	}
 }

@@ -108,20 +108,28 @@ type dpNode struct {
 	send []congest.ByteStreamSender
 	recv []congest.ByteStreamReceiver
 
+	// outBuf backs the Outgoing slice returned by emitFrames, reused across
+	// rounds so the steady-state frame pump allocates nothing.
+	outBuf []congest.Outgoing
+
 	// --- elimination phase (Algorithm 2) ---
+	// Per-neighbor state is port-indexed or childIDs-aligned flat slices (no
+	// maps): markedNbr[port] is the depth of the marked neighbor on that port
+	// (-1 while unmarked; announced depths are always >= 1), and
+	// childPorts[i] is the port of childIDs[i].
 	marked     bool
 	parentID   int
 	depth      int
 	childIDs   []int // sorted
-	childPort  map[int]int
+	childPorts []int // childPorts[i] = port of childIDs[i]
 	parentPort int
-	markedNbr  map[int]int // port -> depth of marked neighbor
+	markedNbr  []int32
 	tuple      floodTuple
 
 	// --- bags phase (Lemma 5.3) ---
-	bag            []int // sorted IDs, includes self
-	bagInfo        map[int]bagVertex
-	bagEdges       [][2]int // index pairs into bag (sorted IDs), G[B_u]
+	bag            []int       // sorted IDs, includes self
+	bagInfo        []bagVertex // bagInfo[i] describes bag[i]
+	bagEdges       [][2]int    // index pairs into bag (sorted IDs), G[B_u]
 	haveBag        bool
 	peerBags       int // how many neighbor bag-peer messages received
 	peerFail       int
@@ -132,8 +140,13 @@ type dpNode struct {
 	// created when the base tables are built and never shared between nodes:
 	// all caching is computation-local, so CONGEST rounds, messages, and wire
 	// bytes are exactly those of the uncached protocol.
-	cache        *regular.Cached
-	childTables  map[int]childTable // child ID -> received table
+	cache *regular.Cached
+	// childTables[i] is the table received from childIDs[i]; tableGot[i]
+	// records arrival and tablesGot counts them (allocated once the child
+	// set is final, at the end of the elimination phase).
+	childTables  []childTable
+	tableGot     []bool
+	tablesGot    int
 	stages       []upStage
 	finalOpt     regular.DenseOpt
 	finalDecide  regular.DenseSet
@@ -258,10 +271,10 @@ func (n *dpNode) Init(env *congest.Env) []congest.Outgoing {
 	n.env = env
 	n.send = make([]congest.ByteStreamSender, env.Degree)
 	n.recv = make([]congest.ByteStreamReceiver, env.Degree)
-	n.markedNbr = make(map[int]int)
-	n.childPort = make(map[int]int)
-	n.childTables = make(map[int]childTable)
-	n.bagInfo = make(map[int]bagVertex)
+	n.markedNbr = make([]int32, env.Degree)
+	for p := range n.markedNbr {
+		n.markedNbr[p] = -1
+	}
 	n.phase = phaseElim
 	env.Tag(KindElim)
 	return nil
@@ -320,12 +333,16 @@ func (n *dpNode) fail(code int) {
 }
 
 func (n *dpNode) emitFrames() []congest.Outgoing {
-	var out []congest.Outgoing
+	out := n.outBuf[:0]
 	budget := n.frameBudget()
 	for port := range n.send {
 		if frame, ok := n.send[port].NextFrame(budget); ok {
 			out = append(out, congest.Outgoing{Port: port, Payload: frame})
 		}
+	}
+	n.outBuf = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -375,7 +392,7 @@ func (n *dpNode) elimRound(round int) {
 		// Push the current best tuple to all unmarked neighbors.
 		payload := encodeElim(n.tuple.depth, n.tuple.markedID, n.tuple.candID)
 		for port := 0; port < n.env.Degree; port++ {
-			if _, isMarked := n.markedNbr[port]; !isMarked {
+			if n.markedNbr[port] < 0 {
 				n.send[port].Push(payload)
 			}
 		}
@@ -431,8 +448,8 @@ func (n *dpNode) portOfID(id int) (int, bool) {
 func (n *dpNode) localTuple() floodTuple {
 	bestDepth, bestMarked := 0, 0
 	for port := 0; port < n.env.Degree; port++ {
-		d, marked := n.markedNbr[port]
-		if !marked {
+		d := int(n.markedNbr[port])
+		if d < 0 {
 			continue
 		}
 		id := n.env.NeighborIDs[port]
@@ -449,18 +466,23 @@ func (n *dpNode) handleElimMsg(port int, msg []byte) {
 		n.fail(failInvalid)
 		return
 	}
-	if _, isMarked := n.markedNbr[port]; isMarked {
+	if n.markedNbr[port] >= 0 {
 		return // late traffic from a marked neighbor: ignore
 	}
 	senderID := n.env.NeighborIDs[port]
 	if b == senderID {
 		// Announcement (id, depth, parentID) encoded as (depth=a, id=b, parent=c).
-		n.markedNbr[port] = a
+		n.markedNbr[port] = int32(a)
 		if c == n.env.ID && n.marked {
-			// The sender adopted us as its parent.
-			n.childIDs = append(n.childIDs, senderID)
-			sort.Ints(n.childIDs)
-			n.childPort[senderID] = port
+			// The sender adopted us as its parent: insert into the sorted
+			// child list with its port kept index-aligned.
+			pos := sort.SearchInts(n.childIDs, senderID)
+			n.childIDs = append(n.childIDs, 0)
+			copy(n.childIDs[pos+1:], n.childIDs[pos:])
+			n.childIDs[pos] = senderID
+			n.childPorts = append(n.childPorts, 0)
+			copy(n.childPorts[pos+1:], n.childPorts[pos:])
+			n.childPorts[pos] = port
 		}
 		return
 	}
@@ -500,6 +522,10 @@ func decodeElim(msg []byte) (int, int, int, error) {
 
 func (n *dpNode) enterBagsPhase() {
 	n.phase = phaseBags
+	// The child set is final once elimination ends; the table buffers can be
+	// laid out childIDs-aligned now.
+	n.childTables = make([]childTable, len(n.childIDs))
+	n.tableGot = make([]bool, len(n.childIDs))
 	if !n.marked {
 		// Report large treedepth (Algorithm 2, instruction 22) and tell all
 		// neighbors, so the failure reaches the tree.
@@ -521,7 +547,7 @@ func (n *dpNode) enterBagsPhase() {
 	}
 	if n.parentID < 0 {
 		// The root's bag is itself; start the top-down propagation.
-		n.setBag([]int{n.env.ID}, map[int]bagVertex{n.env.ID: {weight: n.env.Weight, labels: n.vertexLabelMask()}}, nil)
+		n.setBag([]int{n.env.ID}, []bagVertex{{weight: n.env.Weight, labels: n.vertexLabelMask()}}, nil)
 	}
 }
 
@@ -536,8 +562,9 @@ func (n *dpNode) vertexLabelMask() uint32 {
 }
 
 // setBag installs this node's bag and sends (a) the bag to each child and
-// (b) the bag-peer verification message to every neighbor.
-func (n *dpNode) setBag(bag []int, info map[int]bagVertex, parentEdges [][2]int) {
+// (b) the bag-peer verification message to every neighbor. info is
+// index-aligned with the sorted bag.
+func (n *dpNode) setBag(bag []int, info []bagVertex, parentEdges [][2]int) {
 	n.bag = bag
 	n.bagInfo = info
 	n.haveBag = true
@@ -563,18 +590,18 @@ func (n *dpNode) setBag(bag []int, info map[int]bagVertex, parentEdges [][2]int)
 	var w wireWriter
 	w.u8(tagBag)
 	w.u32(uint32(len(bag)))
-	for _, id := range bag {
+	for i, id := range bag {
 		w.u32(uint32(id))
-		w.i64(n.bagInfo[id].weight)
-		w.u32(n.bagInfo[id].labels)
+		w.i64(n.bagInfo[i].weight)
+		w.u32(n.bagInfo[i].labels)
 	}
 	w.u32(uint32(len(n.bagEdges)))
 	for _, e := range n.bagEdges {
 		w.u8(uint8(e[0]))
 		w.u8(uint8(e[1]))
 	}
-	for _, childID := range n.childIDs {
-		n.send[n.childPort[childID]].Push(w.buf)
+	for i := range n.childIDs {
+		n.send[n.childPorts[i]].Push(w.buf)
 	}
 
 	// Bag-peer verification to every neighbor.
@@ -596,7 +623,7 @@ func (n *dpNode) handleBagMsg(r *wireReader) error {
 		return err
 	}
 	parentBag := make([]int, 0, count)
-	info := make(map[int]bagVertex, count+1)
+	parentInfo := make([]bagVertex, 0, count)
 	for i := uint32(0); i < count; i++ {
 		id, err := r.u32()
 		if err != nil {
@@ -611,7 +638,7 @@ func (n *dpNode) handleBagMsg(r *wireReader) error {
 			return err
 		}
 		parentBag = append(parentBag, int(id))
-		info[int(id)] = bagVertex{weight: weight, labels: labels}
+		parentInfo = append(parentInfo, bagVertex{weight: weight, labels: labels})
 	}
 	edgeCount, err := r.u32()
 	if err != nil {
@@ -629,12 +656,16 @@ func (n *dpNode) handleBagMsg(r *wireReader) error {
 		}
 		parentEdgesIdx = append(parentEdgesIdx, [2]int{int(a), int(b)})
 	}
-	// Insert self into the sorted bag; remap parent edge indices.
+	// Insert self into the sorted bag (and the aligned info slice); remap
+	// parent edge indices.
 	bag := append([]int(nil), parentBag...)
 	pos := sort.SearchInts(bag, n.env.ID)
 	bag = append(bag, 0)
 	copy(bag[pos+1:], bag[pos:])
 	bag[pos] = n.env.ID
+	info := append(parentInfo, bagVertex{})
+	copy(info[pos+1:], info[pos:])
+	info[pos] = bagVertex{weight: n.env.Weight, labels: n.vertexLabelMask()}
 	remap := func(i int) int {
 		if i >= pos {
 			return i + 1
@@ -645,7 +676,6 @@ func (n *dpNode) handleBagMsg(r *wireReader) error {
 	for _, e := range parentEdgesIdx {
 		parentEdges = append(parentEdges, [2]int{remap(e[0]), remap(e[1])})
 	}
-	info[n.env.ID] = bagVertex{weight: n.env.Weight, labels: n.vertexLabelMask()}
 	n.setBag(bag, info, parentEdges)
 	return nil
 }

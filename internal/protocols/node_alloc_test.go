@@ -1,0 +1,49 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+)
+
+// TestNodeSteadyRoundZeroAllocs pins the dpNode per-round path at zero heap
+// allocations in steady state: a mid-window elimination round with no
+// inbound traffic and drained send streams must not allocate — not for the
+// inbox scan, not for the frame pump (emitFrames reuses outBuf and
+// NextFrame returns arena views). Phase transitions and message handling
+// may allocate; the per-round baseline that runs at n=10^6 scale may not.
+func TestNodeSteadyRoundZeroAllocs(t *testing.T) {
+	env := &congest.Env{
+		ID: 5, Degree: 3, NeighborIDs: []int{1, 2, 9},
+		Bandwidth: 64, N: 1 << 20,
+	}
+	node := NewNode(Config{Mode: ModeDecide, D: 3}).(*dpNode)
+	node.Init(env)
+
+	// Round 1 opens the first flooding window (pushes tuples); a few
+	// mid-window rounds drain the streams. windowRounds = ceil(16/8)+1 = 3,
+	// so env.Round = 2 keeps the node mid-window (windowPos = 1) and far
+	// from the phase transition at elimRounds().
+	env.Round = 1
+	node.Round(env, nil)
+	env.Round = 2
+	for i := 0; i < 8; i++ {
+		node.Round(env, nil)
+	}
+	if node.pendingFrames() {
+		t.Fatal("send streams not drained after warm-up")
+	}
+
+	avg := testing.AllocsPerRun(100, func() {
+		out, halted := node.Round(env, nil)
+		if halted {
+			t.Fatal("node halted during elimination")
+		}
+		if len(out) != 0 {
+			t.Fatalf("unexpected frames from a drained node: %d", len(out))
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state node round allocates %.1f objects/round, want 0", avg)
+	}
+}

@@ -71,8 +71,8 @@ func (n *dpNode) ownerRank() int { return sort.SearchInts(n.bag, n.env.ID) }
 func (n *dpNode) baseGraph() (*wterm.TerminalGraph, error) {
 	k := len(n.bag)
 	local := graph.New(k)
-	for i, id := range n.bag {
-		info := n.bagInfo[id]
+	for i := range n.bag {
+		info := n.bagInfo[i]
 		local.SetVertexWeight(i, info.weight)
 		for bit, name := range n.cfg.VertexLabelNames {
 			if info.labels&(1<<uint(bit)) != 0 {
@@ -230,8 +230,10 @@ func (n *dpNode) localMarkedWeight(base *wterm.TerminalGraph) int64 {
 	return 0
 }
 
-// handleTable stores a child's table; folding happens in progress once all
-// children have reported.
+// handleTable stores a child's table in its childIDs-aligned slot; folding
+// happens in progress once all children have reported. A table from a
+// neighbor that is not a child (possible only under corrupted traffic) is
+// ignored; a duplicate overwrites its slot without re-counting.
 func (n *dpNode) handleTable(port int, r *wireReader) error {
 	status, err := r.u8()
 	if err != nil {
@@ -250,15 +252,28 @@ func (n *dpNode) handleTable(port int, r *wireReader) error {
 		return err
 	}
 	childID := n.env.NeighborIDs[port]
-	n.childTables[childID] = childTable{
+	i := sort.SearchInts(n.childIDs, childID)
+	if i >= len(n.childIDs) || n.childIDs[i] != childID {
+		return nil
+	}
+	n.childTables[i] = childTable{
 		failure: int(status),
 		entries: entries,
 		marked:  markedEntries,
 		weight:  weight,
 	}
+	if !n.tableGot[i] {
+		n.tableGot[i] = true
+		n.tablesGot++
+	}
 	return nil
 }
 
+// readEntries decodes one table. Entry keys alias the message buffer (a
+// fresh allocation handed over by ByteStreamReceiver.Pop) instead of being
+// copied one by one — with thousands of nodes each receiving tables with
+// hundreds of entries, the per-entry copies dominated the DP phase's
+// allocation profile.
 func readEntries(r *wireReader) ([]tableEntry, error) {
 	count, err := r.u32()
 	if err != nil {
@@ -266,7 +281,7 @@ func readEntries(r *wireReader) ([]tableEntry, error) {
 	}
 	out := make([]tableEntry, 0, count)
 	for i := uint32(0); i < count; i++ {
-		key, err := r.bytes()
+		key, err := r.bytesView()
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +309,7 @@ func (n *dpNode) tryFoldAndSend() {
 	if n.phase != phaseUp || n.sentUp {
 		return
 	}
-	if len(n.childTables) < len(n.childIDs) {
+	if n.tablesGot < len(n.childIDs) {
 		return
 	}
 	if n.failure == 0 {
@@ -317,8 +332,8 @@ func (n *dpNode) tryFoldAndSend() {
 		writeEntries(&w, nil)
 		w.i64(0)
 	} else {
-		writeEntries(&w, n.markedEntriesOut())
-		writeEntries(&w, n.mainEntriesOut())
+		n.writeMarkedEntries(&w)
+		n.writeMainEntries(&w)
 		w.i64(n.markedWeight)
 	}
 	n.send[n.parentPort].Push(w.buf)
@@ -330,42 +345,47 @@ func (n *dpNode) tryFoldAndSend() {
 }
 
 // Tables cross the wire in canonical (key-sorted) entry order. Dense tables
-// already hold their IDs in that order, so serialization is a straight walk —
-// the emitted bytes are identical to the map-based Keys() iteration.
+// already hold their IDs in that order, so serialization is a straight walk
+// directly from the interner's key strings onto the wire — same bytes as
+// the historical entry-list assembly (u32 count, then per entry
+// length-prefixed key + i64 value), without materializing a []byte copy of
+// every key first.
 
-func (n *dpNode) markedEntriesOut() []tableEntry {
+func (n *dpNode) writeMarkedEntries(w *wireWriter) {
 	if n.cfg.Mode != ModeCheckMarked {
-		return nil
+		w.u32(0)
+		return
 	}
-	entries := make([]tableEntry, 0, len(n.finalMarked.IDs))
+	w.u32(uint32(len(n.finalMarked.IDs)))
 	for _, id := range n.finalMarked.IDs {
-		entries = append(entries, tableEntry{key: []byte(n.cache.KeyOf(id))})
+		w.str(n.cache.KeyOf(id))
+		w.i64(0)
 	}
-	return entries
 }
 
-func (n *dpNode) mainEntriesOut() []tableEntry {
+func (n *dpNode) writeMainEntries(w *wireWriter) {
 	switch n.cfg.Mode {
 	case ModeDecide:
-		entries := make([]tableEntry, 0, len(n.finalDecide.IDs))
+		w.u32(uint32(len(n.finalDecide.IDs)))
 		for _, id := range n.finalDecide.IDs {
-			entries = append(entries, tableEntry{key: []byte(n.cache.KeyOf(id))})
+			w.str(n.cache.KeyOf(id))
+			w.i64(0)
 		}
-		return entries
 	case ModeOptimize, ModeCheckMarked:
-		entries := make([]tableEntry, 0, len(n.finalOpt.IDs))
+		w.u32(uint32(len(n.finalOpt.IDs)))
 		for i, id := range n.finalOpt.IDs {
-			entries = append(entries, tableEntry{key: []byte(n.cache.KeyOf(id)), value: n.finalOpt.Weights[i]})
+			w.str(n.cache.KeyOf(id))
+			w.i64(n.finalOpt.Weights[i])
 		}
-		return entries
 	case ModeCount:
-		entries := make([]tableEntry, 0, len(n.finalCount.IDs))
+		w.u32(uint32(len(n.finalCount.IDs)))
 		for i, id := range n.finalCount.IDs {
-			entries = append(entries, tableEntry{key: []byte(n.cache.KeyOf(id)), value: n.finalCount.Counts[i]})
+			w.str(n.cache.KeyOf(id))
+			w.i64(n.finalCount.Counts[i])
 		}
-		return entries
+	default:
+		w.u32(0)
 	}
-	return nil
 }
 
 // foldChildren folds every child's table into this node's, in increasing
@@ -373,8 +393,8 @@ func (n *dpNode) mainEntriesOut() []tableEntry {
 // the node's cached dense algebra; iteration order is canonical, so verdicts,
 // weights, and tie-breaking match the uncached map folds exactly.
 func (n *dpNode) foldChildren() error {
-	for _, childID := range n.childIDs {
-		ct := n.childTables[childID]
+	for ci, childID := range n.childIDs {
+		ct := n.childTables[ci]
 		if ct.failure != 0 {
 			n.fail(ct.failure)
 			return nil
@@ -592,8 +612,8 @@ func (n *dpNode) broadcastVerdict() {
 		w.u8(0)
 	}
 	w.i64(n.out.Count)
-	for _, childID := range n.childIDs {
-		n.send[n.childPort[childID]].Push(w.buf)
+	for i := range n.childIDs {
+		n.send[n.childPorts[i]].Push(w.buf)
 	}
 	n.phase = phaseDone
 }
@@ -670,12 +690,12 @@ func (n *dpNode) applyTarget(id regular.ClassID) {
 		cur = b.Acc
 	}
 	n.env.Tag(KindTarget)
-	for _, childID := range n.childIDs {
+	for i, childID := range n.childIDs {
 		var w wireWriter
 		w.u8(tagTarget)
 		w.u8(uint8(n.failure))
-		w.bytes([]byte(targets[childID]))
-		n.send[n.childPort[childID]].Push(w.buf)
+		w.str(targets[childID])
+		n.send[n.childPorts[i]].Push(w.buf)
 	}
 	n.phase = phaseDone
 }

@@ -39,6 +39,14 @@ func (w *wireWriter) bytes(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// str writes a string with the same framing as bytes, without forcing the
+// caller to materialize a []byte copy first (interned class keys are
+// strings; table serialization streams them straight onto the wire).
+func (w *wireWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
 type wireReader struct{ buf []byte }
 
 func (r *wireReader) u8() (uint8, error) {
@@ -77,6 +85,24 @@ func (r *wireReader) bytes() ([]byte, error) {
 		return nil, fmt.Errorf("%w: truncated bytes", ErrProtocol)
 	}
 	v := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+// bytesView is bytes without the defensive copy: the returned slice aliases
+// the reader's buffer. Use it only when the underlying message buffer is
+// owned by the caller and outlives every use of the view (table entries
+// decoded from a popped stream message qualify — Pop hands over a fresh
+// buffer that is never reused).
+func (r *wireReader) bytesView() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(r.buf)) < n {
+		return nil, fmt.Errorf("%w: truncated bytes", ErrProtocol)
+	}
+	v := r.buf[:n:n]
 	r.buf = r.buf[n:]
 	return v, nil
 }
