@@ -40,6 +40,22 @@
 // dmc says so and runs the ordinary fault-free path (parallel delivery and
 // all) instead of paying for the injector and the reliable adapter.
 //
+// With -multiproc, dmc runs the CONGEST simulation across -shards real
+// worker processes (re-executions of dmc itself, or the binary named by
+// -shard-bin, e.g. dmcshard) connected over a Unix socket, coordinated by
+// the frame protocol in internal/congest/transport. Results are
+// bit-identical to the in-process engine; the report gains a wire line
+// showing what the transport actually carried versus the logical CONGEST
+// bits:
+//
+//	gengraph -family bounded-td -n 100000 -d 3 | dmc -problem acyclic -d 3 -multiproc -shards 4
+//
+// -multiproc composes with -faults (the chaos moves to the frame layer:
+// whole shard-to-shard batches drop, duplicate, or reorder, and the
+// reliable adapter must recover) and with -trace (the coordinator
+// reconstructs the exact engine event stream), but not with both at once,
+// and not with -crash-rate (process crashes are not modeled).
+//
 // Flag interactions are explicit: -workers implies -parallel on its own,
 // and the sequential mode rejects every CONGEST-only flag (-parallel,
 // -workers, -seed, -faults, -trace) instead of silently ignoring it.
@@ -58,10 +74,20 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocols"
 	"repro/internal/regular"
+	"repro/internal/shard"
 	"repro/internal/treedepth"
 )
 
 func main() {
+	// A dmc process spawned with the shard-worker environment set is a
+	// worker, not a CLI: serve the session and exit.
+	if ran, err := shard.MaybeWorker(); ran {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmc (shard worker):", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := runArgs(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dmc:", err)
 		os.Exit(1)
@@ -91,6 +117,9 @@ func runArgs(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	reorderRate := fs.Float64("reorder-rate", 0, "per-message reorder probability with -faults")
 	reorderWindow := fs.Int("reorder-window", 4, "maximum extra delivery delay in rounds with -faults")
 	crashRate := fs.Float64("crash-rate", 0, "per-node per-round crash probability with -faults (outages of 1-4 rounds)")
+	multiproc := fs.Bool("multiproc", false, "run the simulation across real worker processes over the frame protocol")
+	shards := fs.Int("shards", 2, "worker-process count with -multiproc")
+	shardBin := fs.String("shard-bin", "", "worker binary with -multiproc (default: re-execute dmc itself)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,6 +153,20 @@ func runArgs(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-faults applies to the CONGEST run, not -seq")
 		case *tracePath != "":
 			return fmt.Errorf("-trace applies to the CONGEST run, not -seq")
+		case *multiproc:
+			return fmt.Errorf("-multiproc applies to the CONGEST run, not -seq")
+		}
+	}
+	if *multiproc {
+		switch {
+		case *parallel:
+			return fmt.Errorf("-parallel/-workers select the in-process worker pool; -multiproc already executes across processes")
+		case *shards < 1:
+			return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+		case *faultsOn && *tracePath != "":
+			return fmt.Errorf("-trace and -faults cannot be combined with -multiproc (frame faults have no exact trace)")
+		case *faultsOn && *crashRate > 0:
+			return fmt.Errorf("-crash-rate is not modeled at the frame layer; use -multiproc -faults with drop/dup/reorder rates")
 		}
 	}
 
@@ -228,7 +271,7 @@ func runArgs(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			// ordinary path instead.
 			fmt.Fprintf(report, "faults: schedule is a no-op (all rates zero); running fault-free\n")
 			*faultsOn = false
-		} else {
+		} else if !*multiproc {
 			opts.Injector = faults.New(fcfg)
 			// The reliable adapter needs frame headroom beyond the default
 			// bandwidth; the wrapped protocol still sees the default budget.
@@ -237,7 +280,14 @@ func runArgs(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 	var sol *core.Solution
-	if *faultsOn {
+	if *multiproc {
+		sol, err = runMultiproc(g, multiprocArgs{
+			problem: *problem, formula: *formula, d: *d, seed: *seed,
+			shards: *shards, bin: *shardBin,
+			faults: *faultsOn, fcfg: fcfg,
+			tracer: tracer, report: report, stderr: stderr,
+		})
+	} else if *faultsOn {
 		sol, err = core.SolveDistributedReliable(g, prob, *d, opts, protocols.ReliableConfig{})
 	} else {
 		sol, err = core.SolveDistributed(g, prob, *d, opts)
@@ -269,6 +319,87 @@ func runArgs(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			r.VirtualRounds, r.Chunks, r.Retransmits, r.DupChunks, r.AckFrames)
 	}
 	return nil
+}
+
+// multiprocArgs bundles what the multi-process path needs from the flag set.
+type multiprocArgs struct {
+	problem, formula string
+	d                int
+	seed             int64
+	shards           int
+	bin              string
+	faults           bool
+	fcfg             faults.Config
+	tracer           *congest.NDJSONTracer
+	report, stderr   io.Writer
+}
+
+// runMultiproc executes the run across real worker processes and reports
+// the on-wire cost next to the logical CONGEST stats.
+func runMultiproc(g *graph.Graph, a multiprocArgs) (*core.Solution, error) {
+	spec := shard.Spec{
+		Problem: a.problem,
+		Formula: a.formula,
+		D:       a.d,
+		IDSeed:  a.seed,
+	}
+	if a.formula != "" {
+		spec.Mode = int(protocols.ModeDecide)
+	}
+	opt := shard.Options{
+		Shards: a.shards,
+		Spawn:  &shard.ExecSpawner{Bin: a.bin, Stderr: a.stderr},
+	}
+	if a.tracer != nil {
+		opt.Tracer = a.tracer
+	}
+	if a.faults {
+		inj := faults.NewFrameInjector(a.fcfg)
+		if inj.Quiet() {
+			fmt.Fprintf(a.report, "faults: schedule is a no-op at the frame layer; running fault-free\n")
+		} else {
+			opt.Faults = inj
+			spec.Reliable = true
+			spec.BandwidthFactor = protocols.ReliableBandwidthFactor(g.NumVertices())
+			fmt.Fprintf(a.report, "faults: %v at the frame layer (reliable delivery on)\n", inj.Config())
+		}
+	}
+	fmt.Fprintf(a.report, "multiproc: shards=%d\n", a.shards)
+	res, err := shard.Run(g, spec, opt)
+	if res != nil {
+		// The wire view is worth printing even when the run failed loudly.
+		logicalBytes := int64(0)
+		if res.Run != nil {
+			logicalBytes = (res.Run.Stats.Bits + 7) / 8
+		}
+		fmt.Fprintf(a.report, "wire: frames=%d bytes=%d logicalBytes=%d overhead=%.2fx\n",
+			res.Wire.FramesSent, res.Wire.BytesSent, logicalBytes, overheadRatio(res.Wire.BytesSent, logicalBytes))
+	}
+	if err != nil {
+		return nil, err
+	}
+	run := res.Run
+	sel := run.Selected
+	if sel == nil {
+		sel = run.SelectedEdges
+	}
+	return &core.Solution{
+		TdExceeded:  run.TdExceeded,
+		Accepted:    run.Accepted,
+		Found:       run.Found,
+		Weight:      run.Weight,
+		Count:       run.Count,
+		Selected:    sel,
+		Stats:       run.Stats,
+		Reliability: run.Reliability,
+	}, nil
+}
+
+func overheadRatio(wire, logical int64) float64 {
+	if logical <= 0 {
+		return 0
+	}
+	return float64(wire) / float64(logical)
 }
 
 func loadGraph(path string, stdin io.Reader) (*graph.Graph, error) {

@@ -1,0 +1,57 @@
+// Command dmcshard is a standalone shard worker for dmc's multi-process
+// mode. A coordinator (dmc -multiproc, or anything driving
+// internal/shard.Run with an ExecSpawner) starts K of these; each dials the
+// coordinator's socket, handshakes over the frame protocol, executes its
+// vertex range, and exits when the session ends.
+//
+// Normally the coordinator passes the connection details through the
+// DMC_SHARD_SOCKET / DMC_SHARD_INDEX environment variables and no flags are
+// needed. For manual runs and debugging, the same pair can be given
+// explicitly:
+//
+//	dmcshard -connect /tmp/dmc/coord.sock -index 2
+//	dmcshard -connect 127.0.0.1:9073 -index 0
+//
+// -connect values containing a slash are Unix socket paths; anything else
+// is dialed as TCP host:port. The worker is entirely driven by the
+// coordinator: it receives the graph, the run spec, and every round's
+// merged traffic over the socket, and reports results the same way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/shard"
+)
+
+func main() {
+	if ran, err := shard.MaybeWorker(); ran {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmcshard:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fs := flag.NewFlagSet("dmcshard", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	connect := fs.String("connect", "", "coordinator address: a unix socket path (contains '/') or a TCP host:port")
+	index := fs.Int("index", -1, "shard index this worker serves")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "dmcshard: unexpected arguments:", fs.Args())
+		os.Exit(2)
+	}
+	if *connect == "" || *index < 0 {
+		fmt.Fprintf(os.Stderr, "dmcshard: need -connect and -index (or the %s/%s environment)\n",
+			shard.EnvSocket, shard.EnvIndex)
+		os.Exit(2)
+	}
+	if err := shard.WorkerConnect(*connect, *index); err != nil {
+		fmt.Fprintln(os.Stderr, "dmcshard:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// samplePayloads returns one representative value per payload type, with
+// every field exercised (nonzero integers, non-ASCII strings, empty and
+// non-empty lists).
+func sampleHello() Hello { return Hello{Proto: Version, Shard: 3} }
+
+func sampleConfig() Config {
+	c := Config{Shards: 4, ShardSize: 7, Spec: []byte(`{"problem":"connected"}`), Graph: []byte("n 3\ne 0 1\n")}
+	for i := range c.Digest {
+		c.Digest[i] = byte(i)
+	}
+	return c
+}
+
+func sampleReady() Ready {
+	var r Ready
+	for i := range r.Digest {
+		r.Digest[i] = byte(0xFF - i)
+	}
+	return r
+}
+
+func sampleMsgs() []Msg {
+	return []Msg{
+		{From: 0, To: 5, Port: 1, Seq: 0, Kind: "dp", Payload: []byte{1, 2, 3}},
+		{From: 2, To: 3, Port: 0, Seq: 7, Kind: "", Payload: nil},
+	}
+}
+
+func sampleBatch() Batch {
+	return Batch{ErrVertex: -1, Sub: [][]Msg{sampleMsgs(), nil, {{From: 9, To: 1, Port: 2, Seq: 1, Payload: []byte("x")}}}}
+}
+
+func sampleErrBatch() Batch {
+	return Batch{ErrKind: BatchErrBandwidth, ErrVertex: 12, ErrText: "congest: bandwidth exceeded: 99 bits"}
+}
+
+func sampleDeliver() Deliver {
+	return Deliver{Delayed: sampleMsgs()[:1], Msgs: sampleMsgs()}
+}
+
+func sampleReport() Report {
+	return Report{
+		Messages: 41, Bits: 512, MaxMsgBits: 16, Lost: 2,
+		Halted: []int32{3, 8},
+		Events: []Event{{From: 1, Seq: 0, To: 2, Port: 1, Bits: 16, Kind: "dp"}},
+	}
+}
+
+func sampleOutputs() Outputs { return Outputs{Data: []byte(`{"outputs":[]}`)} }
+
+func sampleAbort() Abort { return Abort{Text: "round limit"} }
+
+func TestPayloadRoundTrips(t *testing.T) {
+	cases := []struct {
+		name   string
+		typ    uint8
+		encode func() []byte
+		want   interface{}
+	}{
+		{"hello", TypeHello, func() []byte { return sampleHello().Encode() }, sampleHello()},
+		{"config", TypeConfig, func() []byte { return sampleConfig().Encode() }, sampleConfig()},
+		{"ready", TypeReady, func() []byte { return sampleReady().Encode() }, sampleReady()},
+		{"batch", TypeBatch, func() []byte { return sampleBatch().Encode() }, sampleBatch()},
+		{"err_batch", TypeBatch, func() []byte { return sampleErrBatch().Encode() }, sampleErrBatch()},
+		{"deliver", TypeDeliver, func() []byte { return sampleDeliver().Encode() }, sampleDeliver()},
+		{"report", TypeReport, func() []byte { return sampleReport().Encode() }, sampleReport()},
+		{"outputs", TypeOutputs, func() []byte { return sampleOutputs().Encode() }, sampleOutputs()},
+		{"abort", TypeAbort, func() []byte { return sampleAbort().Encode() }, sampleAbort()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payload := tc.encode()
+			got, err := DecodePayload(Frame{Type: tc.typ, Payload: payload})
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("round trip:\n got  %+v\n want %+v", got, tc.want)
+			}
+			// Every truncation of a valid payload must fail with a typed
+			// error, never panic or succeed.
+			for cut := 0; cut < len(payload); cut++ {
+				if _, err := DecodePayload(Frame{Type: tc.typ, Payload: payload[:cut]}); err == nil {
+					t.Fatalf("truncation to %d bytes decoded successfully", cut)
+				} else if !errors.Is(err, ErrFrame) {
+					t.Fatalf("truncation to %d bytes: untyped error %v", cut, err)
+				}
+			}
+			// Appending a byte must trip the trailing-bytes check.
+			if _, err := DecodePayload(Frame{Type: tc.typ, Payload: append(append([]byte(nil), payload...), 0)}); !errors.Is(err, ErrTrailing) && !errors.Is(err, ErrFrame) {
+				t.Fatalf("trailing byte: got %v", err)
+			}
+		})
+	}
+}
+
+func TestFrameHeaderErrors(t *testing.T) {
+	valid := EncodeFrame(Frame{Type: TypeStep, Round: 9})
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"bad_magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		{"bad_version", func(b []byte) []byte { b[2] = 99; return b }, ErrBadVersion},
+		{"bad_type_zero", func(b []byte) []byte { b[3] = 0; return b }, ErrBadType},
+		{"bad_type_high", func(b []byte) []byte { b[3] = maxType + 1; return b }, ErrBadType},
+		{"short_header", func(b []byte) []byte { return b[:HeaderSize-1] }, ErrTruncated},
+		{"oversized_len", func(b []byte) []byte { b[8] = 200; return b }, ErrOversize},
+		{"trailing", func(b []byte) []byte { return append(b, 0xAB) }, ErrTrailing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(append([]byte(nil), valid...))
+			if _, err := DecodeFrame(b); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	got, err := DecodeFrame(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeStep || got.Round != 9 || len(got.Payload) != 0 {
+		t.Fatalf("bad decode of valid frame: %+v", got)
+	}
+}
+
+// TestAllocationBombGuards: count fields claiming more elements than bytes
+// present must fail before allocating.
+func TestAllocationBombGuards(t *testing.T) {
+	// A Batch claiming 2^32-1 sub-batches in a tiny payload.
+	var e enc
+	e.u8(BatchOK)
+	e.u32(0)
+	e.str("")
+	e.u32(0xFFFFFFFF)
+	if _, err := DecodeBatch(e.b); !errors.Is(err, ErrOversize) {
+		t.Fatalf("batch bomb: got %v", err)
+	}
+	// A Report claiming 2^31 events.
+	r := sampleReport()
+	r.Halted = nil
+	r.Events = nil
+	body := r.Encode()
+	var e2 enc
+	e2.b = body[:len(body)-4] // strip the zero events count
+	e2.u32(1 << 31)
+	if _, err := DecodeReport(e2.b); !errors.Is(err, ErrOversize) {
+		t.Fatalf("report bomb: got %v", err)
+	}
+}
+
+func TestConfigDigestSizeEnforced(t *testing.T) {
+	var e enc
+	e.u32(1)
+	e.u32(1)
+	e.bytes(make([]byte, DigestSize-1)) // one byte short
+	e.bytes(nil)
+	e.bytes(nil)
+	if _, err := DecodeConfig(e.b); !errors.Is(err, ErrBadDigest) {
+		t.Fatalf("short digest: got %v", err)
+	}
+}
+
+func TestStepFinishRejectPayload(t *testing.T) {
+	for _, typ := range []uint8{TypeStep, TypeFinish} {
+		if _, err := DecodePayload(Frame{Type: typ, Payload: []byte{1}}); !errors.Is(err, ErrTrailing) {
+			t.Fatalf("type %d with payload: got %v", typ, err)
+		}
+		if v, err := DecodePayload(Frame{Type: typ}); err != nil || v != nil {
+			t.Fatalf("bare type %d: %v %v", typ, v, err)
+		}
+	}
+}
+
+// TestStreamRoundTrip drives Writer/Reader over a loopback pair and checks
+// the wire counters account headers and payloads exactly.
+func TestStreamRoundTrip(t *testing.T) {
+	a, b := Loopback()
+	defer a.Close()
+	defer b.Close()
+	var ws, rs WireStats
+	w := NewWriter(a, &ws)
+	r := NewReader(b, 0, &rs)
+
+	frames := []Frame{
+		{Type: TypeHello, Payload: sampleHello().Encode()},
+		{Type: TypeStep, Round: 4},
+		{Type: TypeBatch, Round: 4, Payload: sampleBatch().Encode()},
+	}
+	done := make(chan error, 1)
+	go func() {
+		for _, f := range frames {
+			if err := w.WriteFrame(f); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- a.Close()
+	}()
+	var total int64
+	for i := 0; ; i++ {
+		f, err := r.ReadFrame()
+		if err == io.EOF {
+			if i != len(frames) {
+				t.Fatalf("EOF after %d frames, want %d", i, len(frames))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := frames[i]
+		if f.Type != want.Type || f.Round != want.Round || !bytes.Equal(f.Payload, want.Payload) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+		total += int64(HeaderSize + len(f.Payload))
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if rs.FramesRecv != int64(len(frames)) || rs.BytesRecv != total {
+		t.Errorf("reader stats %+v, want %d frames / %d bytes", rs, len(frames), total)
+	}
+	if ws.FramesSent != int64(len(frames)) || ws.BytesSent != total {
+		t.Errorf("writer stats %+v, want %d frames / %d bytes", ws, len(frames), total)
+	}
+}
+
+// TestStreamMaxPayload: a length field above the reader's budget fails
+// before any allocation of that size.
+func TestStreamMaxPayload(t *testing.T) {
+	hdr := EncodeFrame(Frame{Type: TypeAbort, Payload: make([]byte, 64)})
+	r := NewReader(bytes.NewReader(hdr), 16, nil)
+	if _, err := r.ReadFrame(); !errors.Is(err, ErrOversize) {
+		t.Fatalf("got %v, want ErrOversize", err)
+	}
+}
+
+// TestStreamTruncatedMidFrame: a stream ending inside a frame is
+// ErrTruncated, not a clean EOF.
+func TestStreamTruncatedMidFrame(t *testing.T) {
+	full := EncodeFrame(Frame{Type: TypeAbort, Payload: sampleAbort().Encode()})
+	for _, cut := range []int{1, HeaderSize - 1, HeaderSize, len(full) - 1} {
+		r := NewReader(bytes.NewReader(full[:cut]), 0, nil)
+		_, err := r.ReadFrame()
+		if cut == 0 {
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+	// Zero bytes is the clean between-frames EOF.
+	r := NewReader(bytes.NewReader(nil), 0, nil)
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes through the full decode path —
+// frame header, typed payload — and enforces the codec's safety contract:
+// no panic, no over-read, every failure a typed error wrapping ErrFrame,
+// and every successful decode canonical (re-encoding reproduces the input
+// bytes exactly and decodes to an equal value).
+func FuzzFrameDecode(f *testing.F) {
+	// One valid frame per type.
+	f.Add(EncodeFrame(Frame{Type: TypeHello, Payload: sampleHello().Encode()}))
+	f.Add(EncodeFrame(Frame{Type: TypeConfig, Payload: sampleConfig().Encode()}))
+	f.Add(EncodeFrame(Frame{Type: TypeReady, Payload: sampleReady().Encode()}))
+	f.Add(EncodeFrame(Frame{Type: TypeStep, Round: 3}))
+	f.Add(EncodeFrame(Frame{Type: TypeBatch, Round: 3, Payload: sampleBatch().Encode()}))
+	f.Add(EncodeFrame(Frame{Type: TypeBatch, Round: 3, Payload: sampleErrBatch().Encode()}))
+	f.Add(EncodeFrame(Frame{Type: TypeDeliver, Round: 3, Payload: sampleDeliver().Encode()}))
+	f.Add(EncodeFrame(Frame{Type: TypeReport, Round: 3, Payload: sampleReport().Encode()}))
+	f.Add(EncodeFrame(Frame{Type: TypeFinish}))
+	f.Add(EncodeFrame(Frame{Type: TypeOutputs, Payload: sampleOutputs().Encode()}))
+	f.Add(EncodeFrame(Frame{Type: TypeAbort, Payload: sampleAbort().Encode()}))
+
+	// Hostile shapes: truncations, oversized length fields, corrupt headers,
+	// wrong digest sizes, duplicate headers / concatenated frames.
+	valid := EncodeFrame(Frame{Type: TypeBatch, Round: 1, Payload: sampleBatch().Encode()})
+	f.Add(valid[:HeaderSize-2])
+	f.Add(valid[:HeaderSize+3])
+	over := append([]byte(nil), valid...)
+	over[8], over[9], over[10], over[11] = 0xFF, 0xFF, 0xFF, 0x7F
+	f.Add(over)
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+	f.Add(badMagic)
+	badVer := append([]byte(nil), valid...)
+	badVer[2] = 7
+	f.Add(badVer)
+	badType := append([]byte(nil), valid...)
+	badType[3] = maxType + 1
+	f.Add(badType)
+	shortDigest := Config{Shards: 1, ShardSize: 1}
+	var e enc
+	e.u32(shortDigest.Shards)
+	e.u32(shortDigest.ShardSize)
+	e.bytes(make([]byte, DigestSize/2))
+	e.bytes(nil)
+	e.bytes(nil)
+	f.Add(EncodeFrame(Frame{Type: TypeConfig, Payload: e.b}))
+	f.Add(append(append([]byte(nil), valid...), valid...)) // duplicate frame
+	bomb := Batch{ErrVertex: -1}.Encode()
+	bomb[len(bomb)-4], bomb[len(bomb)-3] = 0xFF, 0xFF // nsub count bomb
+	f.Add(EncodeFrame(Frame{Type: TypeBatch, Payload: bomb}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := DecodeFrame(b)
+		if err != nil {
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("DecodeFrame: untyped error %v", err)
+			}
+			return
+		}
+		v, err := DecodePayload(fr)
+		if err != nil {
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("DecodePayload: untyped error %v", err)
+			}
+			return
+		}
+		// Successful decode ⇒ re-encoding is byte-identical (the grammar has
+		// exactly one encoding per value) and decodes to an equal value.
+		var payload []byte
+		switch p := v.(type) {
+		case nil: // Step / Finish
+		case Hello:
+			payload = p.Encode()
+		case Config:
+			payload = p.Encode()
+		case Ready:
+			payload = p.Encode()
+		case Batch:
+			payload = p.Encode()
+		case Deliver:
+			payload = p.Encode()
+		case Report:
+			payload = p.Encode()
+		case Outputs:
+			payload = p.Encode()
+		case Abort:
+			payload = p.Encode()
+		default:
+			t.Fatalf("unknown payload type %T", v)
+		}
+		if !bytes.Equal(payload, fr.Payload) {
+			t.Fatalf("non-canonical encoding: re-encoded %d bytes differ from input %d bytes", len(payload), len(fr.Payload))
+		}
+		re := EncodeFrame(Frame{Type: fr.Type, Round: fr.Round, Payload: payload})
+		if !bytes.Equal(re, b) {
+			t.Fatalf("re-encoded frame differs from input")
+		}
+		fr2, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode frame: %v", err)
+		}
+		v2, err := DecodePayload(fr2)
+		if err != nil {
+			t.Fatalf("re-decode payload: %v", err)
+		}
+		if !reflect.DeepEqual(v, v2) {
+			t.Fatalf("round trip changed value:\n first  %+v\n second %+v", v, v2)
+		}
+	})
+}

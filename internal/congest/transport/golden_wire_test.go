@@ -1,0 +1,125 @@
+package transport_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/congest/transport"
+	"repro/internal/graph"
+	"repro/internal/shard"
+)
+
+// TestGoldenWireFrames pins the exact bytes of a handshake and a round
+// exchange for a small fixed graph: magic, version, header layout, field
+// order, length prefixes, digest framing — the whole wire contract. Any
+// codec change that moves a single byte breaks this test, which is the
+// point: the frame grammar is a compatibility surface between separately
+// started processes. Regenerate intentionally with:
+// UPDATE_GOLDEN=1 go test ./internal/congest/transport -run TestGoldenWireFrames
+func TestGoldenWireFrames(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.SetVertexWeight(2, 5)
+	spec := shard.Spec{Problem: "connected", D: 2, IDSeed: 7}
+	specBytes, err := shard.EncodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphBytes, err := shard.EncodeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := shard.Digest(specBytes, graphBytes)
+
+	frames := []struct {
+		name string
+		f    transport.Frame
+	}{
+		{"hello", transport.Frame{Type: transport.TypeHello,
+			Payload: transport.Hello{Proto: transport.Version, Shard: 1}.Encode()}},
+		{"config", transport.Frame{Type: transport.TypeConfig,
+			Payload: transport.Config{Shards: 2, ShardSize: 2, Digest: digest, Spec: specBytes, Graph: graphBytes}.Encode()}},
+		{"ready", transport.Frame{Type: transport.TypeReady,
+			Payload: transport.Ready{Digest: digest}.Encode()}},
+		{"step", transport.Frame{Type: transport.TypeStep, Round: 1}},
+		{"batch", transport.Frame{Type: transport.TypeBatch, Round: 1,
+			Payload: transport.Batch{ErrVertex: -1, Sub: [][]transport.Msg{
+				{{From: 0, To: 2, Port: 0, Seq: 0, Payload: []byte{0x0A, 0x0B}}},
+				{{From: 1, To: 3, Port: 1, Seq: 0, Kind: "dp", Payload: []byte{0x0C}}},
+			}}.Encode()}},
+		{"deliver", transport.Frame{Type: transport.TypeDeliver, Round: 1,
+			Payload: transport.Deliver{Msgs: []transport.Msg{
+				{From: 0, To: 2, Port: 0, Seq: 0, Payload: []byte{0x0A, 0x0B}},
+			}}.Encode()}},
+		{"report", transport.Frame{Type: transport.TypeReport, Round: 1,
+			Payload: transport.Report{Messages: 2, Bits: 24, MaxMsgBits: 16,
+				Halted: []int32{3}, Events: []transport.Event{{From: 0, Seq: 0, To: 2, Bits: 16}}}.Encode()}},
+		{"finish", transport.Frame{Type: transport.TypeFinish}},
+		{"outputs", transport.Frame{Type: transport.TypeOutputs,
+			Payload: transport.Outputs{Data: []byte(`{"rel":{}}`)}.Encode()}},
+		{"abort", transport.Frame{Type: transport.TypeAbort,
+			Payload: transport.Abort{Text: "round limit"}.Encode()}},
+	}
+
+	var buf bytes.Buffer
+	for _, fr := range frames {
+		enc := transport.EncodeFrame(fr.f)
+		fmt.Fprintf(&buf, "%s %s\n", fr.name, hex.EncodeToString(enc))
+		// The golden bytes must decode back to the same frame.
+		dec, err := transport.DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", fr.name, err)
+		}
+		if _, err := transport.DecodePayload(dec); err != nil {
+			t.Fatalf("%s: decode payload: %v", fr.name, err)
+		}
+	}
+
+	golden := filepath.Join("testdata", "golden_wire.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	// Report the first divergent frame by name rather than a byte offset.
+	gotLines := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	wantLines := bufio.NewScanner(bytes.NewReader(want))
+	for gotLines.Scan() && wantLines.Scan() {
+		if gotLines.Text() != wantLines.Text() {
+			name := strings.SplitN(wantLines.Text(), " ", 2)[0]
+			t.Fatalf("wire bytes diverged at frame %q:\n got  %s\n want %s", name, gotLines.Text(), wantLines.Text())
+		}
+	}
+	t.Fatalf("wire dump length diverged: got %d bytes, want %d", buf.Len(), len(want))
+}
+
+// TestGoldenWireHeaderLayout pins the header byte-by-byte: magic 'D','F',
+// version, type, then round and length as little-endian u32.
+func TestGoldenWireHeaderLayout(t *testing.T) {
+	enc := transport.EncodeFrame(transport.Frame{Type: transport.TypeStep, Round: 0x01020304})
+	want := []byte{'D', 'F', transport.Version, transport.TypeStep, 0x04, 0x03, 0x02, 0x01, 0, 0, 0, 0}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("header layout:\n got  %x\n want %x", enc, want)
+	}
+}

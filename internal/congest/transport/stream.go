@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// DefaultMaxPayload bounds a single frame's payload on a stream reader. The
+// handshake Config frame carries the whole graph in edge-list text, so the
+// ceiling is generous; sessions that know their graphs are small may lower
+// it.
+const DefaultMaxPayload = 1 << 30
+
+// WireStats counts what actually crossed the transport, as opposed to the
+// logical congest.Stats the engine accounts per message. Bytes include the
+// 12-byte frame headers, so BytesSent/BytesRecv minus the logical payload
+// is the protocol's framing overhead. The fault counters record what the
+// frame-level injector did. Not safe for concurrent use: a session's
+// readers and writers must share one goroutine (the coordinator's round
+// loop and each worker's loop both do).
+type WireStats struct {
+	FramesSent int64
+	FramesRecv int64
+	BytesSent  int64
+	BytesRecv  int64
+	// Frame-fault counters (coordinator side; zero on clean transports).
+	FramesDropped int64
+	FramesDup     int64
+	FramesDelayed int64
+	MsgsDropped   int64
+	MsgsDup       int64
+	MsgsDelayed   int64
+}
+
+// Add folds another WireStats into this one (summing all counters).
+func (w WireStats) Add(o WireStats) WireStats {
+	w.FramesSent += o.FramesSent
+	w.FramesRecv += o.FramesRecv
+	w.BytesSent += o.BytesSent
+	w.BytesRecv += o.BytesRecv
+	w.FramesDropped += o.FramesDropped
+	w.FramesDup += o.FramesDup
+	w.FramesDelayed += o.FramesDelayed
+	w.MsgsDropped += o.MsgsDropped
+	w.MsgsDup += o.MsgsDup
+	w.MsgsDelayed += o.MsgsDelayed
+	return w
+}
+
+// Writer frames and writes messages to a byte stream. Each WriteFrame
+// flushes, so the peer — which is always blocked reading at a barrier —
+// observes complete frames without a flush protocol.
+type Writer struct {
+	w     *bufio.Writer
+	stats *WireStats
+	buf   []byte
+}
+
+// NewWriter wraps w. stats may be nil.
+func NewWriter(w io.Writer, stats *WireStats) *Writer {
+	return &Writer{w: bufio.NewWriter(w), stats: stats}
+}
+
+// WriteFrame encodes and flushes one frame.
+func (w *Writer) WriteFrame(f Frame) error {
+	w.buf = AppendFrame(w.buf[:0], f)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.stats != nil {
+		w.stats.FramesSent++
+		w.stats.BytesSent += int64(len(w.buf))
+	}
+	return nil
+}
+
+// Reader reads length-prefixed frames from a byte stream, enforcing a
+// maximum payload size so a corrupt or hostile length field cannot drive an
+// unbounded allocation.
+type Reader struct {
+	r          *bufio.Reader
+	maxPayload int
+	stats      *WireStats
+	buf        []byte
+}
+
+// NewReader wraps r. maxPayload <= 0 means DefaultMaxPayload; stats may be
+// nil.
+func NewReader(r io.Reader, maxPayload int, stats *WireStats) *Reader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	return &Reader{r: bufio.NewReader(r), maxPayload: maxPayload, stats: stats}
+}
+
+// ReadFrame reads exactly one frame. The returned payload is owned by the
+// Reader and valid until the next ReadFrame call. io.EOF is returned
+// unwrapped when the stream ends cleanly between frames.
+func (r *Reader) ReadFrame() (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
+		return Frame{}, err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] {
+		return Frame{}, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[2], Version)
+	}
+	t := hdr[3]
+	if t < TypeHello || t > maxType {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadType, t)
+	}
+	round := binary.LittleEndian.Uint32(hdr[4:8])
+	plen := binary.LittleEndian.Uint32(hdr[8:12])
+	if int64(plen) > int64(r.maxPayload) {
+		return Frame{}, fmt.Errorf("%w: payload %d > limit %d", ErrOversize, plen, r.maxPayload)
+	}
+	if cap(r.buf) < int(plen) {
+		r.buf = make([]byte, plen)
+	}
+	r.buf = r.buf[:plen]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	if r.stats != nil {
+		r.stats.FramesRecv++
+		r.stats.BytesRecv += int64(HeaderSize) + int64(plen)
+	}
+	return Frame{Type: t, Round: round, Payload: r.buf}, nil
+}
+
+// Loopback returns a synchronously connected in-memory transport pair: what
+// one side writes the other reads, with no buffering beyond the framing
+// layer's. It is the in-process stand-in for a socket, used by the
+// differential battery to run the full multi-process protocol (frames,
+// digests, merges) without OS processes.
+func Loopback() (coordinator, worker io.ReadWriteCloser) {
+	return net.Pipe()
+}

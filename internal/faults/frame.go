@@ -1,0 +1,102 @@
+package faults
+
+// Frame-level fault injection for the multi-process transport. Where
+// Injector perturbs individual logical messages inside one process,
+// FrameInjector perturbs the shard-to-shard message batches of the
+// multiproc round protocol as they cross the coordinator: a dropped frame
+// loses every message in the batch, a delayed frame holds the whole batch
+// for d rounds, a duplicated frame re-delivers a copy later. This models a
+// lossy datagram network between shard processes; protocols.Reliable's ARQ
+// runs unchanged on top and must recover the run.
+//
+// Unlike Injector, FrameInjector is stateless: every decision is a pure
+// hash of (Seed, round, source shard, destination shard), so the coordinator
+// can evaluate plans in any order — or re-evaluate them after a retry —
+// and the schedule never shifts. Intra-shard batches (src == dst) are never
+// touched; they model a process's loopback, which real networks do not
+// lose.
+
+// Per-decision lanes keep the drop/dup/delay draws of one frame
+// independent: each decision hashes the same key mixed with its own salt.
+const (
+	frameLaneDrop     = 0x9E3779B97F4A7C15
+	frameLaneDup      = 0xC2B2AE3D27D4EB4F
+	frameLaneDupDelay = 0x165667B19E3779F9
+	frameLaneDelay    = 0x27D4EB2F165667C5
+)
+
+// FramePlan describes what the transport does to one shard-to-shard batch.
+// The zero value is transparent delivery.
+type FramePlan struct {
+	// Drop discards the original batch entirely.
+	Drop bool
+	// Delay defers the (undropped) original by this many rounds; its
+	// messages arrive with round r+Delay's delayed traffic.
+	Delay int
+	// Dup delivers one extra copy of the batch, DupDelay rounds late
+	// (DupDelay 0 re-delivers within the same round, after normal traffic).
+	Dup      bool
+	DupDelay int
+}
+
+// FrameInjector realizes a Config at the frame layer. The crash fields of
+// the Config are ignored — process crashes are not modeled; the multiproc
+// session layer rejects schedules that request them. Safe for concurrent
+// use (it holds no mutable state).
+type FrameInjector struct {
+	cfg Config
+}
+
+// NewFrameInjector builds the stateless injector over the normalized
+// Config.
+func NewFrameInjector(cfg Config) *FrameInjector {
+	return &FrameInjector{cfg: cfg.normalized()}
+}
+
+// Config returns the normalized schedule the injector realizes.
+func (fi *FrameInjector) Config() Config { return fi.cfg }
+
+// Quiet reports whether the injector can never perturb a frame (crash
+// fields do not count — they are inert at this layer).
+func (fi *FrameInjector) Quiet() bool {
+	return fi.cfg.DropRate == 0 && fi.cfg.DupRate == 0 &&
+		(fi.cfg.ReorderRate == 0 || fi.cfg.ReorderWindow == 0)
+}
+
+// OnFrame returns the plan for the round-`round` data frame from shard src
+// to shard dst. Pure: equal arguments (under an equal Config) always return
+// equal plans. Intra-shard frames are always delivered untouched.
+func (fi *FrameInjector) OnFrame(round, src, dst int) FramePlan {
+	var plan FramePlan
+	if src == dst {
+		return plan
+	}
+	key := uint64(fi.cfg.Seed) ^
+		uint64(round)*0x9E3779B97F4A7C15 ^
+		uint64(src)*0xBF58476D1CE4E5B9 ^
+		uint64(dst)*0x94D049BB133111EB
+	if fi.cfg.DropRate > 0 && frameDraw(key, frameLaneDrop) < fi.cfg.DropRate {
+		plan.Drop = true
+	}
+	if fi.cfg.DupRate > 0 && frameDraw(key, frameLaneDup) < fi.cfg.DupRate {
+		plan.Dup = true
+		if fi.cfg.ReorderWindow > 0 {
+			plan.DupDelay = int(frameDraw(key, frameLaneDupDelay) * float64(fi.cfg.ReorderWindow+1))
+		}
+	}
+	if !plan.Drop && fi.cfg.ReorderRate > 0 && fi.cfg.ReorderWindow > 0 &&
+		frameDraw(key, frameLaneDelay) < fi.cfg.ReorderRate {
+		plan.Delay = 1 + int(frameDraw(key, frameLaneDelay^frameLaneDup)*float64(fi.cfg.ReorderWindow))
+	}
+	return plan
+}
+
+// frameDraw hashes (key, lane) to a uniform float64 in [0, 1) via
+// splitmix64's finalizer.
+func frameDraw(key, lane uint64) float64 {
+	z := key + lane
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFrameInjectorDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, DropRate: 0.3, DupRate: 0.2, ReorderRate: 0.2, ReorderWindow: 4}
+	a := NewFrameInjector(cfg)
+	b := NewFrameInjector(cfg)
+	for round := 0; round < 50; round++ {
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				p1 := a.OnFrame(round, src, dst)
+				p2 := b.OnFrame(round, src, dst)
+				if p1 != p2 {
+					t.Fatalf("(%d,%d,%d): plans diverged: %+v vs %+v", round, src, dst, p1, p2)
+				}
+				// Re-evaluation on the same injector must agree too — the
+				// coordinator may consult a plan more than once.
+				if p3 := a.OnFrame(round, src, dst); p3 != p1 {
+					t.Fatalf("(%d,%d,%d): re-evaluation shifted: %+v vs %+v", round, src, dst, p3, p1)
+				}
+			}
+		}
+	}
+}
+
+func TestFrameInjectorIntraShardUntouched(t *testing.T) {
+	inj := NewFrameInjector(Config{Seed: 7, DropRate: 1, DupRate: 1, ReorderRate: 1, ReorderWindow: 8})
+	for round := 0; round < 100; round++ {
+		for s := 0; s < 5; s++ {
+			if p := inj.OnFrame(round, s, s); p != (FramePlan{}) {
+				t.Fatalf("round %d shard %d: loopback frame perturbed: %+v", round, s, p)
+			}
+		}
+	}
+}
+
+func TestFrameInjectorQuiet(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		quiet bool
+	}{
+		{"zero", Config{}, true},
+		{"seed_only", Config{Seed: 9}, true},
+		{"crash_only", Config{CrashRate: 0.5, MaxOutage: 3}, true}, // inert at the frame layer
+		{"reorder_no_window", Config{ReorderRate: 0.5}, true},
+		{"drop", Config{DropRate: 0.1}, false},
+		{"dup", Config{DupRate: 0.1}, false},
+		{"reorder", Config{ReorderRate: 0.1, ReorderWindow: 2}, false},
+	}
+	for _, tc := range cases {
+		inj := NewFrameInjector(tc.cfg)
+		if got := inj.Quiet(); got != tc.quiet {
+			t.Errorf("%s: Quiet() = %v, want %v", tc.name, got, tc.quiet)
+		}
+		if tc.quiet {
+			for round := 0; round < 50; round++ {
+				if p := inj.OnFrame(round, 0, 1); p.Drop || p.Dup || p.Delay > 0 {
+					t.Errorf("%s: quiet injector produced %+v at round %d", tc.name, p, round)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestFrameInjectorRatesAndBounds: empirical rates land near the configured
+// probabilities and every delay stays inside the reorder window.
+func TestFrameInjectorRatesAndBounds(t *testing.T) {
+	cfg := Config{Seed: 1234, DropRate: 0.25, DupRate: 0.15, ReorderRate: 0.2, ReorderWindow: 3}
+	inj := NewFrameInjector(cfg)
+	var n, drops, dups, delays int
+	for round := 0; round < 2000; round++ {
+		for src := 0; src < 3; src++ {
+			for dst := 0; dst < 3; dst++ {
+				if src == dst {
+					continue
+				}
+				p := inj.OnFrame(round, src, dst)
+				n++
+				if p.Drop {
+					drops++
+				}
+				if p.Dup {
+					dups++
+					if p.DupDelay < 0 || p.DupDelay > cfg.ReorderWindow {
+						t.Fatalf("DupDelay %d outside [0, %d]", p.DupDelay, cfg.ReorderWindow)
+					}
+				}
+				if p.Delay != 0 {
+					delays++
+					if p.Drop {
+						t.Fatal("dropped frame also delayed")
+					}
+					if p.Delay < 1 || p.Delay > cfg.ReorderWindow {
+						t.Fatalf("Delay %d outside [1, %d]", p.Delay, cfg.ReorderWindow)
+					}
+				}
+			}
+		}
+	}
+	check := func(name string, got int, want float64) {
+		rate := float64(got) / float64(n)
+		if math.Abs(rate-want) > 0.02 {
+			t.Errorf("%s rate %.4f, want %.2f ± 0.02 (%d of %d)", name, rate, want, got, n)
+		}
+	}
+	check("drop", drops, cfg.DropRate)
+	check("dup", dups, cfg.DupRate)
+	// Delay only applies to undropped frames.
+	check("delay", delays, cfg.ReorderRate*(1-cfg.DropRate))
+}
+
+// TestFrameInjectorSeedIndependence: different seeds give different
+// schedules (same distribution, independent samples).
+func TestFrameInjectorSeedIndependence(t *testing.T) {
+	a := NewFrameInjector(Config{Seed: 1, DropRate: 0.5})
+	b := NewFrameInjector(Config{Seed: 2, DropRate: 0.5})
+	same := 0
+	const total = 500
+	for round := 0; round < total; round++ {
+		if a.OnFrame(round, 0, 1) == b.OnFrame(round, 0, 1) {
+			same++
+		}
+	}
+	if same == total {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestFrameInjectorNormalizes: the constructor clamps rates like the
+// message-level injector does.
+func TestFrameInjectorNormalizes(t *testing.T) {
+	inj := NewFrameInjector(Config{DropRate: 7, DupRate: -3, ReorderWindow: 1 << 30})
+	cfg := inj.Config()
+	if cfg.DropRate != 1 || cfg.DupRate != 0 {
+		t.Errorf("rates not clamped: %+v", cfg)
+	}
+	if cfg.ReorderWindow > MaxReorderWindow {
+		t.Errorf("window not clamped: %d", cfg.ReorderWindow)
+	}
+}

@@ -84,7 +84,7 @@ func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
 		return nil, err
 	}
 
-	res := &RunResult{Stats: stats, Outputs: make([]Output, n)}
+	var rel RelStats
 	if cfg.Reliable {
 		var firstFail *UnrecoverableError
 		for v := 0; v < n; v++ {
@@ -92,7 +92,7 @@ func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
 			if !ok {
 				continue
 			}
-			res.Reliability = res.Reliability.Add(st)
+			rel = rel.Add(st)
 			if fail != nil && firstFail == nil {
 				firstFail = fail
 			}
@@ -101,10 +101,41 @@ func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
 			// Poisoned nodes halted mid-protocol; their outputs are not
 			// meaningful, so report the failure with the stats collected so
 			// far instead of parsing garbage.
-			return res, firstFail
+			return &RunResult{Stats: stats, Outputs: make([]Output, n), Reliability: rel}, firstFail
 		}
 	}
-	ids := sim.IDs()
+	outputs := make([]Output, n)
+	for v := 0; v < n; v++ {
+		out, err := Result(nodes[v])
+		if err != nil {
+			return nil, err
+		}
+		outputs[v] = out
+	}
+	res, err := AssembleResult(g, cfg, sim.IDs(), outputs)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	res.Reliability = rel
+	return res, nil
+}
+
+// AssembleResult builds a RunResult from the raw per-vertex outputs of a
+// finished run: parent-pointer resolution into the elimination forest, the
+// TdExceeded rules, root-verdict collection, cache aggregation, and
+// selected-set reconstruction. It is the post-processing shared by the
+// in-process driver and the multi-process shard coordinator (which gathers
+// outputs from worker processes instead of local nodes). ids is the run's
+// vertex -> identifier assignment; outputs is vertex-indexed and is
+// retained in the result. Stats and Reliability are left zero for the
+// caller to fill.
+func AssembleResult(g *graph.Graph, cfg Config, ids []int, outputs []Output) (*RunResult, error) {
+	n := g.NumVertices()
+	if len(outputs) != n {
+		return nil, fmt.Errorf("%w: %d outputs for %d vertices", ErrProtocol, len(outputs), n)
+	}
+	res := &RunResult{Outputs: outputs}
 	idToVertex := make(map[int]int, n)
 	for v, id := range ids {
 		idToVertex[id] = v
@@ -112,11 +143,7 @@ func Run(g *graph.Graph, cfg Config, opts congest.Options) (*RunResult, error) {
 	parent := make([]int, n)
 	roots := 0
 	for v := 0; v < n; v++ {
-		out, err := Result(nodes[v])
-		if err != nil {
-			return nil, err
-		}
-		res.Outputs[v] = out
+		out := outputs[v]
 		res.Cache = res.Cache.Add(out.Cache)
 		if out.Failure != failNone {
 			res.TdExceeded = true

@@ -1,0 +1,389 @@
+package shard
+
+// The cross-process differential battery: every run here executes the same
+// spec twice — once through the in-process driver, once through the
+// multi-process coordinator at several shard counts — and demands
+// bit-identical results: verdicts, congest.Stats (down to every fault
+// counter), per-vertex outputs, and, for the golden cases, the complete
+// NDJSON trace byte stream. The graph population and predicate rotation
+// mirror the protocols package's differential suite, so the two batteries
+// pin the same behavior from opposite sides of the process boundary.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/congest/transport"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/protocols"
+)
+
+// TestMain makes the test binary MaybeWorker-aware, so ExecSpawner can
+// re-execute it as a real worker process in the subprocess tests.
+func TestMain(m *testing.M) {
+	if ran, err := MaybeWorker(); ran {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+const equivGraphCount = 50
+
+type equivCase struct {
+	name string
+	g    *graph.Graph
+	d    int
+}
+
+// equivGraphs regenerates the protocols differential population: 50 seeded
+// random graphs of treedepth 2–3 (10 under -short).
+func equivGraphs(t *testing.T) []equivCase {
+	t.Helper()
+	count := equivGraphCount
+	if testing.Short() {
+		count = 10
+	}
+	cases := make([]equivCase, 0, count)
+	for i := 0; i < count; i++ {
+		d := 2 + i%2
+		n := 8 + (i%7)*4
+		prob := 0.1 + 0.05*float64(i%4)
+		g, _ := gen.BoundedTreedepth(n, d, prob, int64(1000+i))
+		gen.AssignRandomWeights(g, 10, int64(2000+i))
+		cases = append(cases, equivCase{name: fmt.Sprintf("g%02d_n%d_d%d", i, n, d), g: g, d: d})
+	}
+	return cases
+}
+
+// equivSeeds is the protocols suite's ID-assignment rotation: identity and
+// an adversarial permutation distinct per graph.
+func equivSeeds(i int) []int64 { return []int64{0, int64(0xC0FFEE + 31*i)} }
+
+var equivShardCounts = []int{1, 2, 4}
+
+// inProcess runs the spec through the single-process driver — the oracle
+// every multiproc run must reproduce exactly.
+func inProcess(t *testing.T, g *graph.Graph, spec Spec) (*protocols.RunResult, error) {
+	t.Helper()
+	cfg, err := buildConfig(spec, g)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	return protocols.Run(g, cfg, spec.Options())
+}
+
+// mustAgree fails unless got is bit-identical to want: stats first (the
+// highest-signal divergence), then the whole result including outputs,
+// forest, cache counters, and reliability counters.
+func mustAgree(t *testing.T, label string, got, want *protocols.RunResult) {
+	t.Helper()
+	if got.Stats != want.Stats {
+		t.Errorf("%s: stats diverged:\n got  %+v\n want %+v", label, got.Stats, want.Stats)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: result diverged:\n got  %+v\n want %+v", label, got, want)
+	}
+}
+
+// runShards executes spec at shard count k over loopback workers and
+// requires a clean run on both sides of every session.
+func runShards(t *testing.T, label string, g *graph.Graph, spec Spec, k int) *Result {
+	t.Helper()
+	sp := NewLoopback()
+	res, err := Run(g, spec, Options{Shards: k, Spawn: sp})
+	if err != nil {
+		t.Fatalf("%s: shard.Run: %v", label, err)
+	}
+	for wi, werr := range sp.Errors() {
+		if werr != nil {
+			t.Fatalf("%s: worker %d: %v", label, wi, werr)
+		}
+	}
+	return res
+}
+
+// TestCrossProcessDifferentialBattery sweeps the 50-graph population
+// through the multiproc path at K ∈ {1, 2, 4} and both ID seeds, rotating
+// decision predicates per graph and sampling optimization and counting runs
+// on the same cadence as the in-process differential suite.
+func TestCrossProcessDifferentialBattery(t *testing.T) {
+	decide := []string{"acyclic", "2-colorable", "connected"}
+	optimize := []string{"max-independent-set", "min-vertex-cover"}
+	for i, tc := range equivGraphs(t) {
+		specs := []Spec{{Problem: decide[i%3], D: tc.d}}
+		if i%5 == 0 {
+			specs = append(specs, Spec{Problem: optimize[(i/5)%2], D: tc.d})
+		}
+		if i%10 == 3 {
+			specs = append(specs, Spec{Problem: "count-triangles", D: tc.d})
+		}
+		for _, spec := range specs {
+			for _, seed := range equivSeeds(i) {
+				spec.IDSeed = seed
+				want, err := inProcess(t, tc.g, spec)
+				if err != nil {
+					t.Fatalf("%s/%s seed=%d: in-process: %v", tc.name, spec.Problem, seed, err)
+				}
+				for _, k := range equivShardCounts {
+					label := fmt.Sprintf("%s/%s seed=%d K=%d", tc.name, spec.Problem, seed, k)
+					res := runShards(t, label, tc.g, spec, k)
+					mustAgree(t, label, res.Run, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossProcessGoldenTraces replays the protocols package's golden DP
+// trace cases through the multiproc path and byte-compares the NDJSON
+// stream — against the committed golden files where the case is expressible
+// as a registry problem, and against a fresh in-process trace for the
+// counting case (whose golden twin uses an unregistered predicate).
+func TestCrossProcessGoldenTraces(t *testing.T) {
+	g, _ := gen.BoundedTreedepth(18, 2, 0.3, 42)
+	gen.AssignRandomWeights(g, 9, 43)
+	marked := g.Clone()
+	marked.SetVertexLabel(protocols.MarkLabel, 0)
+	marked.SetVertexLabel(protocols.MarkLabel, 5)
+
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		spec   Spec
+		golden string // committed golden file; "" compares to a live in-process trace
+	}{
+		{"decide_connected", g,
+			Spec{Problem: "connected", D: 2, IDSeed: 7}, "golden_dp_decide_connected.ndjson"},
+		{"opt_indset", g,
+			Spec{Problem: "max-independent-set", D: 2, IDSeed: 7}, "golden_dp_opt_indset.ndjson"},
+		{"checkmarked_indset", marked,
+			Spec{Problem: "max-independent-set", Mode: int(protocols.ModeCheckMarked), D: 2, IDSeed: 7},
+			"golden_dp_checkmarked_indset.ndjson"},
+		{"count_triangles", g,
+			Spec{Problem: "count-triangles", D: 2, IDSeed: 7}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []byte
+			if tc.golden != "" {
+				var err error
+				want, err = os.ReadFile(filepath.Join("..", "protocols", "testdata", tc.golden))
+				if err != nil {
+					t.Fatalf("reading committed golden trace: %v", err)
+				}
+			} else {
+				spec := tc.spec
+				spec.Trace = true
+				cfg, err := buildConfig(spec, tc.g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				tracer := congest.NewNDJSONTracer(&buf)
+				opts := spec.Options()
+				opts.Tracer = tracer
+				if _, err := protocols.Run(tc.g, cfg, opts); err != nil {
+					t.Fatal(err)
+				}
+				if err := tracer.Err(); err != nil {
+					t.Fatal(err)
+				}
+				want = buf.Bytes()
+			}
+			for _, k := range equivShardCounts {
+				var buf bytes.Buffer
+				tracer := congest.NewNDJSONTracer(&buf)
+				if _, err := Run(tc.g, tc.spec, Options{Shards: k, Tracer: tracer}); err != nil {
+					t.Fatalf("K=%d: %v", k, err)
+				}
+				if err := tracer.Err(); err != nil {
+					t.Fatalf("K=%d: tracer: %v", k, err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Errorf("K=%d: trace diverged (got %d bytes, want %d); first divergent line %d",
+						k, buf.Len(), len(want), firstDivergentLine(buf.Bytes(), want))
+				}
+			}
+		})
+	}
+}
+
+// firstDivergentLine is a debugging aid for golden-trace failures.
+func firstDivergentLine(got, want []byte) int {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return i + 1
+		}
+	}
+	return min(len(gl), len(wl)) + 1
+}
+
+// TestCrossProcessExecSpawner runs one case over real OS worker processes
+// (the test binary re-executed via MaybeWorker) to cover the socket
+// transport and process lifecycle the loopback battery bypasses.
+func TestCrossProcessExecSpawner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess spawning skipped in -short mode")
+	}
+	tc := equivGraphs(t)[2]
+	spec := Spec{Problem: "connected", D: tc.d, IDSeed: 11}
+	want, err := inProcess(t, tc.g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tc.g, spec, Options{Shards: 2, Spawn: &ExecSpawner{Stderr: os.Stderr}})
+	if err != nil {
+		t.Fatalf("exec run: %v", err)
+	}
+	mustAgree(t, "exec K=2", res.Run, want)
+	if res.Wire.FramesSent == 0 || res.Wire.BytesRecv == 0 {
+		t.Errorf("exec run reported no wire traffic: %+v", res.Wire)
+	}
+}
+
+// TestCrossProcessFaultyReliable injects frame-level faults into the
+// inter-shard links and requires zero wrong verdicts: every run either
+// completes with the fault-free answer or dies loudly with
+// ErrUnrecoverable (possible only for lossy schedules).
+func TestCrossProcessFaultyReliable(t *testing.T) {
+	type schedule struct {
+		name         string
+		cfg          faults.Config
+		mustComplete bool // loss-free fault classes cannot exhaust the ARQ budget
+	}
+	schedules := []schedule{
+		{"dup-only", faults.Config{DupRate: 0.4, ReorderWindow: 4}, true},
+		{"drop", faults.Config{DropRate: 0.15}, false},
+		{"mixed", faults.Config{DropRate: 0.1, DupRate: 0.1, ReorderRate: 0.1, ReorderWindow: 3}, false},
+	}
+	completed, failed := 0, 0
+	for i, tc := range equivGraphs(t) {
+		if i%7 != 1 {
+			continue // ARQ runs are slow; sample the population
+		}
+		spec := Spec{
+			Problem: "connected", D: tc.d, Reliable: true,
+			BandwidthFactor: protocols.ReliableBandwidthFactor(tc.g.NumVertices()),
+		}
+		want, err := inProcess(t, tc.g, spec)
+		if err != nil {
+			t.Fatalf("%s: fault-free reliable baseline: %v", tc.name, err)
+		}
+		for si, sc := range schedules {
+			fc := sc.cfg
+			fc.Seed = int64(1000*i + si)
+			for _, k := range []int{2, 4} {
+				label := fmt.Sprintf("%s/%s K=%d", tc.name, sc.name, k)
+				res, err := Run(tc.g, spec, Options{Shards: k, Faults: faults.NewFrameInjector(fc)})
+				switch {
+				case err == nil:
+					completed++
+					if res.Run.TdExceeded {
+						t.Errorf("%s: spurious treedepth report under frame faults", label)
+						continue
+					}
+					if res.Run.Accepted != want.Accepted {
+						t.Errorf("%s: WRONG VERDICT under frame faults: got %v, fault-free %v",
+							label, res.Run.Accepted, want.Accepted)
+					}
+				case errors.Is(err, protocols.ErrUnrecoverable):
+					failed++
+					if sc.mustComplete {
+						t.Errorf("%s: loss-free fault class reported unrecoverable: %v", label, err)
+					}
+				default:
+					t.Errorf("%s: unexpected error: %v", label, err)
+				}
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no fault-injected run completed; the grid tests nothing")
+	}
+	t.Logf("frame-fault grid: %d completed (all agreed with fault-free), %d unrecoverable", completed, failed)
+}
+
+// TestMultiprocWireVsLogicalStats pins the bug-fix contract of the stats
+// split: the logical congest.Stats of a multiproc run are byte-identical to
+// the in-process engine's (framing never leaks into them), while the wire
+// view reports the strictly larger on-the-wire byte count.
+func TestMultiprocWireVsLogicalStats(t *testing.T) {
+	tc := equivGraphs(t)[0]
+	spec := Spec{Problem: "acyclic", D: tc.d}
+	want, err := inProcess(t, tc.g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range equivShardCounts {
+		res := runShards(t, fmt.Sprintf("K=%d", k), tc.g, spec, k)
+		if res.Run.Stats != want.Stats {
+			t.Errorf("K=%d: logical stats diverged from in-process:\n got  %+v\n want %+v",
+				k, res.Run.Stats, want.Stats)
+		}
+		w := res.Wire
+		if w.FramesSent == 0 || w.FramesRecv == 0 || w.BytesSent == 0 || w.BytesRecv == 0 {
+			t.Fatalf("K=%d: empty wire stats: %+v", k, w)
+		}
+		if w.BytesSent < w.FramesSent*transport.HeaderSize {
+			t.Errorf("K=%d: %d bytes for %d frames is below header floor", k, w.BytesSent, w.FramesSent)
+		}
+		logicalBytes := (want.Stats.Bits + 7) / 8
+		if w.BytesSent <= logicalBytes {
+			t.Errorf("K=%d: wire bytes (%d) must exceed logical payload bytes (%d): framing overhead is real",
+				k, w.BytesSent, logicalBytes)
+		}
+	}
+}
+
+// TestMultiprocHeartbeat pins the S7 workload: stats and state checksum of
+// the multiproc heartbeat match the single-process twin at every K.
+func TestMultiprocHeartbeat(t *testing.T) {
+	g, _ := gen.BoundedTreedepth(40, 3, 0.2, 99)
+	wantStats, wantSum, err := RunHeartbeatInProcess(g, congest.Options{IDSeed: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range equivShardCounts {
+		spec := Spec{Workload: WorkloadHeartbeat, IDSeed: 5}
+		res := runShards(t, fmt.Sprintf("heartbeat K=%d", k), g, spec, k)
+		if res.Run.Stats != wantStats {
+			t.Errorf("K=%d: heartbeat stats diverged:\n got  %+v\n want %+v", k, res.Run.Stats, wantStats)
+		}
+		if res.Checksum != wantSum {
+			t.Errorf("K=%d: heartbeat checksum %#x, in-process %#x", k, res.Checksum, wantSum)
+		}
+	}
+}
+
+// TestMultiprocRoundLimitParity: engine error values and text cross the
+// process boundary intact.
+func TestMultiprocRoundLimitParity(t *testing.T) {
+	tc := equivGraphs(t)[1]
+	spec := Spec{Problem: "connected", D: tc.d, RoundLimit: 3}
+	_, wantErr := inProcess(t, tc.g, spec)
+	if !errors.Is(wantErr, congest.ErrRoundLimit) {
+		t.Fatalf("in-process run expected to hit the round limit, got %v", wantErr)
+	}
+	_, gotErr := Run(tc.g, spec, Options{Shards: 2})
+	if !errors.Is(gotErr, congest.ErrRoundLimit) {
+		t.Fatalf("multiproc run: want round-limit error, got %v", gotErr)
+	}
+	if gotErr.Error() != wantErr.Error() {
+		t.Errorf("error text diverged:\n got  %q\n want %q", gotErr, wantErr)
+	}
+}

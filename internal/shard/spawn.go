@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/congest/transport"
+)
+
+// Spawner launches the K workers of a run and hands the coordinator their
+// connections, in arbitrary order (the handshake's HELLO frames map
+// connections to shard indices). cleanup tears the workers down: it closes
+// the connections and blocks until every worker has exited, so no worker
+// goroutine or process outlives the run.
+type Spawner interface {
+	Spawn(shards int) (conns []io.ReadWriteCloser, cleanup func(), err error)
+}
+
+// LoopbackSpawner runs workers as goroutines over in-memory pipes — the
+// full frame protocol (handshake, digests, merges, faults) with no OS
+// processes. It is the default spawner and what the differential battery
+// uses, so the protocol logic itself is exercised under -race.
+type LoopbackSpawner struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+// NewLoopback returns a fresh loopback spawner.
+func NewLoopback() *LoopbackSpawner { return &LoopbackSpawner{} }
+
+// Spawn implements Spawner.
+func (l *LoopbackSpawner) Spawn(shards int) ([]io.ReadWriteCloser, func(), error) {
+	conns := make([]io.ReadWriteCloser, shards)
+	l.errs = make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		coordSide, workerSide := transport.Loopback()
+		conns[i] = coordSide
+		wg.Add(1)
+		go func(i int, conn io.ReadWriteCloser) {
+			defer wg.Done()
+			err := RunWorker(conn, i)
+			l.mu.Lock()
+			l.errs[i] = err
+			l.mu.Unlock()
+		}(i, workerSide)
+	}
+	cleanup := func() {
+		// Closing the coordinator sides unblocks any worker still in I/O;
+		// the join guarantees no goroutine outlives the run.
+		for _, c := range conns {
+			c.Close()
+		}
+		wg.Wait()
+	}
+	return conns, cleanup, nil
+}
+
+// Errors returns the per-worker exit errors. Valid after the run returns
+// (cleanup joins the workers); a worker torn down mid-I/O by cleanup
+// reports its pipe error here, which is expected on coordinator-side
+// failures.
+func (l *LoopbackSpawner) Errors() []error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]error(nil), l.errs...)
+}
+
+// EnvSocket and EnvIndex are the environment variables that turn a process
+// into a shard worker: any binary whose main calls MaybeWorker first (dmc,
+// dmcshard, the test binaries) can be spawned as a worker without
+// arguments.
+const (
+	EnvSocket = "DMC_SHARD_SOCKET"
+	EnvIndex  = "DMC_SHARD_INDEX"
+)
+
+// MaybeWorker checks the worker environment variables and, when present,
+// runs the full worker session. It returns ran=false immediately in normal
+// processes. Call it at the top of main: when ran is true, the process
+// should exit (with an error status iff err is non-nil) instead of
+// continuing as whatever binary it is.
+func MaybeWorker() (ran bool, err error) {
+	addr := os.Getenv(EnvSocket)
+	if addr == "" {
+		return false, nil
+	}
+	idxText := os.Getenv(EnvIndex)
+	idx, convErr := strconv.Atoi(idxText)
+	if convErr != nil || idx < 0 {
+		return true, fmt.Errorf("shard: bad %s=%q", EnvIndex, idxText)
+	}
+	return true, WorkerConnect(addr, idx)
+}
+
+// WorkerConnect dials the coordinator (a unix socket path, or host:port
+// when addr contains no slash) and runs the worker session for the given
+// shard index.
+func WorkerConnect(addr string, index int) error {
+	network := "unix"
+	if !strings.Contains(addr, "/") {
+		network = "tcp"
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return fmt.Errorf("shard: dialing coordinator %s: %w", addr, err)
+	}
+	return RunWorker(conn, index)
+}
+
+// ExecSpawner launches real worker processes connected over a unix socket.
+// Each worker gets EnvSocket/EnvIndex in its environment, so any
+// MaybeWorker-aware binary works — including the running test binary or
+// dmc itself re-executed.
+type ExecSpawner struct {
+	// Bin is the worker binary; "" re-executes the current executable.
+	Bin string
+	// Args are extra arguments passed to the binary (usually none: the
+	// environment carries the worker role).
+	Args []string
+	// AcceptTimeout bounds how long the coordinator waits for each worker
+	// to connect (0 means 30s).
+	AcceptTimeout time.Duration
+	// Stderr, when non-nil, receives the workers' stderr (nil discards).
+	Stderr io.Writer
+}
+
+// Spawn implements Spawner.
+func (e *ExecSpawner) Spawn(shards int) ([]io.ReadWriteCloser, func(), error) {
+	bin := e.Bin
+	if bin == "" {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: resolving executable: %w", err)
+		}
+		bin = self
+	}
+	dir, err := os.MkdirTemp("", "dmcshard-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	sock := filepath.Join(dir, "coord.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	timeout := e.AcceptTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	var cmds []*exec.Cmd
+	var conns []io.ReadWriteCloser
+	fail := func(err error) ([]io.ReadWriteCloser, func(), error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, cmd := range cmds {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+		ln.Close()
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	for i := 0; i < shards; i++ {
+		cmd := exec.Command(bin, e.Args...)
+		cmd.Env = append(os.Environ(),
+			EnvSocket+"="+sock,
+			EnvIndex+"="+strconv.Itoa(i),
+		)
+		cmd.Stderr = e.Stderr
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("shard: starting worker %d: %w", i, err))
+		}
+		cmds = append(cmds, cmd)
+	}
+	ul := ln.(*net.UnixListener)
+	for i := 0; i < shards; i++ {
+		if err := ul.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return fail(err)
+		}
+		conn, err := ul.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("shard: waiting for worker connections (%d/%d): %w", i, shards, err))
+		}
+		conns = append(conns, conn)
+	}
+	cleanup := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		ln.Close()
+		// Workers exit on their own once the sockets close; kill is the
+		// backstop for a wedged process, and the wait reaps every child.
+		done := make(chan struct{})
+		go func() {
+			for _, cmd := range cmds {
+				_ = cmd.Wait()
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			for _, cmd := range cmds {
+				_ = cmd.Process.Kill()
+			}
+			<-done
+		}
+		os.RemoveAll(dir)
+	}
+	return conns, cleanup, nil
+}
